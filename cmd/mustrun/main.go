@@ -1,0 +1,149 @@
+// Command mustrun executes a built-in workload under the MUST-style
+// deadlock detection tool and prints the outcome, optionally writing the
+// HTML report and DOT wait-for graph.
+//
+// Usage:
+//
+//	mustrun -workload recvrecv -procs 4
+//	mustrun -workload wildcard -procs 64 -fanin 8
+//	mustrun -workload spec:126.lammps -procs 16 -iters 50
+//	mustrun -workload fig2b -procs 3 -rendezvous -html report.html -dot wfg.dot
+//
+// Workloads: stress, wildcard, recvrecv, fig2b, unexpected, clean, or
+// spec:<name> for a SPEC MPI2007 proxy (see cmd/specmpi -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dwst/internal/workload"
+	"dwst/mpi"
+	"dwst/must"
+)
+
+func main() {
+	var (
+		wl         = flag.String("workload", "recvrecv", "workload: stress|wildcard|recvrecv|fig2b|unexpected|clean|spec:<name>")
+		procs      = flag.Int("procs", 4, "number of MPI ranks")
+		fanIn      = flag.Int("fanin", 4, "TBON fan-in")
+		mode       = flag.String("mode", "distributed", "tool mode: distributed|centralized")
+		timeout    = flag.Duration("timeout", 50*time.Millisecond, "detection quiescence timeout")
+		iters      = flag.Int("iters", 50, "iterations (stress/spec workloads)")
+		rendezvous = flag.Bool("rendezvous", false, "force synchronous standard sends")
+		prefer     = flag.Bool("prefer-waitstate", false, "prioritize wait-state messages on tool nodes")
+		htmlPath   = flag.String("html", "", "write the HTML report to this file")
+		dotPath    = flag.String("dot", "", "write the DOT wait-for graph to this file")
+		sites      = flag.Bool("sites", false, "record call sites (reports point at source lines)")
+	)
+	flag.Parse()
+
+	prog, err := buildWorkload(*wl, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opts := must.Options{
+		FanIn:           *fanIn,
+		Timeout:         *timeout,
+		Rendezvous:      *rendezvous,
+		PreferWaitState: *prefer,
+		TrackCallSites:  *sites,
+	}
+	if *mode == "centralized" {
+		opts.Mode = must.Centralized
+	}
+
+	rep := must.Run(*procs, prog, opts)
+
+	fmt.Printf("workload=%s procs=%d mode=%s fanin=%d elapsed=%v tool-nodes=%d detections=%d\n",
+		*wl, *procs, *mode, *fanIn, rep.Elapsed.Round(time.Millisecond), rep.ToolNodes, rep.Detections)
+	switch {
+	case rep.Deadlock && rep.PotentialOnly:
+		fmt.Printf("POTENTIAL DEADLOCK (did not manifest; strict blocking model, Sec. 3.3)\n")
+	case rep.Deadlock:
+		fmt.Printf("DEADLOCK — application aborted\n")
+	default:
+		fmt.Printf("no deadlock\n")
+	}
+	for _, m := range rep.CallMismatches {
+		fmt.Println("ERROR:", m)
+	}
+	if rep.LostMessages > 0 && !rep.AppAborted {
+		fmt.Printf("WARNING: %d messages were sent but never received\n", rep.LostMessages)
+	}
+	if rep.Deadlock {
+		fmt.Printf("  deadlocked ranks: %v\n", summarizeRanks(rep.Deadlocked))
+		if rep.Summary != "" {
+			fmt.Printf("  summary: %s\n", rep.Summary)
+		}
+		if len(rep.Groups) > 1 {
+			fmt.Printf("  independent deadlock groups: %d\n", len(rep.Groups))
+		}
+		fmt.Printf("  cycle: %v\n", rep.Cycle)
+		fmt.Printf("  wait-for arcs: %d\n", rep.Arcs)
+		if rep.UnexpectedMatches > 0 {
+			fmt.Printf("  unexpected matches: %d\n", rep.UnexpectedMatches)
+		}
+		for _, r := range rep.Deadlocked {
+			if len(rep.Conditions) > 0 && len(rep.Deadlocked) <= 16 {
+				fmt.Printf("  rank %d: %s\n", r, rep.Conditions[r])
+			}
+		}
+		t := rep.Timings
+		if t.Total() > 0 {
+			fmt.Printf("  detection: sync=%v gather=%v build=%v check=%v output=%v total=%v\n",
+				t.Synchronization, t.WFGGather, t.GraphBuild, t.DeadlockCheck,
+				t.OutputGeneration, t.Total())
+		}
+	}
+	writeIf(*htmlPath, rep.HTML)
+	writeIf(*dotPath, rep.DOT)
+	if rep.Deadlock {
+		os.Exit(1)
+	}
+}
+
+func buildWorkload(name string, iters int) (mpi.Program, error) {
+	switch {
+	case name == "stress":
+		return workload.Stress(iters), nil
+	case name == "wildcard":
+		return workload.WildcardDeadlock(), nil
+	case name == "recvrecv":
+		return workload.RecvRecvDeadlock(), nil
+	case name == "fig2b":
+		return workload.Fig2b(), nil
+	case name == "unexpected":
+		return workload.UnexpectedMatch(), nil
+	case name == "clean":
+		return workload.Stress(iters), nil
+	case strings.HasPrefix(name, "spec:"):
+		app := workload.SpecApps(strings.TrimPrefix(name, "spec:"))
+		if app == nil {
+			return nil, fmt.Errorf("unknown SPEC proxy %q", name)
+		}
+		return app.Build(iters, 20*time.Microsecond), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func summarizeRanks(rs []int) string {
+	if len(rs) <= 16 {
+		return fmt.Sprintf("%v", rs)
+	}
+	return fmt.Sprintf("[%d..%d] (%d ranks)", rs[0], rs[len(rs)-1], len(rs))
+}
+
+func writeIf(path, content string) {
+	if path == "" || content == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+	}
+}

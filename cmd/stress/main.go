@@ -1,0 +1,114 @@
+// Command stress regenerates Figure 9 of the paper: slowdown of the
+// synthetic cyclic-exchange stress test under the tool, comparing the
+// distributed wait-state implementation (fan-ins 2, 4, 8) against the
+// prior centralized implementation, across process counts.
+//
+// Slowdown is the ratio of the tool run's wall time to a reference run
+// without any tool. The paper's centralized implementation scaled to 512
+// processes; this driver likewise caps the centralized sweep (override
+// with -central-max).
+//
+// Example:
+//
+//	stress -procs 16,64,256,1024 -iters 40 -fanins 2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dwst/internal/workload"
+	"dwst/mpi"
+	"dwst/must"
+)
+
+func main() {
+	var (
+		procsFlag  = flag.String("procs", "16,32,64,128,256,512,1024", "comma-separated process counts")
+		fanInsFlag = flag.String("fanins", "2,4,8", "comma-separated TBON fan-ins")
+		iters      = flag.Int("iters", 40, "stress iterations")
+		reps       = flag.Int("reps", 3, "repetitions (minimum time wins)")
+		centralMax = flag.Int("central-max", 512, "largest process count for the centralized baseline")
+		timeout    = flag.Duration("timeout", 200*time.Millisecond, "detection quiescence timeout")
+	)
+	flag.Parse()
+
+	procs := parseInts(*procsFlag)
+	fanIns := parseInts(*fanInsFlag)
+
+	fmt.Printf("# Figure 9: stress-test slowdown (iters=%d, reps=%d)\n", *iters, *reps)
+	fmt.Printf("%8s %12s", "procs", "ref(ms)")
+	for _, f := range fanIns {
+		fmt.Printf(" %14s", fmt.Sprintf("dist(fanin=%d)", f))
+	}
+	fmt.Printf(" %14s\n", "centralized")
+
+	for _, p := range procs {
+		ref := minDuration(*reps, func() time.Duration {
+			start := time.Now()
+			if err := mpi.Run(p, workload.Stress(*iters)); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		})
+		fmt.Printf("%8d %12.1f", p, ms(ref))
+
+		for _, f := range fanIns {
+			el := minDuration(*reps, func() time.Duration {
+				rep := must.Run(p, workload.Stress(*iters), must.Options{
+					FanIn: f, Timeout: *timeout,
+				})
+				if rep.Deadlock {
+					panic("stress must not deadlock")
+				}
+				return rep.Elapsed
+			})
+			fmt.Printf(" %14.1f", float64(el)/float64(ref))
+		}
+
+		if p <= *centralMax {
+			el := minDuration(*reps, func() time.Duration {
+				rep := must.Run(p, workload.Stress(*iters), must.Options{
+					Mode: must.Centralized, Timeout: *timeout,
+				})
+				if rep.Deadlock {
+					panic("stress must not deadlock")
+				}
+				return rep.Elapsed
+			})
+			fmt.Printf(" %14.1f", float64(el)/float64(ref))
+		} else {
+			fmt.Printf(" %14s", "-")
+		}
+		fmt.Println()
+	}
+	fmt.Println("# columns dist(...)/centralized are slowdown ratios vs the reference run")
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func minDuration(reps int, f func() time.Duration) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		d := f()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,117 @@
+package dwst_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The command smoke tests exercise every executable end to end through
+// `go run`. They are integration tests for the CLIs, not for the tool
+// internals (those have their own suites); skipped with -short.
+
+func goRun(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out), code
+}
+
+func TestCmdMustrunDeadlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	out, code := goRun(t, "./cmd/mustrun", "-workload", "recvrecv", "-procs", "4")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"DEADLOCK", "deadlocked ranks: [0 1 2 3]", "cycle:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdMustrunCleanAndArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	dir := t.TempDir()
+	html := filepath.Join(dir, "r.html")
+	dot := filepath.Join(dir, "g.dot")
+	out, code := goRun(t, "./cmd/mustrun", "-workload", "wildcard", "-procs", "8",
+		"-html", html, "-dot", dot)
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "all 8 processes wait for all other processes (OR)") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	for _, f := range []string{html, dot} {
+		b, err := os.ReadFile(f)
+		if err != nil || len(b) == 0 {
+			t.Fatalf("artifact %s: err=%v len=%d", f, err, len(b))
+		}
+	}
+	out, code = goRun(t, "./cmd/mustrun", "-workload", "stress", "-procs", "8", "-iters", "10")
+	if code != 0 || !strings.Contains(out, "no deadlock") {
+		t.Fatalf("clean run: exit=%d\n%s", code, out)
+	}
+}
+
+func TestCmdMustreplayRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	out, code := goRun(t, "./cmd/mustreplay", "-record", trace, "-workload", "fig2b", "-procs", "3")
+	if code != 0 {
+		t.Fatalf("record: exit=%d\n%s", code, out)
+	}
+	out, code = goRun(t, "./cmd/mustreplay", "-analyze", trace)
+	if code != 1 || !strings.Contains(out, "DEADLOCK") {
+		t.Fatalf("analyze: exit=%d\n%s", code, out)
+	}
+}
+
+func TestCmdDetecttimeRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	out, code := goRun(t, "./cmd/detecttime", "-case", "wildcard", "-procs", "8")
+	if code != 0 {
+		t.Fatalf("exit=%d\n%s", code, out)
+	}
+	if !strings.Contains(out, "56") { // 8·7 arcs
+		t.Fatalf("arc count missing:\n%s", out)
+	}
+}
+
+func TestCmdSpecmpiList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	out, code := goRun(t, "./cmd/specmpi", "-list")
+	if code != 0 || !strings.Contains(out, "126.lammps") || !strings.Contains(out, "137.lu") {
+		t.Fatalf("exit=%d\n%s", code, out)
+	}
+}
+
+func TestCmdStressRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	out, code := goRun(t, "./cmd/stress", "-procs", "8", "-fanins", "2", "-iters", "10", "-reps", "1")
+	if code != 0 || !strings.Contains(out, "Figure 9") {
+		t.Fatalf("exit=%d\n%s", code, out)
+	}
+}

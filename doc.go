@@ -1,0 +1,18 @@
+// Package dwst is a from-scratch Go reproduction of "Distributed Wait
+// State Tracking for Runtime MPI Deadlock Detection" (Hilbrich, Protze,
+// de Supinski, Baier, Nagel, Müller — SC '13): the MUST runtime deadlock
+// detection pipeline with distributed wait-state tracking on a tree-based
+// overlay network, together with every substrate it depends on — an MPI
+// runtime simulator, the TBON, distributed point-to-point and collective
+// matching, the consistent-state snapshot protocol, and AND⊕OR wait-for
+// graph detection.
+//
+// Public API:
+//
+//   - dwst/mpi — write MPI-style Go programs against the bundled runtime
+//   - dwst/must — run programs under the deadlock-detection tool
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results.
+package dwst

@@ -1,0 +1,63 @@
+// Scaling: a miniature of the paper's Figure 9 experiment — compare the
+// overhead of the distributed wait-state tool against the prior centralized
+// architecture on the communication-bound stress test.
+//
+//	go run ./examples/scaling
+//
+// The stress test is a cyclic exchange (send right, receive left, barrier
+// every 10th iteration). Watch how the centralized tool's slowdown grows
+// with the process count while the distributed tool stays roughly flat —
+// the paper's core scalability result.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dwst/mpi"
+	"dwst/must"
+)
+
+func stress(iters int) mpi.Program {
+	return func(p *mpi.Proc) {
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() + n - 1) % n
+		buf := mpi.Int64(int64(p.Rank()))
+		for i := 0; i < iters; i++ {
+			p.Sendrecv(buf, right, 0, left, 0, mpi.CommWorld)
+			if (i+1)%10 == 0 {
+				p.Barrier(mpi.CommWorld)
+			}
+		}
+		p.Finalize()
+	}
+}
+
+func main() {
+	const iters = 30
+	fmt.Printf("%8s %12s %16s %16s\n", "procs", "ref", "distributed", "centralized")
+	for _, p := range []int{8, 16, 32, 64, 128} {
+		ref := timeIt(func() {
+			if err := mpi.Run(p, stress(iters)); err != nil {
+				panic(err)
+			}
+		})
+
+		dist := must.Run(p, stress(iters), must.Options{FanIn: 4, Timeout: 200 * time.Millisecond})
+		cent := must.Run(p, stress(iters), must.Options{Mode: must.Centralized, Timeout: 200 * time.Millisecond})
+
+		fmt.Printf("%8d %12v %9v (%4.1fx) %9v (%4.1fx)\n",
+			p, ref.Round(time.Millisecond),
+			dist.Elapsed.Round(time.Millisecond), ratio(dist.Elapsed, ref),
+			cent.Elapsed.Round(time.Millisecond), ratio(cent.Elapsed, ref))
+	}
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func ratio(a, b time.Duration) float64 { return float64(a) / float64(b) }

@@ -1,0 +1,61 @@
+// Unsafe application: a 126.lammps-style neighbor exchange whose send–send
+// pattern only works because the MPI library buffers standard sends — the
+// paper's flagship example of a *potential* deadlock the strict blocking
+// model catches in a real application (Sec. 6, Figure 11).
+//
+//	go run ./examples/unsafeapp
+//
+// The exchange below runs to completion on this (buffering) runtime, so a
+// timeout-based checker would report nothing. The tool still flags the
+// send–send cycle, prints the wait-for conditions, and notes that the
+// program would hang on an MPI implementation that does not buffer.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dwst/mpi"
+	"dwst/must"
+)
+
+// exchange is the unsafe halo step: both partners Send before they Recv.
+func exchange(iters int) mpi.Program {
+	return func(p *mpi.Proc) {
+		peer := p.Rank() ^ 1
+		buf := make([]byte, 32)
+		for i := 0; i < iters; i++ {
+			if peer < p.Size() {
+				p.Send(buf, peer, 0, mpi.CommWorld) // unsafe: head-on sends
+				p.Recv(peer, 0, mpi.CommWorld)
+			}
+			p.Compute(10 * time.Microsecond)
+			if (i+1)%10 == 0 {
+				p.Barrier(mpi.CommWorld)
+			}
+		}
+		p.Finalize()
+	}
+}
+
+func main() {
+	rep := must.Run(8, exchange(50), must.Options{FanIn: 4})
+
+	if rep.AppAborted {
+		fmt.Println("application aborted mid-run")
+	} else {
+		fmt.Printf("application completed in %v\n", rep.Elapsed.Round(time.Millisecond))
+	}
+	if rep.Deadlock && rep.PotentialOnly {
+		fmt.Println("POTENTIAL DEADLOCK: the send-send exchange is unsafe —")
+		fmt.Println("it completes only because standard sends were buffered.")
+		fmt.Printf("  affected ranks: %v\n", rep.Deadlocked)
+		fmt.Printf("  example cycle:  %v\n", rep.Cycle)
+		for _, r := range rep.Cycle {
+			fmt.Printf("  rank %d: %s\n", r, rep.Conditions[r])
+		}
+		fmt.Println("fix: use MPI_Sendrecv or order the sends/receives by parity.")
+	} else {
+		fmt.Println("no problem reported (unexpected for this example)")
+	}
+}

@@ -1,0 +1,70 @@
+// Wildcards and potential deadlocks: the Figure 2(b) example of the paper.
+//
+//	go run ./examples/wildcards
+//
+// Process 1 posts two wildcard receives that are satisfied by processes 0
+// and 2; after a barrier, all three processes send — with no receives left.
+// Whether this hangs depends on the MPI implementation: buffered standard
+// sends hide the deadlock, synchronous sends manifest it. The tool applies
+// the strict interpretation of MPI blocking semantics (Sec. 3.3 of the
+// paper), so it reports the problem in BOTH cases — as a *potential*
+// deadlock when the run completes, and as a manifest deadlock otherwise.
+package main
+
+import (
+	"fmt"
+
+	"dwst/mpi"
+	"dwst/must"
+)
+
+func fig2b(p *mpi.Proc) {
+	switch p.Rank() {
+	case 0:
+		p.Send(nil, 1, 0, mpi.CommWorld)
+		p.Barrier(mpi.CommWorld)
+		p.Send(nil, 1, 0, mpi.CommWorld) // never received
+		p.Recv(2, 0, mpi.CommWorld)
+	case 1:
+		p.Recv(mpi.AnySource, 0, mpi.CommWorld) // matches 0 or 2
+		p.Recv(mpi.AnySource, 0, mpi.CommWorld) // matches the other one
+		p.Barrier(mpi.CommWorld)
+		p.Send(nil, 2, 0, mpi.CommWorld) // never received
+		p.Recv(0, 0, mpi.CommWorld)
+	case 2:
+		p.Send(nil, 1, 0, mpi.CommWorld)
+		p.Barrier(mpi.CommWorld)
+		p.Send(nil, 0, 0, mpi.CommWorld) // never received
+		p.Recv(1, 0, mpi.CommWorld)
+	}
+	p.Finalize()
+}
+
+func main() {
+	fmt.Println("--- run 1: buffering MPI (standard sends complete eagerly) ---")
+	rep := must.Run(3, fig2b, must.Options{})
+	describe(rep)
+
+	fmt.Println("--- run 2: rendezvous MPI (standard sends block) ---")
+	rep = must.Run(3, fig2b, must.Options{Rendezvous: true})
+	describe(rep)
+}
+
+func describe(rep *must.Report) {
+	switch {
+	case rep.Deadlock && rep.PotentialOnly:
+		fmt.Println("the application COMPLETED, but the program is unsafe:")
+		fmt.Println("POTENTIAL deadlock under the strict blocking model")
+	case rep.Deadlock:
+		fmt.Println("the application HUNG and was aborted:")
+		fmt.Println("manifest deadlock")
+	default:
+		fmt.Println("no deadlock (unexpected for this example)")
+		return
+	}
+	fmt.Printf("  deadlocked ranks: %v, cycle %v\n", rep.Deadlocked, rep.Cycle)
+	for _, r := range rep.Deadlocked {
+		fmt.Printf("  rank %d: %s\n", r, rep.Conditions[r])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module dwst
+
+go 1.22

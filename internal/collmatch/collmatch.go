@@ -1,0 +1,302 @@
+// Package collmatch implements the tool's collective matching over the
+// whole TBON (paper [10]): first-layer nodes report when their hosted
+// participants of a collective are active, internal nodes aggregate these
+// reports order-preservingly (a node forwards a world-collective report only
+// once all its children reported — paper [12]), and the root determines when
+// a collective's process group is complete, broadcasting the collectiveAck
+// that lets the wait-state layer advance the participants (Rule 3).
+//
+// Collectives on derived communicators (MPI_Comm_dup / MPI_Comm_split) use
+// per-activation increments instead of subtree aggregation, because interior
+// nodes do not know which leaves host group members; the root additionally
+// maintains the communicator registry, learning memberships from the
+// creation collectives and "sealing" a communicator once every parent-group
+// rank reported its created communicator.
+package collmatch
+
+import (
+	"fmt"
+
+	"dwst/internal/trace"
+)
+
+// Ready is the collectiveReady message: count participants of (Comm, Wave)
+// are active below the sender. Kind and Root carry the call signature for
+// collective-mismatch checking (all participants of a wave must issue the
+// same collective with the same root) — one of MUST's classic correctness
+// checks beyond deadlock detection.
+type Ready struct {
+	Comm  trace.CommID
+	Wave  int
+	Count int
+	World bool // aggregate through the tree (group == MPI_COMM_WORLD)
+	Kind  trace.Kind
+	Root  int // root group rank for rooted collectives, -1 otherwise
+}
+
+// Mismatch reports that participants of one collective wave issued
+// incompatible calls (different operations or different roots).
+type Mismatch struct {
+	Comm       trace.CommID
+	Wave       int
+	WantKind   trace.Kind
+	GotKind    trace.Kind
+	WantRoot   int
+	GotRoot    int
+	SampleRank int // a rank involved in the conflicting call, if known
+}
+
+func (m Mismatch) String() string {
+	if m.WantKind != m.GotKind {
+		return fmt.Sprintf("collective mismatch on communicator %d (wave %d): %v vs %v",
+			m.Comm, m.Wave, m.WantKind, m.GotKind)
+	}
+	return fmt.Sprintf("root mismatch on communicator %d (wave %d): %v with root %d vs root %d",
+		m.Comm, m.Wave, m.WantKind, m.WantRoot, m.GotRoot)
+}
+
+// Ack is the collectiveAck message broadcast from the root: all participants
+// of (Comm, Wave) are active.
+type Ack struct {
+	Comm trace.CommID
+	Wave int
+}
+
+// Member is the communicator-registry message: Rank belongs to the
+// communicator NewComm, which was created by collective wave (Parent,
+// ParentWave).
+type Member struct {
+	NewComm    trace.CommID
+	Rank       int
+	Parent     trace.CommID
+	ParentWave int
+}
+
+type waveKey struct {
+	comm trace.CommID
+	wave int
+}
+
+// Leaf tracks collective activations of one first-layer node.
+type Leaf struct {
+	hosted int // ranks hosted by this node (all belong to world)
+	active map[waveKey]*leafWave
+}
+
+type leafWave struct {
+	count int
+	kind  trace.Kind
+	root  int
+}
+
+// NewLeaf returns a tracker for a node hosting `hosted` ranks.
+func NewLeaf(hosted int) *Leaf {
+	return &Leaf{hosted: hosted, active: make(map[waveKey]*leafWave)}
+}
+
+// Activate records that one hosted rank activated its operation of
+// (comm, wave) with the given call signature. world marks communicators
+// whose group is the full world. It returns the Ready message to send
+// upward (if any) and a Mismatch when hosted ranks disagree on the call.
+func (l *Leaf) Activate(comm trace.CommID, wave int, world bool, kind trace.Kind, root, rank int) (Ready, bool, *Mismatch) {
+	if !world {
+		return Ready{Comm: comm, Wave: wave, Count: 1, Kind: kind, Root: root}, true, nil
+	}
+	k := waveKey{comm, wave}
+	lw := l.active[k]
+	if lw == nil {
+		lw = &leafWave{kind: kind, root: root}
+		l.active[k] = lw
+	}
+	var mism *Mismatch
+	if lw.kind != kind || lw.root != root {
+		mism = &Mismatch{Comm: comm, Wave: wave,
+			WantKind: lw.kind, GotKind: kind,
+			WantRoot: lw.root, GotRoot: root, SampleRank: rank}
+	}
+	lw.count++
+	if lw.count == l.hosted {
+		r := Ready{Comm: comm, Wave: wave, Count: l.hosted, World: true, Kind: lw.kind, Root: lw.root}
+		delete(l.active, k)
+		return r, true, mism
+	}
+	return Ready{}, false, mism
+}
+
+// Aggregator merges Ready messages at an internal node.
+type Aggregator struct {
+	children int
+	partial  map[waveKey]*agg
+}
+
+type agg struct {
+	count    int
+	reported int
+	kind     trace.Kind
+	root     int
+}
+
+// NewAggregator returns an aggregator for a node with the given child count.
+func NewAggregator(children int) *Aggregator {
+	return &Aggregator{children: children, partial: make(map[waveKey]*agg)}
+}
+
+// OnReady processes a child's Ready. World reports are held until every
+// child reported (order-preserving aggregation); others pass through. A
+// call-signature disagreement across children yields a Mismatch.
+func (a *Aggregator) OnReady(r Ready) (Ready, bool, *Mismatch) {
+	if !r.World {
+		return r, true, nil
+	}
+	k := waveKey{r.Comm, r.Wave}
+	p := a.partial[k]
+	if p == nil {
+		p = &agg{kind: r.Kind, root: r.Root}
+		a.partial[k] = p
+	}
+	var mism *Mismatch
+	if p.kind != r.Kind || p.root != r.Root {
+		mism = &Mismatch{Comm: r.Comm, Wave: r.Wave,
+			WantKind: p.kind, GotKind: r.Kind,
+			WantRoot: p.root, GotRoot: r.Root}
+	}
+	p.count += r.Count
+	p.reported++
+	if p.reported == a.children {
+		delete(a.partial, k)
+		return Ready{Comm: r.Comm, Wave: r.Wave, Count: p.count, World: true, Kind: p.kind, Root: p.root}, true, mism
+	}
+	return Ready{}, false, mism
+}
+
+// Root tracks collective completion and the communicator registry.
+type Root struct {
+	world int // number of processes
+
+	groups map[trace.CommID][]int // sealed communicator groups
+	// building holds memberships of communicators still being created.
+	building map[trace.CommID][]int
+	// creators counts Member reports per creating wave; a wave seals its
+	// communicators when all parent-group ranks reported.
+	creators map[waveKey]int
+	// createdBy lists the communicators a creating wave produced.
+	createdBy map[waveKey][]trace.CommID
+
+	counts map[waveKey]int
+	acked  map[waveKey]bool
+	sigs   map[waveKey]waveSig
+}
+
+type waveSig struct {
+	kind trace.Kind
+	root int
+}
+
+// NewRoot returns the root tracker for p world processes.
+func NewRoot(p int) *Root {
+	r := &Root{
+		world:     p,
+		groups:    make(map[trace.CommID][]int),
+		building:  make(map[trace.CommID][]int),
+		creators:  make(map[waveKey]int),
+		createdBy: make(map[waveKey][]trace.CommID),
+		counts:    make(map[waveKey]int),
+		acked:     make(map[waveKey]bool),
+		sigs:      make(map[waveKey]waveSig),
+	}
+	world := make([]int, p)
+	for i := range world {
+		world[i] = i
+	}
+	r.groups[trace.CommWorld] = world
+	return r
+}
+
+// Group returns the member ranks of a sealed communicator (nil if unknown).
+func (r *Root) Group(c trace.CommID) []int { return r.groups[c] }
+
+// GroupSize returns the size of a sealed communicator, or 0 if not sealed.
+func (r *Root) GroupSize(c trace.CommID) int { return len(r.groups[c]) }
+
+// OnReady accumulates a Ready and returns the Acks that became complete,
+// plus a Mismatch when the wave's call signature conflicts with earlier
+// reports.
+func (r *Root) OnReady(m Ready) ([]Ack, *Mismatch) {
+	k := waveKey{m.Comm, m.Wave}
+	if r.acked[k] {
+		return nil, nil
+	}
+	var mism *Mismatch
+	if sig, ok := r.sigs[k]; !ok {
+		r.sigs[k] = waveSig{kind: m.Kind, root: m.Root}
+	} else if sig.kind != m.Kind || sig.root != m.Root {
+		mism = &Mismatch{Comm: m.Comm, Wave: m.Wave,
+			WantKind: sig.kind, GotKind: m.Kind,
+			WantRoot: sig.root, GotRoot: m.Root}
+	}
+	r.counts[k] += m.Count
+	return r.tryComplete(k), mism
+}
+
+// OnMember records a communicator membership report and returns Acks that
+// became complete because a communicator got sealed.
+func (r *Root) OnMember(m Member) []Ack {
+	r.building[m.NewComm] = append(r.building[m.NewComm], m.Rank)
+	ck := waveKey{m.Parent, m.ParentWave}
+	if r.creators[ck] == 0 {
+		r.createdBy[ck] = nil
+	}
+	seen := false
+	for _, c := range r.createdBy[ck] {
+		if c == m.NewComm {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		r.createdBy[ck] = append(r.createdBy[ck], m.NewComm)
+	}
+	r.creators[ck]++
+	parentSize := len(r.groups[m.Parent])
+	if parentSize == 0 || r.creators[ck] < parentSize {
+		return nil
+	}
+	// Seal every communicator this wave created.
+	var acks []Ack
+	for _, c := range r.createdBy[ck] {
+		r.groups[c] = sortedCopy(r.building[c])
+		delete(r.building, c)
+		// Sealing may complete pending collectives on the new communicator.
+		for key := range r.counts {
+			if key.comm == c {
+				acks = append(acks, r.tryComplete(key)...)
+			}
+		}
+	}
+	delete(r.creators, ck)
+	delete(r.createdBy, ck)
+	return acks
+}
+
+func (r *Root) tryComplete(k waveKey) []Ack {
+	size := len(r.groups[k.comm])
+	if size == 0 || r.counts[k] < size {
+		return nil
+	}
+	if r.counts[k] > size {
+		panic(fmt.Sprintf("collmatch: wave %v overshot: %d > group %d", k, r.counts[k], size))
+	}
+	delete(r.counts, k)
+	r.acked[k] = true
+	return []Ack{{Comm: k.comm, Wave: k.wave}}
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

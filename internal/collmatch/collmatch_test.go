@@ -1,0 +1,174 @@
+package collmatch
+
+import (
+	"strings"
+	"testing"
+
+	"dwst/internal/trace"
+)
+
+func TestLeafAggregatesWorldActivations(t *testing.T) {
+	l := NewLeaf(4)
+	for i := 0; i < 3; i++ {
+		if _, emit, mism := l.Activate(trace.CommWorld, 0, true, trace.Barrier, -1, i); emit || mism != nil {
+			t.Fatalf("premature ready/mismatch after %d activations", i+1)
+		}
+	}
+	r, emit, mism := l.Activate(trace.CommWorld, 0, true, trace.Barrier, -1, 3)
+	if !emit || mism != nil || r.Count != 4 || !r.World || r.Kind != trace.Barrier {
+		t.Fatalf("ready = %+v emit=%v mism=%v", r, emit, mism)
+	}
+	// Waves are independent.
+	if _, emit, _ := l.Activate(trace.CommWorld, 1, true, trace.Barrier, -1, 0); emit {
+		t.Fatal("wave 1 must start fresh")
+	}
+}
+
+func TestLeafSubCommEmitsIncrements(t *testing.T) {
+	l := NewLeaf(4)
+	r, emit, mism := l.Activate(7, 0, false, trace.Allreduce, -1, 2)
+	if !emit || mism != nil || r.Count != 1 || r.World {
+		t.Fatalf("subcomm ready = %+v emit=%v", r, emit)
+	}
+}
+
+func TestLeafDetectsKindMismatch(t *testing.T) {
+	l := NewLeaf(2)
+	l.Activate(trace.CommWorld, 0, true, trace.Barrier, -1, 0)
+	_, _, mism := l.Activate(trace.CommWorld, 0, true, trace.Allreduce, -1, 1)
+	if mism == nil {
+		t.Fatal("kind mismatch undetected")
+	}
+	if !strings.Contains(mism.String(), "Barrier") || !strings.Contains(mism.String(), "Allreduce") {
+		t.Fatalf("mismatch message %q", mism.String())
+	}
+}
+
+func TestLeafDetectsRootMismatch(t *testing.T) {
+	l := NewLeaf(2)
+	l.Activate(trace.CommWorld, 0, true, trace.Bcast, 0, 0)
+	_, _, mism := l.Activate(trace.CommWorld, 0, true, trace.Bcast, 1, 1)
+	if mism == nil {
+		t.Fatal("root mismatch undetected")
+	}
+	if !strings.Contains(mism.String(), "root") {
+		t.Fatalf("mismatch message %q", mism.String())
+	}
+}
+
+func TestAggregatorWaitsForAllChildren(t *testing.T) {
+	a := NewAggregator(3)
+	mk := func(count int) Ready {
+		return Ready{Comm: trace.CommWorld, Wave: 2, Count: count, World: true, Kind: trace.Barrier, Root: -1}
+	}
+	if _, emit, _ := a.OnReady(mk(4)); emit {
+		t.Fatal("premature forward")
+	}
+	if _, emit, _ := a.OnReady(mk(4)); emit {
+		t.Fatal("premature forward")
+	}
+	r, emit, mism := a.OnReady(mk(2))
+	if !emit || mism != nil || r.Count != 10 {
+		t.Fatalf("merged = %+v emit=%v", r, emit)
+	}
+	// Pass-through for sub-communicators.
+	r, emit, _ = a.OnReady(Ready{Comm: 9, Wave: 0, Count: 1, Kind: trace.Barrier})
+	if !emit || r.Count != 1 {
+		t.Fatalf("subcomm passthrough = %+v emit=%v", r, emit)
+	}
+}
+
+func TestAggregatorDetectsCrossChildMismatch(t *testing.T) {
+	a := NewAggregator(2)
+	a.OnReady(Ready{Comm: trace.CommWorld, Wave: 0, Count: 2, World: true, Kind: trace.Barrier, Root: -1})
+	_, _, mism := a.OnReady(Ready{Comm: trace.CommWorld, Wave: 0, Count: 2, World: true, Kind: trace.Reduce, Root: 0})
+	if mism == nil {
+		t.Fatal("cross-child mismatch undetected")
+	}
+}
+
+func worldReady(wave, count int) Ready {
+	return Ready{Comm: trace.CommWorld, Wave: wave, Count: count, World: true, Kind: trace.Barrier, Root: -1}
+}
+
+func TestRootCompletesWorldWave(t *testing.T) {
+	r := NewRoot(8)
+	if acks, _ := r.OnReady(worldReady(0, 5)); len(acks) != 0 {
+		t.Fatal("premature ack")
+	}
+	acks, mism := r.OnReady(worldReady(0, 3))
+	if len(acks) != 1 || acks[0].Wave != 0 || mism != nil {
+		t.Fatalf("acks = %v mism = %v", acks, mism)
+	}
+	// Duplicate late reports for an acked wave are ignored.
+	if acks, _ := r.OnReady(worldReady(0, 1)); len(acks) != 0 {
+		t.Fatal("acked wave must ignore further reports")
+	}
+}
+
+func TestRootDetectsMismatch(t *testing.T) {
+	r := NewRoot(4)
+	r.OnReady(Ready{Comm: 9, Wave: 0, Count: 1, Kind: trace.Gather, Root: 0})
+	_, mism := r.OnReady(Ready{Comm: 9, Wave: 0, Count: 1, Kind: trace.Gather, Root: 2})
+	if mism == nil {
+		t.Fatal("root-arg mismatch undetected at tree root")
+	}
+}
+
+func TestRootSealsDerivedCommAndCompletesPendingWave(t *testing.T) {
+	r := NewRoot(4)
+	const sub trace.CommID = 5
+	sr := func() Ready { return Ready{Comm: sub, Wave: 0, Count: 1, Kind: trace.Barrier, Root: -1} }
+	if acks, _ := r.OnReady(sr()); len(acks) != 0 {
+		t.Fatal("unsealed comm must not complete")
+	}
+	if acks, _ := r.OnReady(sr()); len(acks) != 0 {
+		t.Fatal("unsealed comm must not complete")
+	}
+	// Comm_split on world (wave 3) produced comm 5 = {0,2} and comm 6 = {1,3}.
+	r.OnMember(Member{NewComm: sub, Rank: 0, Parent: trace.CommWorld, ParentWave: 3})
+	r.OnMember(Member{NewComm: 6, Rank: 1, Parent: trace.CommWorld, ParentWave: 3})
+	r.OnMember(Member{NewComm: sub, Rank: 2, Parent: trace.CommWorld, ParentWave: 3})
+	acks := r.OnMember(Member{NewComm: 6, Rank: 3, Parent: trace.CommWorld, ParentWave: 3})
+	if len(acks) != 1 || acks[0].Comm != sub || acks[0].Wave != 0 {
+		t.Fatalf("acks = %v", acks)
+	}
+	if got := r.Group(sub); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("group(5) = %v", got)
+	}
+	if got := r.Group(6); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("group(6) = %v", got)
+	}
+}
+
+func TestRootDerivedCommAfterSeal(t *testing.T) {
+	r := NewRoot(2)
+	r.OnMember(Member{NewComm: 9, Rank: 0, Parent: trace.CommWorld, ParentWave: 0})
+	r.OnMember(Member{NewComm: 9, Rank: 1, Parent: trace.CommWorld, ParentWave: 0})
+	if r.GroupSize(9) != 2 {
+		t.Fatalf("group size = %d", r.GroupSize(9))
+	}
+	sr := func() Ready { return Ready{Comm: 9, Wave: 0, Count: 1, Kind: trace.Barrier, Root: -1} }
+	if acks, _ := r.OnReady(sr()); len(acks) != 0 {
+		t.Fatal("half the group is not complete")
+	}
+	if acks, _ := r.OnReady(sr()); len(acks) != 1 {
+		t.Fatal("sealed comm wave must complete")
+	}
+}
+
+func TestNestedDerivedComms(t *testing.T) {
+	r := NewRoot(4)
+	r.OnMember(Member{NewComm: 5, Rank: 0, Parent: trace.CommWorld, ParentWave: 0})
+	r.OnMember(Member{NewComm: 5, Rank: 1, Parent: trace.CommWorld, ParentWave: 0})
+	r.OnMember(Member{NewComm: 6, Rank: 2, Parent: trace.CommWorld, ParentWave: 0})
+	r.OnMember(Member{NewComm: 6, Rank: 3, Parent: trace.CommWorld, ParentWave: 0})
+	r.OnMember(Member{NewComm: 7, Rank: 0, Parent: 5, ParentWave: 1})
+	acks := r.OnMember(Member{NewComm: 7, Rank: 1, Parent: 5, ParentWave: 1})
+	if len(acks) != 0 {
+		t.Fatalf("no pending waves on 7 yet: %v", acks)
+	}
+	if r.GroupSize(7) != 2 {
+		t.Fatalf("group size(7) = %d", r.GroupSize(7))
+	}
+}

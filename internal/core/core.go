@@ -1,0 +1,383 @@
+// Package core wires the complete distributed deadlock-detection pipeline
+// (Figure 1(b) of the paper): application ranks (the mpisim runtime) feed
+// their call events into a TBON; first-layer nodes run distributed
+// point-to-point matching and wait-state tracking (dws); the whole tree
+// matches collectives (collmatch); and the root runs the timeout-triggered
+// centralized graph detection (detect), aborting the application when a
+// deadlock is found.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dwst/internal/collmatch"
+	"dwst/internal/detect"
+	"dwst/internal/dws"
+	"dwst/internal/event"
+	"dwst/internal/mpisim"
+	"dwst/internal/tbon"
+)
+
+// ErrDeadlockDetected is the abort cause used when the tool found a
+// deadlock.
+var ErrDeadlockDetected = errors.New("MUST-style tool: deadlock detected")
+
+// Config parameterizes a tool-attached run.
+type Config struct {
+	// Procs is the number of application ranks.
+	Procs int
+	// FanIn is the TBON fan-in (paper evaluates 2, 4, 8). Default 4.
+	FanIn int
+	// Timeout is the event-quiescence period after which the root triggers
+	// graph-based detection (Sec. 5). Default 50ms.
+	Timeout time.Duration
+	// EventBuf is the rank → tool link capacity (backpressure depth).
+	EventBuf int
+	// PreferWaitState prioritizes wait-state messages over new application
+	// events in first-layer node loops (the Sec. 4.2 future-work option).
+	PreferWaitState bool
+	// LinkDelay injects a per-message delay on tool-internal links (fault
+	// injection; see tbon.Config.LinkDelay).
+	LinkDelay time.Duration
+	// TrackCallSites records application source locations in events so
+	// reports can point at code.
+	TrackCallSites bool
+
+	// Simulator options (passed through to mpisim).
+	SendMode                 mpisim.SendMode
+	BufferSlots              int
+	BufferedSendCost         int
+	SsendEvery               int
+	SynchronizingCollectives bool
+}
+
+// Result summarizes a run under the tool.
+type Result struct {
+	// AppErr is the application outcome: nil for a clean run,
+	// ErrDeadlockDetected (wrapped) when the tool aborted it.
+	AppErr error
+	// Deadlock is the detection result when a deadlock was found (also for
+	// potential deadlocks found after a clean application run, like the
+	// 126.lammps send–send case).
+	Deadlock *detect.Result
+	// Detections counts the detection rounds that ran.
+	Detections int
+	// WindowHighWater is the largest trace window over all first-layer
+	// nodes (Sec. 4.2 memory discussion).
+	WindowHighWater int
+	// ToolNodes is the TBON size.
+	ToolNodes int
+	// Elapsed is the wall-clock duration of the application run (including
+	// tool-induced slowdown, excluding post-run analysis).
+	Elapsed time.Duration
+	// CallMismatches lists collective call mismatches the tool observed
+	// (different operations or roots within one wave).
+	CallMismatches []string
+	// LostMessages counts sends that never matched a receive (from the
+	// final detection after the application finished).
+	LostMessages int
+	// MsgStats aggregates the wait-state tool messages generated across all
+	// first-layer nodes.
+	MsgStats dws.Stats
+}
+
+// handler adapts one tbon node to its tool roles: first-layer wait-state
+// tracker, interior aggregator, and/or root detector.
+type handler struct {
+	tn   *tbon.Node
+	leaf *dws.Node
+	agg  *collmatch.Aggregator
+	root *detect.Root
+}
+
+// tbonOut adapts a tbon node to the dws.Out interface.
+type tbonOut struct{ tn *tbon.Node }
+
+func (o tbonOut) Peer(node int, msg any) { o.tn.SendPeer(node, msg) }
+func (o tbonOut) Up(msg any)             { o.tn.SendUp(msg) }
+
+func (h *handler) FromRank(rank int, ev any) {
+	h.leaf.OnEvent(ev.(event.Event))
+}
+
+func (h *handler) FromPeer(peer int, msg any) {
+	h.leaf.OnPeer(peer, msg)
+}
+
+// FromChild receives upward tool traffic: on interior nodes collectiveReady
+// is aggregated and everything else passes through; on the root the message
+// is consumed.
+func (h *handler) FromChild(child int, msg any) {
+	if h.agg != nil {
+		if r, ok := msg.(collmatch.Ready); ok {
+			merged, emit, mism := h.agg.OnReady(r)
+			if mism != nil {
+				if h.root != nil {
+					h.root.OnMismatch(*mism)
+				} else {
+					h.tn.SendUp(*mism)
+				}
+			}
+			if !emit {
+				return
+			}
+			msg = merged
+		}
+	}
+	if h.root != nil {
+		h.atRoot(msg)
+		return
+	}
+	h.tn.SendUp(msg)
+}
+
+// FromParent receives downward broadcasts: leaves apply them, interior
+// nodes forward them.
+func (h *handler) FromParent(msg any) {
+	if h.leaf != nil {
+		h.applyDown(msg)
+		return
+	}
+	h.tn.Broadcast(msg)
+}
+
+// Control receives driver messages (detection trigger at the root).
+func (h *handler) Control(msg any) {
+	if h.root == nil {
+		return
+	}
+	if _, ok := msg.(detect.TriggerDetection); ok {
+		if h.root.Start() {
+			h.down(dws.RequestConsistentState{})
+		}
+	}
+}
+
+// down sends a message towards the first layer (applying it directly when
+// this node IS the first layer).
+func (h *handler) down(msg any) {
+	if h.leaf != nil {
+		h.applyDown(msg)
+		return
+	}
+	h.tn.Broadcast(msg)
+}
+
+func (h *handler) applyDown(msg any) {
+	switch m := msg.(type) {
+	case collmatch.Ack:
+		h.leaf.OnCollAck(m)
+	case dws.RequestConsistentState:
+		h.leaf.BeginSnapshot()
+	case dws.RequestWaits:
+		rep := h.leaf.BuildReports()
+		if h.root != nil {
+			h.atRoot(rep)
+		} else {
+			h.tn.SendUp(rep)
+		}
+	default:
+		panic(fmt.Sprintf("core: unexpected downward message %T", msg))
+	}
+}
+
+func (h *handler) atRoot(msg any) {
+	switch m := msg.(type) {
+	case collmatch.Ready:
+		for _, a := range h.root.OnReady(m) {
+			h.down(a)
+		}
+	case collmatch.Member:
+		for _, a := range h.root.OnMember(m) {
+			h.down(a)
+		}
+	case collmatch.Mismatch:
+		h.root.OnMismatch(m)
+	case dws.AckConsistentState:
+		if h.root.OnAck(m) {
+			h.down(dws.RequestWaits{})
+		}
+	case dws.WaitReport:
+		h.root.OnWaitReport(m) // result delivered via root.Results
+	default:
+		panic(fmt.Sprintf("core: unexpected upward message %T", msg))
+	}
+}
+
+// Run executes the program under the distributed tool and returns the
+// combined result.
+func Run(cfg Config, prog mpisim.Program) *Result {
+	if cfg.FanIn == 0 {
+		cfg.FanIn = 4
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 50 * time.Millisecond
+	}
+
+	tree := tbon.New(tbon.Config{
+		Leaves:          cfg.Procs,
+		FanIn:           cfg.FanIn,
+		EventBuf:        cfg.EventBuf,
+		PreferWaitState: cfg.PreferWaitState,
+		LinkDelay:       cfg.LinkDelay,
+	})
+	defer tree.Stop()
+
+	root := detect.NewRoot(cfg.Procs, len(tree.FirstLayer()))
+	var leaves []*dws.Node
+
+	tree.Start(func(n *tbon.Node) tbon.Handler {
+		h := &handler{tn: n}
+		if n.IsFirstLayer() {
+			h.leaf = dws.NewNode(n.Index(), n.Tree().RanksOf(n.Index()), n.Tree().NodeFor, tbonOut{tn: n})
+			leaves = append(leaves, h.leaf)
+		}
+		if n.Layer() > 0 {
+			h.agg = collmatch.NewAggregator(len(n.Children()))
+		}
+		if n.IsRoot() {
+			h.root = root
+		}
+		return h
+	})
+
+	world := mpisim.NewWorld(mpisim.Config{
+		Procs:                    cfg.Procs,
+		SendMode:                 cfg.SendMode,
+		BufferSlots:              cfg.BufferSlots,
+		BufferedSendCost:         cfg.BufferedSendCost,
+		SsendEvery:               cfg.SsendEvery,
+		SynchronizingCollectives: cfg.SynchronizingCollectives,
+		TrackCallSites:           cfg.TrackCallSites,
+		Sink: event.Func(func(ev event.Event) {
+			rank := ev.Proc
+			if ev.Type == event.Enter {
+				rank = ev.Op.Proc
+			}
+			tree.Inject(rank, ev)
+		}),
+	})
+
+	res := &Result{ToolNodes: tree.NumNodes()}
+	start := time.Now()
+	appDone := make(chan error, 1)
+	go func() { appDone <- world.Run(prog) }()
+
+	rootNode := tree.Root()
+	tick := cfg.Timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	lastHandled := tree.Handled()
+	lastChange := time.Now()
+	inFlight := false
+	appErr := error(nil)
+	appFinished := false
+
+	for {
+		select {
+		case err := <-appDone:
+			appErr = err
+			appFinished = true
+			res.Elapsed = time.Since(start)
+			if res.Deadlock == nil {
+				// Final detection: catches potential deadlocks that did not
+				// manifest (buffered send–send) once the tool drained.
+				waitQuiesce(tree)
+				if !inFlight {
+					tree.Control(rootNode, detect.TriggerDetection{})
+					inFlight = true
+				}
+				if r := awaitResult(root, tree, rootNode, &inFlight); r != nil {
+					res.Detections++
+					res.LostMessages = r.LostMessages
+					if r.Deadlock {
+						res.Deadlock = r
+					}
+				}
+			}
+			res.AppErr = appErr
+			res.WindowHighWater = windowHighWater(tree, leaves)
+			// Safe after the tree stopped: node goroutines are quiescent.
+			for _, l := range leaves {
+				res.MsgStats.Add(l.Stats())
+			}
+			for _, m := range root.Mismatches() {
+				res.CallMismatches = append(res.CallMismatches, m.String())
+			}
+			return res
+
+		case r := <-root.Results:
+			inFlight = false
+			res.Detections++
+			if r.Deadlock && res.Deadlock == nil {
+				res.Deadlock = r
+				world.Abort(ErrDeadlockDetected)
+			}
+			lastHandled = tree.Handled()
+			lastChange = time.Now()
+
+		case <-ticker.C:
+			if appFinished || inFlight {
+				continue
+			}
+			h := tree.Handled()
+			if h != lastHandled {
+				lastHandled = h
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= cfg.Timeout {
+				tree.Control(rootNode, detect.TriggerDetection{})
+				inFlight = true
+			}
+		}
+	}
+}
+
+// waitQuiesce waits until the tool processed everything in flight (handled
+// counter stable across consecutive checks).
+func waitQuiesce(tree *tbon.Tree) {
+	stable := 0
+	last := tree.Handled()
+	for stable < 5 {
+		time.Sleep(2 * time.Millisecond)
+		cur := tree.Handled()
+		if cur == last {
+			stable++
+		} else {
+			stable = 0
+			last = cur
+		}
+	}
+}
+
+// awaitResult waits for the result of an in-flight detection.
+func awaitResult(root *detect.Root, tree *tbon.Tree, rootNode *tbon.Node, inFlight *bool) *detect.Result {
+	select {
+	case r := <-root.Results:
+		*inFlight = false
+		return r
+	case <-time.After(10 * time.Second):
+		*inFlight = false
+		return nil
+	}
+}
+
+// windowHighWater reads the per-node window statistics after the tree
+// stopped; the caller guarantees node loops are quiescent.
+func windowHighWater(tree *tbon.Tree, leaves []*dws.Node) int {
+	tree.Stop()
+	max := 0
+	for _, l := range leaves {
+		if l.WindowHighWater() > max {
+			max = l.WindowHighWater()
+		}
+	}
+	return max
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dwst/internal/mpisim"
+	"dwst/internal/trace"
+)
+
+func cfg(p int) Config {
+	return Config{Procs: p, FanIn: 2, Timeout: 30 * time.Millisecond}
+}
+
+func TestCleanRingRun(t *testing.T) {
+	const p = 8
+	res := Run(cfg(p), func(pr *mpisim.Proc) {
+		right := (pr.Rank() + 1) % p
+		left := (pr.Rank() + p - 1) % p
+		for i := 0; i < 20; i++ {
+			pr.Sendrecv([]byte{byte(i)}, right, 0, left, 0, trace.CommWorld)
+			if i%5 == 0 {
+				pr.Barrier(trace.CommWorld)
+			}
+		}
+		pr.Finalize()
+	})
+	if res.AppErr != nil {
+		t.Fatalf("app error: %v", res.AppErr)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("false positive: %+v", res.Deadlock)
+	}
+}
+
+func TestRecvRecvDeadlockDetected(t *testing.T) {
+	res := Run(cfg(2), func(pr *mpisim.Proc) {
+		peer := 1 - pr.Rank()
+		pr.Recv(peer, 0, trace.CommWorld)
+		pr.Send(nil, peer, 0, trace.CommWorld)
+		pr.Finalize()
+	})
+	if !errors.Is(res.AppErr, mpisim.ErrAborted) && res.AppErr == nil {
+		// Aborted by the tool: cause is ErrDeadlockDetected.
+		t.Fatalf("app error = %v", res.AppErr)
+	}
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("deadlock not detected")
+	}
+	if len(res.Deadlock.Deadlocked) != 2 {
+		t.Fatalf("deadlocked = %v", res.Deadlock.Deadlocked)
+	}
+	if len(res.Deadlock.Cycle) != 2 {
+		t.Fatalf("cycle = %v", res.Deadlock.Cycle)
+	}
+	if res.Deadlock.HTML == "" || res.Deadlock.DOT == "" {
+		t.Fatal("missing report outputs")
+	}
+}
+
+func TestWildcardStressDeadlock(t *testing.T) {
+	// Figure 10's test case: every rank posts Recv(ANY) with no sends →
+	// wait-for graph of maximal size (p² arcs, counted as p(p-1) without
+	// self-arcs).
+	const p = 8
+	res := Run(cfg(p), func(pr *mpisim.Proc) {
+		pr.Recv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+		pr.Finalize()
+	})
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("deadlock not detected")
+	}
+	if len(res.Deadlock.Deadlocked) != p {
+		t.Fatalf("deadlocked = %v", res.Deadlock.Deadlocked)
+	}
+	if res.Deadlock.Arcs != p*(p-1) {
+		t.Fatalf("arcs = %d, want %d", res.Deadlock.Arcs, p*(p-1))
+	}
+	e := res.Deadlock.Entries[0]
+	if e.Kind != trace.Recv {
+		t.Fatalf("entry kind = %v", e.Kind)
+	}
+	if !e.IsWildcardRecv || e.MatchedSendProc != -1 {
+		t.Fatalf("entry must be an unmatched wildcard recv: %+v", e)
+	}
+}
+
+func TestSendSendPotentialDeadlockAfterCleanRun(t *testing.T) {
+	// The 126.lammps case: buffered sends let the app finish, but the
+	// strict blocking model (Sec. 3.3) reveals the send–send deadlock in a
+	// final detection after the run.
+	res := Run(cfg(2), func(pr *mpisim.Proc) {
+		peer := 1 - pr.Rank()
+		pr.Send([]byte{1}, peer, 0, trace.CommWorld)
+		pr.Recv(peer, 0, trace.CommWorld)
+		pr.Finalize()
+	})
+	if res.AppErr != nil {
+		t.Fatalf("app must complete cleanly: %v", res.AppErr)
+	}
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("potential send-send deadlock not detected")
+	}
+	if len(res.Deadlock.Deadlocked) != 2 {
+		t.Fatalf("deadlocked = %v", res.Deadlock.Deadlocked)
+	}
+}
+
+func TestFig2bManifestDeadlock(t *testing.T) {
+	// Figure 2(b) with rendezvous sends: the final sends deadlock.
+	res := Run(Config{Procs: 3, FanIn: 2, Timeout: 30 * time.Millisecond,
+		SendMode: mpisim.Rendezvous}, func(pr *mpisim.Proc) {
+		switch pr.Rank() {
+		case 0:
+			pr.Send(nil, 1, 0, trace.CommWorld)
+			pr.Barrier(trace.CommWorld)
+			pr.Send(nil, 1, 0, trace.CommWorld)
+			pr.Recv(2, 0, trace.CommWorld)
+		case 1:
+			pr.Recv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+			pr.Recv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+			pr.Barrier(trace.CommWorld)
+			pr.Send(nil, 2, 0, trace.CommWorld)
+			pr.Recv(0, 0, trace.CommWorld)
+		case 2:
+			pr.Send(nil, 1, 0, trace.CommWorld)
+			pr.Barrier(trace.CommWorld)
+			pr.Send(nil, 0, 0, trace.CommWorld)
+			pr.Recv(1, 0, trace.CommWorld)
+		}
+		pr.Finalize()
+	})
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("Figure 2(b) deadlock not detected")
+	}
+	if len(res.Deadlock.Deadlocked) != 3 {
+		t.Fatalf("deadlocked = %v", res.Deadlock.Deadlocked)
+	}
+}
+
+func TestMissingBarrierDeadlock(t *testing.T) {
+	const p = 4
+	res := Run(cfg(p), func(pr *mpisim.Proc) {
+		if pr.Rank() != 2 {
+			pr.Barrier(trace.CommWorld)
+		} else {
+			pr.Recv(3, 9, trace.CommWorld) // never sent
+		}
+		pr.Finalize()
+	})
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("missing-barrier deadlock not detected")
+	}
+	// All four blocked: 3 in the barrier (waiting for 2), 2 in its recv.
+	if len(res.Deadlock.Blocked) != p {
+		t.Fatalf("blocked = %v", res.Deadlock.Blocked)
+	}
+}
+
+func TestNonBlockingWaitallDeadlock(t *testing.T) {
+	res := Run(cfg(2), func(pr *mpisim.Proc) {
+		if pr.Rank() == 0 {
+			r := pr.Irecv(1, 0, trace.CommWorld)
+			pr.Wait(r) // rank 1 never sends
+		} else {
+			pr.Recv(0, 0, trace.CommWorld) // rank 0 never sends
+		}
+		pr.Finalize()
+	})
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("wait deadlock not detected")
+	}
+	if len(res.Deadlock.Deadlocked) != 2 {
+		t.Fatalf("deadlocked = %v", res.Deadlock.Deadlocked)
+	}
+}
+
+func TestSubCommunicatorCleanRun(t *testing.T) {
+	const p = 8
+	res := Run(cfg(p), func(pr *mpisim.Proc) {
+		sub := pr.CommSplit(trace.CommWorld, pr.Rank()%2, pr.Rank())
+		group := pr.World().CommGroup(sub)
+		n := len(group)
+		gr := 0
+		for i, r := range group {
+			if r == pr.Rank() {
+				gr = i
+			}
+		}
+		for i := 0; i < 5; i++ {
+			pr.Sendrecv([]byte{1}, (gr+1)%n, 0, (gr+n-1)%n, 0, sub)
+			pr.Barrier(sub)
+		}
+		pr.Barrier(trace.CommWorld)
+		pr.Finalize()
+	})
+	if res.AppErr != nil {
+		t.Fatalf("app error: %v", res.AppErr)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("false positive on sub-communicators: %+v", res.Deadlock.Entries)
+	}
+}
+
+func TestSubCommunicatorDeadlock(t *testing.T) {
+	const p = 4
+	res := Run(cfg(p), func(pr *mpisim.Proc) {
+		sub := pr.CommSplit(trace.CommWorld, pr.Rank()%2, pr.Rank())
+		if pr.Rank() < 2 {
+			pr.Barrier(sub) // even subgroup {0,2}: rank 0 joins...
+		}
+		if pr.Rank() == 2 {
+			pr.Recv(0, 5, trace.CommWorld) // ...rank 2 receives instead
+		}
+		pr.Finalize()
+	})
+	if res.Deadlock == nil || !res.Deadlock.Deadlock {
+		t.Fatal("sub-communicator deadlock not detected")
+	}
+}
+
+// TestNoFalsePositivesRandomPrograms runs randomized deadlock-free programs
+// and asserts the tool never reports a deadlock.
+func TestNoFalsePositivesRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		p := 4 + int(seed%3)*2
+		res := Run(Config{Procs: p, FanIn: 2, Timeout: 20 * time.Millisecond},
+			randomProgram(p, seed))
+		if res.AppErr != nil {
+			t.Fatalf("seed %d: app error %v", seed, res.AppErr)
+		}
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: false positive: ranks %v entries %+v",
+				seed, res.Deadlock.Deadlocked, res.Deadlock.Entries)
+		}
+	}
+}
+
+// randomProgram builds a deterministic deadlock-free program: a shared
+// schedule of events (pairwise exchanges, collectives, nonblocking batches)
+// derived from the seed; every rank executes its slice of the schedule.
+func randomProgram(p int, seed int64) mpisim.Program {
+	type ev struct {
+		kind int // 0 pairwise exchange, 1 barrier, 2 allreduce, 3 nonblocking
+		a, b int
+		tag  int
+		wild bool
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []ev
+	n := 40 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		// Tags are unique per event so that wildcard-source receives cannot
+		// race with sends of other events (which would make the program
+		// genuinely deadlock-prone).
+		switch rng.Intn(5) {
+		case 0, 1:
+			a := rng.Intn(p)
+			b := rng.Intn(p - 1)
+			if b >= a {
+				b++
+			}
+			events = append(events, ev{kind: 0, a: a, b: b, tag: i, wild: rng.Float64() < 0.3})
+		case 2:
+			events = append(events, ev{kind: 1})
+		case 3:
+			events = append(events, ev{kind: 2})
+		case 4:
+			a := rng.Intn(p)
+			b := rng.Intn(p - 1)
+			if b >= a {
+				b++
+			}
+			events = append(events, ev{kind: 3, a: a, b: b, tag: i, wild: rng.Float64() < 0.3})
+		}
+	}
+	return func(pr *mpisim.Proc) {
+		me := pr.Rank()
+		for _, e := range events {
+			switch e.kind {
+			case 0:
+				if me == e.a {
+					pr.Send([]byte{9}, e.b, e.tag, trace.CommWorld)
+				} else if me == e.b {
+					src := e.a
+					if e.wild {
+						src = trace.AnySource
+					}
+					pr.Recv(src, e.tag, trace.CommWorld)
+				}
+			case 1:
+				pr.Barrier(trace.CommWorld)
+			case 2:
+				pr.Allreduce([]byte{1, 0, 0, 0, 0, 0, 0, 0}, trace.CommWorld)
+			case 3:
+				if me == e.a {
+					r := pr.Isend([]byte{7}, e.b, e.tag, trace.CommWorld)
+					pr.Wait(r)
+				} else if me == e.b {
+					src := e.a
+					if e.wild {
+						src = trace.AnySource
+					}
+					r := pr.Irecv(src, e.tag, trace.CommWorld)
+					pr.Wait(r)
+				}
+			}
+		}
+		pr.Barrier(trace.CommWorld)
+		pr.Finalize()
+	}
+}

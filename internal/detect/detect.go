@@ -1,0 +1,353 @@
+// Package detect implements the root-side deadlock detection of Section 5:
+// the timeout-triggered consistent-state protocol, gathering of wait-for
+// information, construction of the AND⊕OR wait-for graph, the deadlock
+// criterion, and the generation of the user-facing outputs — with the
+// per-phase timings the paper reports in Figures 10(b) and 11(b)
+// (Synchronization, WFG gather, Graph build, Deadlock check, Output
+// generation).
+package detect
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"dwst/internal/collmatch"
+	"dwst/internal/dws"
+	"dwst/internal/report"
+	"dwst/internal/trace"
+	"dwst/internal/waitstate"
+	"dwst/internal/wfg"
+)
+
+// Timings is the per-phase breakdown of one detection run.
+type Timings struct {
+	Synchronization  time.Duration // consistent-state protocol (Fig. 8)
+	WFGGather        time.Duration // receiving wait-for info of all processes
+	GraphBuild       time.Duration // building the wait-for graph
+	DeadlockCheck    time.Duration // the graph search (release fixpoint)
+	OutputGeneration time.Duration // HTML report + DOT graph
+}
+
+// Total sums all phases.
+func (t Timings) Total() time.Duration {
+	return t.Synchronization + t.WFGGather + t.GraphBuild + t.DeadlockCheck + t.OutputGeneration
+}
+
+// Result is the outcome of one detection run.
+type Result struct {
+	// Deadlock reports whether a deadlock (cycle/knot residue) was found.
+	Deadlock bool
+	// Deadlocked lists the deadlocked ranks (ascending).
+	Deadlocked []int
+	// Blocked lists all blocked ranks, including non-deadlocked ones.
+	Blocked []int
+	// Cycle is one dependency cycle within the deadlocked set.
+	Cycle []int
+	// Groups decomposes the deadlocked set into independent clusters
+	// (strongly connected components of the restricted wait-for graph).
+	Groups [][]int
+	// Entries are the blocked ranks' wait conditions by rank.
+	Entries map[int]dws.WaitEntry
+	// UnexpectedMatches lists Section 3.3 situations found in the state.
+	UnexpectedMatches []report.UnexpectedMatch
+	// Arcs is the wait-for graph size (p² for the wildcard stress case).
+	Arcs int
+	// LostMessages counts sends that never matched a receive, summed over
+	// all nodes (meaningful for detections after the application finished).
+	LostMessages int
+	// HTML and DOT are the generated outputs (only for deadlocks).
+	HTML string
+	DOT  string
+	// SimplifiedDOT is the class-compressed wait-for graph (the paper's
+	// Sec. 6 future work), and Summary its one-line description.
+	SimplifiedDOT string
+	Summary       string
+	// Timings is the phase breakdown.
+	Timings Timings
+}
+
+// TriggerDetection is the control message the driver injects into the root
+// when the event-quiescence timeout fires.
+type TriggerDetection struct{}
+
+// Root is the root node's tool state: collective matching completion, the
+// communicator registry, and the detection state machine. All methods run
+// on the root's TBON goroutine.
+type Root struct {
+	p          int
+	firstLayer int
+	coll       *collmatch.Root
+
+	phase       phase
+	began       time.Time
+	ackCount    int
+	acksDone    time.Time
+	reports     map[int]dws.WaitReport
+	gatherStart time.Time
+
+	// Results delivers one Result per detection run (including runs that
+	// found no deadlock) to the driver.
+	Results chan *Result
+
+	mismatches []collmatch.Mismatch
+}
+
+type phase int
+
+const (
+	idle phase = iota
+	awaitingAcks
+	awaitingReports
+)
+
+// NewRoot creates the root state for p ranks and the given number of
+// first-layer nodes.
+func NewRoot(p, firstLayer int) *Root {
+	return &Root{
+		p:          p,
+		firstLayer: firstLayer,
+		coll:       collmatch.NewRoot(p),
+		Results:    make(chan *Result, 4),
+	}
+}
+
+// Group exposes the communicator registry.
+func (r *Root) Group(c trace.CommID) []int { return r.coll.Group(c) }
+
+// OnReady processes an aggregated collectiveReady and returns the Acks to
+// broadcast. Call-signature conflicts are recorded as mismatches.
+func (r *Root) OnReady(m collmatch.Ready) []collmatch.Ack {
+	acks, mism := r.coll.OnReady(m)
+	if mism != nil {
+		r.OnMismatch(*mism)
+	}
+	return acks
+}
+
+// OnMember processes a communicator-registry report.
+func (r *Root) OnMember(m collmatch.Member) []collmatch.Ack { return r.coll.OnMember(m) }
+
+// OnMismatch records a collective call mismatch (MUST's collective
+// verification check). Duplicates for the same wave are collapsed.
+func (r *Root) OnMismatch(m collmatch.Mismatch) {
+	for _, have := range r.mismatches {
+		if have.Comm == m.Comm && have.Wave == m.Wave {
+			return
+		}
+	}
+	r.mismatches = append(r.mismatches, m)
+}
+
+// Mismatches returns the recorded collective call mismatches. Only read
+// after the tool stopped (the root goroutine owns the slice while running).
+func (r *Root) Mismatches() []collmatch.Mismatch { return r.mismatches }
+
+// Start begins a detection run; returns false if one is already running.
+func (r *Root) Start() bool {
+	if r.phase != idle {
+		return false
+	}
+	r.phase = awaitingAcks
+	r.began = time.Now()
+	r.ackCount = 0
+	r.reports = make(map[int]dws.WaitReport, r.firstLayer)
+	return true
+}
+
+// OnAck processes an ackConsistentState; returns true when all first-layer
+// nodes acknowledged (the driver then broadcasts RequestWaits).
+func (r *Root) OnAck(a dws.AckConsistentState) bool {
+	if r.phase != awaitingAcks {
+		return false
+	}
+	r.ackCount += a.Count
+	if r.ackCount < r.firstLayer {
+		return false
+	}
+	r.phase = awaitingReports
+	r.acksDone = time.Now()
+	r.gatherStart = r.acksDone
+	return true
+}
+
+// OnWaitReport collects one node's wait report; when all nodes reported it
+// runs graph detection and returns the Result (nil otherwise).
+func (r *Root) OnWaitReport(rep dws.WaitReport) *Result {
+	if r.phase != awaitingReports {
+		return nil
+	}
+	r.reports[rep.Node] = rep
+	if len(r.reports) < r.firstLayer {
+		return nil
+	}
+	res := r.analyze()
+	r.phase = idle
+	select {
+	case r.Results <- res:
+	default:
+	}
+	return res
+}
+
+// analyze builds the WFG from the gathered reports and checks for deadlock.
+func (r *Root) analyze() *Result {
+	res := &Result{Entries: make(map[int]dws.WaitEntry)}
+	res.Timings.Synchronization = r.acksDone.Sub(r.began)
+	res.Timings.WFGGather = time.Since(r.gatherStart)
+
+	buildStart := time.Now()
+	// Index blocked collective participants per wave for target expansion.
+	type wave struct {
+		comm trace.CommID
+		w    int
+	}
+	inWave := map[wave]map[int]bool{}
+	var all []dws.WaitEntry
+	var finished []int
+	for _, rep := range r.reports {
+		res.LostMessages += rep.UnmatchedSends
+		for _, e := range rep.Entries {
+			if e.State == dws.Finished {
+				finished = append(finished, e.Rank)
+				continue
+			}
+			if e.State != dws.Blocked {
+				continue
+			}
+			all = append(all, e)
+			if e.IsColl {
+				k := wave{e.CollComm, e.CollWave}
+				if inWave[k] == nil {
+					inWave[k] = map[int]bool{}
+				}
+				inWave[k][e.Rank] = true
+			}
+		}
+	}
+
+	g := wfg.New(r.p)
+	for _, f := range finished {
+		g.SetFinished(f)
+	}
+	for _, e := range all {
+		res.Entries[e.Rank] = e
+		res.Blocked = append(res.Blocked, e.Rank)
+		targets := append([]int(nil), e.Targets...)
+		if len(e.WildComms) > 0 || len(e.ResolvedSrcs) > 0 || e.IsColl {
+			seen := make(map[int]bool, len(targets)+4)
+			for _, t := range targets {
+				seen[t] = true
+			}
+			add := func(m int) {
+				if m != e.Rank && !seen[m] {
+					seen[m] = true
+					targets = append(targets, m)
+				}
+			}
+			for _, wc := range e.WildComms {
+				for _, m := range r.groupOrWorld(wc) {
+					add(m)
+				}
+			}
+			for _, rs := range e.ResolvedSrcs {
+				grp := r.groupOrWorld(rs.Comm)
+				if rs.Src >= 0 && rs.Src < len(grp) {
+					add(grp[rs.Src])
+				}
+			}
+			if e.IsColl {
+				k := wave{e.CollComm, e.CollWave}
+				for _, m := range r.groupOrWorld(e.CollComm) {
+					if !inWave[k][m] {
+						add(m)
+					}
+				}
+			}
+		}
+		sem := waitstate.AndWait
+		if e.Sem == dws.SemOr {
+			sem = waitstate.OrWait
+		}
+		g.SetBlocked(e.Rank, sem, targets, e.Desc)
+	}
+	sort.Ints(res.Blocked)
+	res.Arcs = g.Arcs()
+	res.Timings.GraphBuild = time.Since(buildStart)
+
+	checkStart := time.Now()
+	res.Deadlocked = g.Deadlocked()
+	res.Deadlock = len(res.Deadlocked) > 0
+	if res.Deadlock {
+		res.Cycle = g.Cycle(res.Deadlocked)
+		res.Groups = g.Groups(res.Deadlocked)
+	}
+	res.Timings.DeadlockCheck = time.Since(checkStart)
+
+	if res.Deadlock {
+		outStart := time.Now()
+		res.UnexpectedMatches = findUnexpectedMatches(all)
+		cg := g.Simplify(res.Deadlocked)
+		res.Summary = cg.Summary()
+		var sb strings.Builder
+		if cg.DOT(&sb) == nil {
+			res.SimplifiedDOT = sb.String()
+		}
+		res.DOT = report.DOT(g, res.Deadlocked)
+		res.HTML = report.HTML(&report.Data{
+			Procs:             r.p,
+			Deadlocked:        res.Deadlocked,
+			Cycle:             res.Cycle,
+			Entries:           res.Entries,
+			UnexpectedMatches: res.UnexpectedMatches,
+			Arcs:              res.Arcs,
+		})
+		res.Timings.OutputGeneration = time.Since(outStart)
+	}
+	return res
+}
+
+// groupOrWorld returns the registry group, falling back to the full world
+// when the communicator is unknown (should not happen for sealed comms).
+func (r *Root) groupOrWorld(c trace.CommID) []int {
+	if g := r.coll.Group(c); g != nil {
+		return g
+	}
+	world := make([]int, r.p)
+	for i := range world {
+		world[i] = i
+	}
+	return world
+}
+
+// findUnexpectedMatches applies the Section 3.3 definition to the blocked
+// entries: a blocked wildcard receive whose recorded match is not active,
+// while a blocked (hence active) send of another rank could match it.
+func findUnexpectedMatches(entries []dws.WaitEntry) []report.UnexpectedMatch {
+	var out []report.UnexpectedMatch
+	for _, e := range entries {
+		if !e.IsWildcardRecv || e.MatchedSendProc < 0 {
+			continue
+		}
+		for _, s := range entries {
+			if !s.Kind.IsSend() || s.Rank == e.Rank {
+				continue
+			}
+			if s.Rank == e.MatchedSendProc && s.TS == e.MatchedSendTS {
+				continue // that IS the recorded match
+			}
+			if s.Comm != e.Comm || len(s.Targets) == 0 || s.Targets[0] != e.Rank {
+				continue
+			}
+			if e.Tag != trace.AnyTag && s.Tag != e.Tag {
+				continue
+			}
+			out = append(out, report.UnexpectedMatch{
+				RecvRank: e.Rank, RecvTS: e.TS,
+				MatchedSendRank: e.MatchedSendProc, MatchedSendTS: e.MatchedSendTS,
+				ActiveSendRank: s.Rank, ActiveSendTS: s.TS,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package dws implements the paper's contribution: distributed wait state
+// tracking on the first layer of the TBON (Section 4). Each first-layer
+// node tracks the transition-system state components of its hosted ranks,
+// exchanging the intralayer messages of Figure 6/7 (passSend, recvActive,
+// recvActiveAck) with peer nodes and the aggregated collective messages
+// (collectiveReady, collectiveAck) with the tree, and participates in the
+// consistent-state protocol of Section 5 (Figure 8).
+package dws
+
+import (
+	"dwst/internal/collmatch"
+	"dwst/internal/trace"
+)
+
+// PassSend passes information on a send operation to the node hosting the
+// matching receive (paper Sec. 4.1). It carries the point-to-point matching
+// key and the send's identity (the timestamp l_s).
+type PassSend struct {
+	SendProc int // sender world rank
+	SendTS   int
+	SrcGroup int // sender's group rank within Comm (matching key)
+	Dest     int // destination world rank
+	Tag      int
+	Comm     trace.CommID
+	Kind     trace.Kind
+	FromNode int
+}
+
+// RecvActive informs the node hosting a send that the matching receive is
+// active (satisfying Rule 2's premise for the sender). Probe marks requests
+// from probes: the send acknowledges them when active (so the probe can
+// advance) but they do not satisfy the send's own Rule 2 premise — only the
+// real receive does.
+type RecvActive struct {
+	SendProc int
+	SendTS   int
+	RecvProc int
+	RecvTS   int
+	FromNode int
+	Probe    bool
+}
+
+// RecvActiveAck informs the node hosting a receive that the matching send is
+// active (satisfying Rule 2's premise for the receiver).
+type RecvActiveAck struct {
+	RecvProc int
+	RecvTS   int
+}
+
+// Ping and Pong implement the double ping-pong synchronization of the
+// consistent-state protocol (Figure 8). Round is 1 for the first exchange
+// and 2 for the second.
+type Ping struct {
+	Round    int
+	FromNode int
+}
+
+// Pong answers a Ping of the same round.
+type Pong struct {
+	Round    int
+	FromNode int
+}
+
+// RequestConsistentState is broadcast from the root to freeze the wait-state
+// transition system and start the ping-pong synchronization.
+type RequestConsistentState struct{}
+
+// AckConsistentState reports (upward) that a first-layer node finished its
+// ping-pong synchronizations. Count aggregates acknowledged nodes.
+type AckConsistentState struct{ Count int }
+
+// RequestWaits is broadcast after all acks: nodes reply with the wait-for
+// conditions of their blocked processes and resume the transition system.
+type RequestWaits struct{}
+
+// ProcState classifies a rank in a consistent state.
+type ProcState int
+
+const (
+	// Running: the rank has an applicable transition (or its next event has
+	// not reached the tool), so it is not blocked.
+	Running ProcState = iota
+	// Blocked: no transition applies to the rank's current operation.
+	Blocked
+	// Finished: the rank reached MPI_Finalize.
+	Finished
+)
+
+// Sem mirrors waitstate semantics without importing it (AND = all targets,
+// OR = any target).
+type Sem int
+
+const (
+	// SemAnd requires all targets to progress.
+	SemAnd Sem = iota
+	// SemOr requires one target to progress.
+	SemOr
+)
+
+// WaitEntry is one rank's wait-for condition in a consistent state, shipped
+// to the root by RequestWaits. Targets are world ranks; conditions the node
+// cannot expand locally (wildcards on communicators, collectives) carry
+// markers the root expands with its group registry.
+type WaitEntry struct {
+	Rank  int
+	State ProcState
+
+	// Blocked-state details.
+	Kind trace.Kind
+	TS   int
+	Sem  Sem
+	Desc string
+
+	// Direct wait-for targets (world ranks).
+	Targets []int
+
+	// WildComms adds, per entry, "every member of that communicator except
+	// Rank" to the targets (unresolved wildcard receives).
+	WildComms []trace.CommID
+
+	// ResolvedSrcs adds the world rank of each (comm, group rank) pair
+	// (wildcards resolved by a status whose matching send has not reached
+	// the node yet); the root performs the group translation.
+	ResolvedSrcs []GroupRef
+
+	// Collective wait: root expands to group minus the ranks blocked in the
+	// same wave.
+	IsColl   bool
+	CollComm trace.CommID
+	CollWave int
+
+	// Unexpected-match analysis (Sec. 3.3): details of a blocked wildcard
+	// receive and its recorded match, plus blocked sends are found on other
+	// entries by the root.
+	IsWildcardRecv  bool
+	Comm            trace.CommID
+	Tag             int
+	MatchedSendProc int // -1 if unmatched
+	MatchedSendTS   int
+}
+
+// GroupRef names a group rank within a communicator; the root translates it
+// to a world rank using its registry.
+type GroupRef struct {
+	Comm trace.CommID
+	Src  int
+}
+
+// WaitReport carries the wait entries of one first-layer node to the root.
+// UnmatchedSends counts sends to hosted ranks that never matched a receive
+// (lost messages, when gathered after the application finished).
+type WaitReport struct {
+	Node           int
+	Entries        []WaitEntry
+	UnmatchedSends int
+}
+
+// Member re-exports the collective registry message for convenience.
+type Member = collmatch.Member
+
+// Ready re-exports the collectiveReady message.
+type Ready = collmatch.Ready
+
+// Ack re-exports the collectiveAck message.
+type Ack = collmatch.Ack

@@ -1,0 +1,241 @@
+package dws
+
+import (
+	"fmt"
+
+	"dwst/internal/trace"
+)
+
+// snapshot is the node-local state of the consistent-state protocol
+// (Figure 8): the double ping-pong with every node that hosts matching
+// receives for this node's active sends.
+type snapshot struct {
+	// outstanding[peer] is the next pong round expected from the peer
+	// (1 or 2); entries are removed after round 2.
+	outstanding map[int]int
+	acked       bool
+}
+
+// BeginSnapshot handles requestConsistentState: freeze the transition
+// system, then run a double ping-pong with every peer node that may still
+// owe or expect messages for our active sends. When no synchronization is
+// needed the node acknowledges immediately.
+func (n *Node) BeginSnapshot() {
+	if n.frozen {
+		return // duplicate request (should not happen)
+	}
+	n.frozen = true
+	n.snap = &snapshot{outstanding: make(map[int]int)}
+
+	// Ping-pong peers: every node we sent wait-state messages to since the
+	// last snapshot (a superset of the paper's "nodes hosting matching
+	// receives for our active sends" — the superset also flushes
+	// acknowledgements that are still in transit although the local send
+	// already completed), plus the hosts of currently active sends.
+	ping := func(peer int) {
+		if _, ok := n.snap.outstanding[peer]; !ok {
+			n.snap.outstanding[peer] = 1
+			n.out.Peer(peer, Ping{Round: 1, FromNode: n.id})
+		}
+	}
+	for peer := range n.dirty {
+		ping(peer)
+	}
+	for _, rs := range n.ranks {
+		for _, o := range rs.ops {
+			if !o.op.Kind.IsSend() || !o.active || o.commComplete {
+				continue
+			}
+			ping(n.nodeFor(o.op.PeerWorld))
+		}
+	}
+	n.maybeAckConsistent()
+}
+
+// handlePong advances the double ping-pong with one peer.
+func (n *Node) handlePong(m Pong) {
+	if n.snap == nil {
+		return
+	}
+	round, ok := n.snap.outstanding[m.FromNode]
+	if !ok || round != m.Round {
+		return
+	}
+	if m.Round == 1 {
+		n.snap.outstanding[m.FromNode] = 2
+		n.out.Peer(m.FromNode, Ping{Round: 2, FromNode: n.id})
+		return
+	}
+	delete(n.snap.outstanding, m.FromNode)
+	n.maybeAckConsistent()
+}
+
+func (n *Node) maybeAckConsistent() {
+	if n.snap == nil || n.snap.acked || len(n.snap.outstanding) > 0 {
+		return
+	}
+	n.snap.acked = true
+	n.out.Up(AckConsistentState{Count: 1})
+}
+
+// BuildReports handles requestWaits: describe the wait-for condition of
+// every hosted rank in the frozen state, then resume the transition system
+// (processing any events deferred during the snapshot).
+func (n *Node) BuildReports() WaitReport {
+	rep := WaitReport{Node: n.id, UnmatchedSends: n.UnmatchedSends()}
+	for _, rs := range n.ranks {
+		rep.Entries = append(rep.Entries, n.entryFor(rs))
+	}
+
+	// Resume. The dirty set is cleared first: everything sent before this
+	// snapshot was flushed by the ping-pong, and replaying the deferred
+	// events below re-marks any peers they touch.
+	n.frozen = false
+	n.snap = nil
+	n.dirty = make(map[int]bool)
+	for _, rs := range n.ranks {
+		n.tryAdvance(rs)
+	}
+	deferred := n.deferred
+	n.deferred = nil
+	for _, ev := range deferred {
+		n.processEvent(ev)
+	}
+	return rep
+}
+
+// entryFor classifies one rank in the frozen state and, when blocked,
+// derives its wait-for condition from the distributed knowledge this node
+// holds (matching state, handshake flags); conditions needing group
+// knowledge carry markers the root expands.
+func (n *Node) entryFor(rs *rankState) WaitEntry {
+	e := WaitEntry{Rank: rs.rank, State: Running, MatchedSendProc: -1}
+	o := rs.ops[rs.l]
+	if o == nil {
+		if rs.done {
+			e.State = Finished
+		}
+		return e // between calls (or events still in flight): not blocked
+	}
+	if o.op.Kind == trace.Finalize {
+		e.State = Finished
+		return e
+	}
+	if n.canAdvance(rs, o) {
+		return e // a transition applies: not blocked
+	}
+
+	e.State = Blocked
+	e.Kind = o.op.Kind
+	e.TS = o.op.TS
+	e.Comm = o.op.Comm
+	e.Tag = o.op.Tag
+	kind := o.op.Kind
+
+	switch {
+	case kind.IsSend():
+		e.Sem = SemAnd
+		e.Targets = []int{o.op.PeerWorld}
+		e.Desc = fmt.Sprintf("%v waits for a matching receive on rank %d", o.op.Describe(), o.op.PeerWorld)
+
+	case kind.IsRecv():
+		n.p2pWaitTargets(o, &e)
+		if o.op.Peer == trace.AnySource {
+			e.IsWildcardRecv = true
+			if o.matched {
+				e.MatchedSendProc = o.peerProc
+				e.MatchedSendTS = o.peerTS
+			}
+		}
+		switch {
+		case o.matched:
+			e.Desc = fmt.Sprintf("%v waits for its matching send on rank %d to be active", o.op.Describe(), o.peerProc)
+		case o.op.Peer == trace.AnySource && !o.resolved:
+			e.Desc = fmt.Sprintf("%v waits for a send from ANY process (OR)", o.op.Describe())
+		default:
+			e.Desc = fmt.Sprintf("%v waits for a matching send", o.op.Describe())
+		}
+
+	case kind.IsCollective():
+		e.Sem = SemAnd
+		e.IsColl = true
+		e.CollComm = o.op.Comm
+		e.CollWave = o.wave
+		e.Desc = fmt.Sprintf("%v waits for all processes of communicator %d to join wave %d",
+			o.op.Describe(), o.op.Comm, o.wave)
+
+	case kind.IsCompletion():
+		if kind.IsWaitAnySemantics() {
+			e.Sem = SemOr
+		} else {
+			e.Sem = SemAnd
+		}
+		for _, rq := range o.op.Reqs {
+			rec := rs.reqs[rq]
+			if rec == nil {
+				continue
+			}
+			if rec.done {
+				if kind.IsWaitAnySemantics() {
+					// Should have advanced; defensive.
+					e.State = Running
+					return e
+				}
+				continue
+			}
+			co := rs.ops[rec.ts]
+			if co == nil {
+				continue
+			}
+			var sub WaitEntry
+			sub.Rank = rs.rank
+			if co.op.Kind.IsSend() {
+				e.Targets = appendUnique(e.Targets, co.op.PeerWorld)
+			} else {
+				n.p2pWaitTargets(co, &sub)
+				for _, t := range sub.Targets {
+					e.Targets = appendUnique(e.Targets, t)
+				}
+				e.WildComms = append(e.WildComms, sub.WildComms...)
+				e.ResolvedSrcs = append(e.ResolvedSrcs, sub.ResolvedSrcs...)
+			}
+		}
+		e.Desc = fmt.Sprintf("%v waits for associated communications", o.op.Describe())
+
+	default:
+		e.Sem = SemAnd
+		e.Desc = fmt.Sprintf("%v blocked", o.op.Describe())
+	}
+	return e
+}
+
+// p2pWaitTargets fills the wait-for condition of a (possibly wildcard)
+// receive or probe operation.
+func (n *Node) p2pWaitTargets(o *opState, e *WaitEntry) {
+	switch {
+	case o.matched:
+		e.Sem = SemAnd
+		e.Targets = appendUnique(e.Targets, o.peerProc)
+	case o.op.Peer != trace.AnySource:
+		e.Sem = SemAnd
+		e.Targets = appendUnique(e.Targets, o.op.PeerWorld)
+	case o.resolved:
+		// Wildcard resolved by a status but the send has not arrived here
+		// yet; the root translates the group rank.
+		e.Sem = SemAnd
+		e.ResolvedSrcs = append(e.ResolvedSrcs, GroupRef{Comm: o.op.Comm, Src: o.resolvedGr})
+	default:
+		e.Sem = SemOr
+		c := o.op.Comm
+		e.WildComms = append(e.WildComms, c)
+	}
+}
+
+func appendUnique(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}

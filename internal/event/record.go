@@ -1,0 +1,86 @@
+package event
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Trace recording: a Recorder sink writes the event stream as JSON lines
+// (with a header identifying the rank count), and ReadTrace loads it back
+// for offline analysis — postmortem deadlock detection on a recorded run.
+
+type header struct {
+	Procs int `json:"procs"`
+}
+
+// Recorder is a Sink that appends every event to w as one JSON line.
+// It is safe for concurrent use by all ranks.
+type Recorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewRecorder writes the trace header and returns the recording sink.
+func NewRecorder(w io.Writer, procs int) (*Recorder, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Procs: procs}); err != nil {
+		return nil, err
+	}
+	return &Recorder{bw: bw, enc: enc}, nil
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = r.enc.Encode(ev)
+	}
+	r.mu.Unlock()
+}
+
+// Close flushes the recording and reports any write error.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.bw.Flush()
+}
+
+// Tee duplicates events to two sinks (e.g. tool + recorder).
+type Tee struct{ A, B Sink }
+
+// Emit implements Sink.
+func (t Tee) Emit(ev Event) {
+	t.A.Emit(ev)
+	t.B.Emit(ev)
+}
+
+// ReadTrace loads a recorded trace: the rank count and all events in
+// recorded order.
+func ReadTrace(r io.Reader) (procs int, evs []Event, err error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return 0, nil, fmt.Errorf("trace header: %w", err)
+	}
+	if h.Procs <= 0 {
+		return 0, nil, fmt.Errorf("trace header: invalid procs %d", h.Procs)
+	}
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return h.Procs, evs, nil
+		} else if err != nil {
+			return 0, nil, fmt.Errorf("trace event %d: %w", len(evs), err)
+		}
+		evs = append(evs, ev)
+	}
+}

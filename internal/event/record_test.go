@@ -1,0 +1,71 @@
+package event
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dwst/internal/trace"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Event{
+		{Type: Enter, Op: trace.Op{Proc: 0, TS: 0, Kind: trace.Send, Peer: 1, Tag: 5, Comm: trace.CommWorld, PeerWorld: 1}},
+		{Type: Enter, Op: trace.Op{Proc: 1, TS: 0, Kind: trace.Recv, Peer: trace.AnySource, Tag: trace.AnyTag, ActualSrc: trace.AnySource, PeerWorld: trace.AnySource}},
+		{Type: Status, Proc: 1, TS: 0, Src: 0},
+		{Type: CommInfo, Proc: 2, TS: 4, Comm: 9},
+		{Type: Done, Proc: 0},
+	}
+	for _, ev := range in {
+		rec.Emit(ev)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	procs, out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs != 3 {
+		t.Fatalf("procs = %d", procs)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("events = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(out[i], in[i]) {
+			t.Fatalf("event %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, _, err := ReadTrace(strings.NewReader(`{"procs":0}`)); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	if _, _, err := ReadTrace(strings.NewReader("{\"procs\":2}\n{broken")); err == nil {
+		t.Fatal("broken event accepted")
+	}
+}
+
+func TestTeeDuplicates(t *testing.T) {
+	var a, b []Event
+	tee := Tee{
+		A: Func(func(ev Event) { a = append(a, ev) }),
+		B: Func(func(ev Event) { b = append(b, ev) }),
+	}
+	tee.Emit(Event{Type: Done, Proc: 7})
+	if len(a) != 1 || len(b) != 1 || a[0].Proc != 7 || b[0].Proc != 7 {
+		t.Fatal("tee broken")
+	}
+}

@@ -1,0 +1,313 @@
+package mpisim
+
+import (
+	"dwst/internal/trace"
+)
+
+// This file contains the MPI call surface of a rank. Every call emits its
+// Enter event before it can block, so the tool observes deadlocked calls.
+
+// Send is MPI_Send: standard mode. Depending on the world's send mode and
+// buffer state it returns after buffering or blocks until matched.
+func (p *Proc) Send(data []byte, dest, tag int, comm trace.CommID) {
+	p.enter(trace.Op{Kind: trace.Send, Peer: dest, Tag: tag, Comm: comm})
+	p.sendCommon(trace.Send, dest, tag, comm, data, nil)
+}
+
+// Ssend is MPI_Ssend: blocks until the matching receive is posted.
+func (p *Proc) Ssend(data []byte, dest, tag int, comm trace.CommID) {
+	p.enter(trace.Op{Kind: trace.Ssend, Peer: dest, Tag: tag, Comm: comm})
+	p.sendCommon(trace.Ssend, dest, tag, comm, data, nil)
+}
+
+// Bsend is MPI_Bsend: always buffered, returns immediately.
+func (p *Proc) Bsend(data []byte, dest, tag int, comm trace.CommID) {
+	p.enter(trace.Op{Kind: trace.Bsend, Peer: dest, Tag: tag, Comm: comm})
+	p.sendCommon(trace.Bsend, dest, tag, comm, data, nil)
+}
+
+// Rsend is MPI_Rsend: ready mode. The simulator does not verify that the
+// matching receive is already posted (erroneous usage is the application's
+// responsibility, as in MPI); it behaves like a buffered send.
+func (p *Proc) Rsend(data []byte, dest, tag int, comm trace.CommID) {
+	p.enter(trace.Op{Kind: trace.Rsend, Peer: dest, Tag: tag, Comm: comm})
+	p.sendCommon(trace.Rsend, dest, tag, comm, data, nil)
+}
+
+// Recv is MPI_Recv: blocks until a matching message arrives. src may be
+// trace.AnySource and tag may be trace.AnyTag.
+func (p *Proc) Recv(src, tag int, comm trace.CommID) Status {
+	ts := p.enter(trace.Op{Kind: trace.Recv, Peer: src, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+	req := p.allocReq(trace.Recv, src == trace.AnySource)
+	req.ts = ts
+	p.recvCommon(trace.Recv, src, tag, comm, req)
+	req.wait()
+	env := req.result()
+	req.emitPendingStatus()
+	req.free()
+	p.w.noteProgress()
+	return statusOf(env)
+}
+
+// Probe is MPI_Probe: blocks until a matching message is available without
+// consuming it.
+func (p *Proc) Probe(src, tag int, comm trace.CommID) Status {
+	ts := p.enter(trace.Op{Kind: trace.Probe, Peer: src, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+	req := p.allocReq(trace.Probe, src == trace.AnySource)
+	req.ts = ts
+	p.recvCommon(trace.Probe, src, tag, comm, req)
+	req.wait()
+	env := req.result()
+	req.emitPendingStatus()
+	req.free()
+	p.w.noteProgress()
+	return statusOf(env)
+}
+
+// Iprobe is MPI_Iprobe: checks for a matching message without blocking.
+func (p *Proc) Iprobe(src, tag int, comm trace.CommID) (Status, bool) {
+	p.enter(trace.Op{Kind: trace.Iprobe, Peer: src, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+	req := p.allocReq(trace.Iprobe, false)
+	p.recvCommon(trace.Iprobe, src, tag, comm, req)
+	if req.isComplete() {
+		env := req.result()
+		req.free()
+		p.w.noteProgress()
+		return statusOf(env), true
+	}
+	p.unpost(req)
+	req.free()
+	p.w.noteProgress()
+	return Status{Source: trace.AnySource, Tag: trace.AnyTag}, false
+}
+
+// Isend is MPI_Isend: standard-mode non-blocking send.
+func (p *Proc) Isend(data []byte, dest, tag int, comm trace.CommID) *Request {
+	req := p.allocReq(trace.Isend, false)
+	req.ts = p.enter(trace.Op{Kind: trace.Isend, Peer: dest, Tag: tag, Comm: comm, Req: req.id})
+	p.sendCommon(trace.Isend, dest, tag, comm, data, req)
+	return req
+}
+
+// Issend is MPI_Issend: synchronous non-blocking send.
+func (p *Proc) Issend(data []byte, dest, tag int, comm trace.CommID) *Request {
+	req := p.allocReq(trace.Issend, false)
+	req.ts = p.enter(trace.Op{Kind: trace.Issend, Peer: dest, Tag: tag, Comm: comm, Req: req.id})
+	p.sendCommon(trace.Issend, dest, tag, comm, data, req)
+	return req
+}
+
+// Irecv is MPI_Irecv: non-blocking receive.
+func (p *Proc) Irecv(src, tag int, comm trace.CommID) *Request {
+	req := p.allocReq(trace.Irecv, src == trace.AnySource)
+	req.ts = p.enter(trace.Op{Kind: trace.Irecv, Peer: src, Tag: tag, Comm: comm, Req: req.id, ActualSrc: trace.AnySource})
+	p.recvCommon(trace.Irecv, src, tag, comm, req)
+	return req
+}
+
+// Wait is MPI_Wait.
+func (p *Proc) Wait(req *Request) Status {
+	p.enter(trace.Op{Kind: trace.Wait, Reqs: []trace.ReqID{req.id}})
+	req.wait()
+	env := req.result()
+	req.emitPendingStatus()
+	req.free()
+	p.w.noteProgress()
+	return statusOf(env)
+}
+
+// Waitall is MPI_Waitall. It returns the statuses in request order.
+func (p *Proc) Waitall(reqs ...*Request) []Status {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	p.enter(trace.Op{Kind: trace.Waitall, Reqs: ids})
+	out := make([]Status, len(reqs))
+	for i, r := range reqs {
+		r.wait()
+		r.emitPendingStatus()
+		out[i] = statusOf(r.result())
+		r.free()
+	}
+	p.w.noteProgress()
+	return out
+}
+
+// Waitany is MPI_Waitany: blocks until one of the requests completes and
+// returns its index and status. Completed requests are freed; others remain
+// live and must be completed later.
+func (p *Proc) Waitany(reqs ...*Request) (int, Status) {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	p.enter(trace.Op{Kind: trace.Waitany, Reqs: ids})
+	if len(reqs) == 0 {
+		p.w.noteProgress()
+		return -1, Status{Source: trace.AnySource, Tag: trace.AnyTag}
+	}
+	idx := p.awaitAny(reqs)
+	r := reqs[idx]
+	r.emitPendingStatus()
+	st := statusOf(r.result())
+	r.free()
+	p.w.noteProgress()
+	return idx, st
+}
+
+// Waitsome is MPI_Waitsome: blocks until at least one request completes and
+// returns the indices and statuses of all completed requests.
+func (p *Proc) Waitsome(reqs ...*Request) ([]int, []Status) {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	p.enter(trace.Op{Kind: trace.Waitsome, Reqs: ids})
+	if len(reqs) == 0 {
+		p.w.noteProgress()
+		return nil, nil
+	}
+	p.awaitAny(reqs)
+	var idxs []int
+	var sts []Status
+	for i, r := range reqs {
+		if r.isComplete() {
+			r.emitPendingStatus()
+			idxs = append(idxs, i)
+			sts = append(sts, statusOf(r.result()))
+			r.free()
+		}
+	}
+	p.w.noteProgress()
+	return idxs, sts
+}
+
+// Test is MPI_Test.
+func (p *Proc) Test(req *Request) (Status, bool) {
+	p.enter(trace.Op{Kind: trace.Test, Reqs: []trace.ReqID{req.id}})
+	p.w.noteProgress()
+	if !req.isComplete() {
+		return Status{}, false
+	}
+	req.emitPendingStatus()
+	st := statusOf(req.result())
+	req.free()
+	return st, true
+}
+
+// Testall is MPI_Testall.
+func (p *Proc) Testall(reqs ...*Request) ([]Status, bool) {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	p.enter(trace.Op{Kind: trace.Testall, Reqs: ids})
+	p.w.noteProgress()
+	for _, r := range reqs {
+		if !r.isComplete() {
+			return nil, false
+		}
+	}
+	out := make([]Status, len(reqs))
+	for i, r := range reqs {
+		r.emitPendingStatus()
+		out[i] = statusOf(r.result())
+		r.free()
+	}
+	return out, true
+}
+
+// Testsome is MPI_Testsome: returns the indices and statuses of all
+// currently completed requests (freed), without blocking.
+func (p *Proc) Testsome(reqs ...*Request) ([]int, []Status) {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	p.enter(trace.Op{Kind: trace.Testsome, Reqs: ids})
+	p.w.noteProgress()
+	var idxs []int
+	var sts []Status
+	for i, r := range reqs {
+		if r.isComplete() {
+			r.emitPendingStatus()
+			idxs = append(idxs, i)
+			sts = append(sts, statusOf(r.result()))
+			r.free()
+		}
+	}
+	return idxs, sts
+}
+
+// Testany is MPI_Testany.
+func (p *Proc) Testany(reqs ...*Request) (int, Status, bool) {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	p.enter(trace.Op{Kind: trace.Testany, Reqs: ids})
+	p.w.noteProgress()
+	for i, r := range reqs {
+		if r.isComplete() {
+			r.emitPendingStatus()
+			st := statusOf(r.result())
+			r.free()
+			return i, st, true
+		}
+	}
+	return -1, Status{}, false
+}
+
+// Sendrecv is MPI_Sendrecv. As the MPI standard suggests (and as the paper
+// does), it executes as Isend + Irecv + Waitall; the tool therefore records
+// it as that series of calls.
+func (p *Proc) Sendrecv(sdata []byte, dest, stag int, src, rtag int, comm trace.CommID) Status {
+	sreq := p.Isend(sdata, dest, stag, comm)
+	rreq := p.Irecv(src, rtag, comm)
+	sts := p.Waitall(sreq, rreq)
+	return sts[1]
+}
+
+// awaitAny blocks until at least one request is complete and returns the
+// index of the first complete one.
+func (p *Proc) awaitAny(reqs []*Request) int {
+	for {
+		for i, r := range reqs {
+			if r.isComplete() {
+				return i
+			}
+		}
+		// Block on the first incomplete request's done channel; any
+		// completion re-checks the scan. Waiting on one channel is enough:
+		// if another request completes first we will still be woken when
+		// this one completes — to avoid a lost wakeup for the OTHER
+		// requests, poll with a bounded block.
+		p.blockAnyOnce(reqs)
+	}
+}
+
+// blockAnyOnce waits until any of the requests signals completion. It uses
+// a registration channel shared by all requests of the rank.
+func (p *Proc) blockAnyOnce(reqs []*Request) {
+	// Register a waiter channel on all requests, then re-check and block.
+	wake := make(chan struct{}, 1)
+	for _, r := range reqs {
+		r.addWaiter(wake)
+	}
+	defer func() {
+		for _, r := range reqs {
+			r.removeWaiter(wake)
+		}
+	}()
+	for _, r := range reqs {
+		if r.isComplete() {
+			return
+		}
+	}
+	select {
+	case <-wake:
+	case <-p.w.abortCh:
+		panic(AbortError{Rank: p.rank, Cause: p.w.abortErr})
+	}
+}

@@ -1,0 +1,676 @@
+package mpisim
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dwst/internal/event"
+	"dwst/internal/trace"
+)
+
+// collect is a thread-safe sink recording all events.
+type collect struct {
+	mu  sync.Mutex
+	evs []event.Event
+}
+
+func (c *collect) Emit(ev event.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collect) all() []event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]event.Event(nil), c.evs...)
+}
+
+func run(t *testing.T, cfg Config, prog Program) (*World, error) {
+	t.Helper()
+	w := NewWorld(cfg)
+	errc := make(chan error, 1)
+	go func() { errc <- w.Run(prog) }()
+	select {
+	case err := <-errc:
+		return w, err
+	case <-time.After(30 * time.Second):
+		w.Abort(errors.New("test timeout"))
+		t.Fatal("world did not finish within 30s")
+		return w, nil
+	}
+}
+
+func TestBasicSendRecvEager(t *testing.T) {
+	var got Status
+	_, err := run(t, Config{Procs: 2}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send([]byte("hello"), 1, 7, trace.CommWorld)
+		case 1:
+			got = p.Recv(0, 7, trace.CommWorld)
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "hello" || got.Source != 0 || got.Tag != 7 {
+		t.Fatalf("status = %+v", got)
+	}
+}
+
+func TestBasicSendRecvRendezvous(t *testing.T) {
+	var got Status
+	_, err := run(t, Config{Procs: 2, SendMode: Rendezvous}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send([]byte{42}, 1, 0, trace.CommWorld)
+		case 1:
+			time.Sleep(10 * time.Millisecond) // force the send to wait
+			got = p.Recv(0, 0, trace.CommWorld)
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 1 || got.Data[0] != 42 {
+		t.Fatalf("status = %+v", got)
+	}
+}
+
+func TestWildcardRecvEmitsStatus(t *testing.T) {
+	sink := &collect{}
+	_, err := run(t, Config{Procs: 2, Sink: sink}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(nil, 1, 3, trace.CommWorld)
+		case 1:
+			st := p.Recv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+			if st.Source != 0 || st.Tag != 3 {
+				t.Errorf("recv status %+v", st)
+			}
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStatus bool
+	var enterTS = -1
+	for _, ev := range sink.all() {
+		if ev.Type == event.Enter && ev.Op.Proc == 1 && ev.Op.Kind == trace.Recv {
+			enterTS = ev.Op.TS
+		}
+		if ev.Type == event.Status && ev.Proc == 1 {
+			sawStatus = true
+			if ev.Src != 0 {
+				t.Errorf("status src = %d", ev.Src)
+			}
+			if enterTS < 0 || ev.TS != enterTS {
+				t.Errorf("status TS %d does not follow enter TS %d", ev.TS, enterTS)
+			}
+		}
+	}
+	if !sawStatus {
+		t.Fatal("no Status event for wildcard recv")
+	}
+}
+
+func TestNonOvertakingPerSender(t *testing.T) {
+	const n = 64
+	var got []byte
+	_, err := run(t, Config{Procs: 2}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < n; i++ {
+				p.Send([]byte{byte(i)}, 1, 0, trace.CommWorld)
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				st := p.Recv(0, 0, trace.CommWorld)
+				got = append(got, st.Data[0])
+			}
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != byte(i) {
+			t.Fatalf("message %d overtaken: got %d", i, got[i])
+		}
+	}
+}
+
+func TestTagSelectiveMatching(t *testing.T) {
+	_, err := run(t, Config{Procs: 2}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send([]byte{1}, 1, 10, trace.CommWorld)
+			p.Send([]byte{2}, 1, 20, trace.CommWorld)
+		case 1:
+			// Receive out of tag order: tag 20 first.
+			st := p.Recv(0, 20, trace.CommWorld)
+			if st.Data[0] != 2 {
+				t.Errorf("tag 20 delivered %v", st.Data)
+			}
+			st = p.Recv(0, 10, trace.CommWorld)
+			if st.Data[0] != 1 {
+				t.Errorf("tag 10 delivered %v", st.Data)
+			}
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	_, err := run(t, Config{Procs: 2}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send([]byte{9}, 1, 5, trace.CommWorld)
+		case 1:
+			st := p.Probe(trace.AnySource, trace.AnyTag, trace.CommWorld)
+			if st.Source != 0 || st.Tag != 5 {
+				t.Errorf("probe status %+v", st)
+			}
+			got := p.Recv(st.Source, st.Tag, trace.CommWorld)
+			if got.Data[0] != 9 {
+				t.Errorf("recv after probe %+v", got)
+			}
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobePolling(t *testing.T) {
+	_, err := run(t, Config{Procs: 2}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			time.Sleep(5 * time.Millisecond)
+			p.Send(nil, 1, 1, trace.CommWorld)
+		case 1:
+			for {
+				if _, ok := p.Iprobe(0, 1, trace.CommWorld); ok {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			p.Recv(0, 1, trace.CommWorld)
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	_, err := run(t, Config{Procs: 2, SendMode: Rendezvous}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			r1 := p.Isend([]byte{1}, 1, 0, trace.CommWorld)
+			r2 := p.Isend([]byte{2}, 1, 1, trace.CommWorld)
+			p.Waitall(r1, r2)
+		case 1:
+			r1 := p.Irecv(0, 1, trace.CommWorld)
+			r2 := p.Irecv(0, 0, trace.CommWorld)
+			sts := p.Waitall(r1, r2)
+			if sts[0].Data[0] != 2 || sts[1].Data[0] != 1 {
+				t.Errorf("waitall statuses %+v", sts)
+			}
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitanyReturnsFirstCompleted(t *testing.T) {
+	_, err := run(t, Config{Procs: 3}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			time.Sleep(20 * time.Millisecond)
+			p.Send([]byte{0}, 2, 0, trace.CommWorld)
+		case 1:
+			p.Send([]byte{1}, 2, 1, trace.CommWorld)
+		case 2:
+			rSlow := p.Irecv(0, 0, trace.CommWorld)
+			rFast := p.Irecv(1, 1, trace.CommWorld)
+			idx, st := p.Waitany(rSlow, rFast)
+			if idx != 1 || st.Data[0] != 1 {
+				t.Errorf("waitany idx=%d st=%+v", idx, st)
+			}
+			p.Wait(rSlow)
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardIrecvStatusAtWait(t *testing.T) {
+	sink := &collect{}
+	_, err := run(t, Config{Procs: 2, Sink: sink}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(nil, 1, 0, trace.CommWorld)
+		case 1:
+			r := p.Irecv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+			p.Wait(r)
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var irecvTS = -1
+	var statusTS = -2
+	for _, ev := range sink.all() {
+		if ev.Type == event.Enter && ev.Op.Proc == 1 && ev.Op.Kind == trace.Irecv {
+			irecvTS = ev.Op.TS
+		}
+		if ev.Type == event.Status && ev.Proc == 1 {
+			statusTS = ev.TS
+		}
+	}
+	if irecvTS != statusTS {
+		t.Fatalf("status must resolve the Irecv op: irecv TS %d, status TS %d", irecvTS, statusTS)
+	}
+}
+
+func TestSendrecvDecomposesAndWorks(t *testing.T) {
+	sink := &collect{}
+	const p = 4
+	_, err := run(t, Config{Procs: p, Sink: sink}, func(pr *Proc) {
+		right := (pr.Rank() + 1) % p
+		left := (pr.Rank() + p - 1) % p
+		st := pr.Sendrecv([]byte{byte(pr.Rank())}, right, 0, left, 0, trace.CommWorld)
+		if int(st.Data[0]) != left {
+			t.Errorf("rank %d received %d, want %d", pr.Rank(), st.Data[0], left)
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[trace.Kind]int{}
+	for _, ev := range sink.all() {
+		if ev.Type == event.Enter {
+			kinds[ev.Op.Kind]++
+		}
+	}
+	if kinds[trace.Isend] != p || kinds[trace.Irecv] != p || kinds[trace.Waitall] != p {
+		t.Fatalf("sendrecv must decompose into Isend+Irecv+Waitall per rank: %v", kinds)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	var mu sync.Mutex
+	before := 0
+	_, err := run(t, Config{Procs: p}, func(pr *Proc) {
+		mu.Lock()
+		before++
+		mu.Unlock()
+		pr.Barrier(trace.CommWorld)
+		mu.Lock()
+		if before != p {
+			t.Errorf("rank %d passed barrier with only %d arrivals", pr.Rank(), before)
+		}
+		mu.Unlock()
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveDataOps(t *testing.T) {
+	const p = 4
+	_, err := run(t, Config{Procs: p, SynchronizingCollectives: true}, func(pr *Proc) {
+		me := int64(pr.Rank() + 1)
+		buf := le64(me)
+
+		sum := de64(pr.Allreduce(buf, trace.CommWorld))
+		if sum != 1+2+3+4 {
+			t.Errorf("allreduce = %d", sum)
+		}
+
+		red := pr.Reduce(buf, 0, trace.CommWorld)
+		if pr.Rank() == 0 && de64(red) != 10 {
+			t.Errorf("reduce = %d", de64(red))
+		}
+
+		bc := pr.Bcast(le64(int64(pr.Rank()*100+7)), 2, trace.CommWorld)
+		if de64(bc) != 207 {
+			t.Errorf("bcast = %d", de64(bc))
+		}
+
+		g := pr.Gather(buf, 1, trace.CommWorld)
+		if pr.Rank() == 1 {
+			for i, b := range g {
+				if de64(b) != int64(i+1) {
+					t.Errorf("gather[%d] = %d", i, de64(b))
+				}
+			}
+		}
+
+		sc := de64(pr.Scan(buf, trace.CommWorld))
+		want := int64(0)
+		for i := 0; i <= pr.Rank(); i++ {
+			want += int64(i + 1)
+		}
+		if sc != want {
+			t.Errorf("scan = %d want %d", sc, want)
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	const p = 4
+	_, err := run(t, Config{Procs: p}, func(pr *Proc) {
+		v := le64(int64(pr.Rank() + 1)) // 1, 2, 3, 4
+		if got := de64(pr.AllreduceWith(v, OpMax, trace.CommWorld)); got != 4 {
+			t.Errorf("max = %d", got)
+		}
+		if got := de64(pr.AllreduceWith(v, OpMin, trace.CommWorld)); got != 1 {
+			t.Errorf("min = %d", got)
+		}
+		if got := de64(pr.AllreduceWith(v, OpProd, trace.CommWorld)); got != 24 {
+			t.Errorf("prod = %d", got)
+		}
+		r := pr.ReduceWith(v, OpMax, 2, trace.CommWorld)
+		if pr.Rank() == 2 && de64(r) != 4 {
+			t.Errorf("reduce max = %d", de64(r))
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestsome(t *testing.T) {
+	_, err := run(t, Config{Procs: 3}, func(pr *Proc) {
+		switch pr.Rank() {
+		case 0:
+			r1 := pr.Irecv(1, 0, trace.CommWorld)
+			r2 := pr.Irecv(2, 0, trace.CommWorld)
+			// Wait until at least one is done, then Testsome.
+			for {
+				idxs, sts := pr.Testsome(r1, r2)
+				if len(idxs) > 0 {
+					for i := range idxs {
+						if len(sts[i].Data) != 1 {
+							t.Errorf("testsome status %v", sts[i])
+						}
+					}
+					// Complete the rest.
+					if len(idxs) == 1 {
+						if idxs[0] == 0 {
+							pr.Wait(r2)
+						} else {
+							pr.Wait(r1)
+						}
+					}
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		default:
+			pr.Send([]byte{byte(pr.Rank())}, 0, 0, trace.CommWorld)
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallSiteCapture(t *testing.T) {
+	sink := &collect{}
+	_, err := run(t, Config{Procs: 2, Sink: sink, TrackCallSites: true}, func(pr *Proc) {
+		if pr.Rank() == 0 {
+			pr.Send(nil, 1, 0, trace.CommWorld)
+		} else {
+			pr.Recv(0, 0, trace.CommWorld)
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sink.all() {
+		if ev.Type == event.Enter && ev.Op.Kind == trace.Send {
+			if ev.Op.File == "" || ev.Op.Line == 0 {
+				t.Fatalf("call site missing: %+v", ev.Op)
+			}
+			if !strings.Contains(ev.Op.File, "mpisim_test.go") {
+				t.Fatalf("call site points at %s, want the test file", ev.Op.File)
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const p = 4
+	_, err := run(t, Config{Procs: p}, func(pr *Proc) {
+		buf := make([]byte, p)
+		for i := range buf {
+			buf[i] = byte(pr.Rank()*10 + i)
+		}
+		out := pr.Alltoall(buf, trace.CommWorld)
+		for i := 0; i < p; i++ {
+			if out[i] != byte(i*10+pr.Rank()) {
+				t.Errorf("rank %d alltoall[%d] = %d", pr.Rank(), i, out[i])
+			}
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitAndDup(t *testing.T) {
+	const p = 6
+	w, err := run(t, Config{Procs: p}, func(pr *Proc) {
+		// Split into even/odd ranks.
+		sub := pr.CommSplit(trace.CommWorld, pr.Rank()%2, pr.Rank())
+		group := pr.World().CommGroup(sub)
+		if len(group) != 3 {
+			t.Errorf("rank %d: subgroup size %d", pr.Rank(), len(group))
+		}
+		// Ring within the subgroup using group ranks.
+		c := pr.World().comm(sub)
+		gr := c.groupRank(pr.Rank())
+		right := (gr + 1) % 3
+		left := (gr + 2) % 3
+		st := pr.Sendrecv([]byte{byte(gr)}, right, 0, left, 0, sub)
+		if int(st.Data[0]) != left {
+			t.Errorf("rank %d subring got %d want %d", pr.Rank(), st.Data[0], left)
+		}
+		dup := pr.CommDup(sub)
+		pr.Barrier(dup)
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+}
+
+func TestRecvRecvDeadlockTriggersWatchdog(t *testing.T) {
+	_, err := run(t, Config{Procs: 2, HangTimeout: 50 * time.Millisecond}, func(p *Proc) {
+		peer := 1 - p.Rank()
+		p.Recv(peer, 0, trace.CommWorld)
+		p.Send(nil, peer, 0, trace.CommWorld)
+		p.Finalize()
+	})
+	if !errors.Is(err, ErrHang) {
+		t.Fatalf("err = %v, want ErrHang", err)
+	}
+}
+
+func TestSendSendSafeWhenBuffered(t *testing.T) {
+	_, err := run(t, Config{Procs: 2}, func(p *Proc) {
+		peer := 1 - p.Rank()
+		p.Send(nil, peer, 0, trace.CommWorld)
+		p.Recv(peer, 0, trace.CommWorld)
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatalf("buffered send-send must complete: %v", err)
+	}
+}
+
+func TestSendSendDeadlocksWhenRendezvous(t *testing.T) {
+	_, err := run(t, Config{Procs: 2, SendMode: Rendezvous, HangTimeout: 50 * time.Millisecond}, func(p *Proc) {
+		peer := 1 - p.Rank()
+		p.Send(nil, peer, 0, trace.CommWorld)
+		p.Recv(peer, 0, trace.CommWorld)
+		p.Finalize()
+	})
+	if !errors.Is(err, ErrHang) {
+		t.Fatalf("err = %v, want ErrHang", err)
+	}
+}
+
+func TestBufferSlotExhaustionDegradesToRendezvous(t *testing.T) {
+	// With one buffer slot, the second send must block until a receive
+	// drains the first; a send-send pattern with 2 messages each deadlocks.
+	_, err := run(t, Config{Procs: 2, BufferSlots: 1, HangTimeout: 100 * time.Millisecond}, func(p *Proc) {
+		peer := 1 - p.Rank()
+		p.Send(nil, peer, 0, trace.CommWorld)
+		p.Send(nil, peer, 1, trace.CommWorld) // blocks: no slot
+		p.Recv(peer, 0, trace.CommWorld)
+		p.Recv(peer, 1, trace.CommWorld)
+		p.Finalize()
+	})
+	if !errors.Is(err, ErrHang) {
+		t.Fatalf("err = %v, want ErrHang", err)
+	}
+}
+
+func TestNonSynchronizingReduceAllowsLateSendEarlyMatch(t *testing.T) {
+	// Figure 4: with a non-synchronizing reduce, process 2's send (after the
+	// reduce) can match process 1's FIRST wildcard receive if it arrives
+	// before process 0's send.
+	for trial := 0; trial < 20; trial++ {
+		var first Status
+		_, err := run(t, Config{Procs: 3}, func(p *Proc) {
+			switch p.Rank() {
+			case 0:
+				time.Sleep(5 * time.Millisecond) // delay send past the reduce
+				p.Send([]byte{0}, 1, 0, trace.CommWorld)
+				p.Reduce(nil, 1, trace.CommWorld)
+			case 1:
+				first = p.Recv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+				p.Reduce(nil, 1, trace.CommWorld)
+				p.Recv(trace.AnySource, trace.AnyTag, trace.CommWorld)
+			case 2:
+				p.Reduce(nil, 1, trace.CommWorld) // non-root: leaves early
+				p.Send([]byte{2}, 1, 0, trace.CommWorld)
+			}
+			p.Finalize()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Source == 2 {
+			return // observed the unexpected interleaving
+		}
+	}
+	t.Fatal("never observed process 2's post-reduce send matching the first wildcard receive")
+}
+
+func TestAbortUnblocksEverything(t *testing.T) {
+	w := NewWorld(Config{Procs: 4})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(p *Proc) {
+			if p.Rank() == 0 {
+				p.Recv(1, 0, trace.CommWorld) // blocks forever
+			} else {
+				p.Barrier(trace.CommWorld) // blocks forever (rank 0 absent)
+			}
+			p.Finalize()
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cause := errors.New("tool abort")
+	w.Abort(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not unblock the world")
+	}
+}
+
+func TestEventStreamPerRankOrdered(t *testing.T) {
+	sink := &collect{}
+	const p = 4
+	_, err := run(t, Config{Procs: p, Sink: sink}, func(pr *Proc) {
+		right := (pr.Rank() + 1) % p
+		left := (pr.Rank() + p - 1) % p
+		for i := 0; i < 5; i++ {
+			pr.Sendrecv(nil, right, 0, left, 0, trace.CommWorld)
+			pr.Barrier(trace.CommWorld)
+		}
+		pr.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastTS := map[int]int{}
+	for _, ev := range sink.all() {
+		if ev.Type != event.Enter {
+			continue
+		}
+		last, ok := lastTS[ev.Op.Proc]
+		if ok && ev.Op.TS != last+1 {
+			t.Fatalf("rank %d: TS %d after %d", ev.Op.Proc, ev.Op.TS, last)
+		}
+		if !ok && ev.Op.TS != 0 {
+			t.Fatalf("rank %d: first TS %d", ev.Op.Proc, ev.Op.TS)
+		}
+		lastTS[ev.Op.Proc] = ev.Op.TS
+	}
+}
+
+func le64(v int64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+func de64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,189 @@
+package mpisim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dwst/internal/trace"
+)
+
+// envelope is one in-flight point-to-point message.
+type envelope struct {
+	src, tag int
+	comm     trace.CommID
+	data     []byte
+
+	// matched is closed when a receive consumes the envelope; rendezvous
+	// senders block on it. Nil for eager envelopes.
+	matched chan struct{}
+
+	// eagerOut, when non-nil, is decremented by the consumer — the sender's
+	// outstanding buffered-send counter.
+	eagerOut *atomic.Int32
+}
+
+// postedRecv is a receive or probe waiting in a mailbox.
+type postedRecv struct {
+	src, tag int
+	comm     trace.CommID
+	probe    bool
+	req      *Request // completion target; env delivered into req
+}
+
+// mailbox holds the per-rank matching state: unexpected messages in arrival
+// order and posted receives in post order. Both scans take the first match,
+// which yields MPI's per-(sender, comm) non-overtaking matching order.
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []*envelope
+	posted     []*postedRecv
+}
+
+func matches(pr *postedRecv, env *envelope) bool {
+	return pr.comm == env.comm &&
+		(pr.src == trace.AnySource || pr.src == env.src) &&
+		(pr.tag == trace.AnyTag || pr.tag == env.tag)
+}
+
+// depositLocked handles an arriving envelope: satisfy all leading matching
+// probes, then either deliver to the first matching posted receive or queue
+// as unexpected. Returns true if a real receive consumed the envelope.
+func (mb *mailbox) depositLocked(env *envelope) bool {
+	for i := 0; i < len(mb.posted); {
+		pr := mb.posted[i]
+		if !matches(pr, env) {
+			i++
+			continue
+		}
+		mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+		if pr.probe {
+			pr.req.deliver(env, false)
+			continue // probe does not consume; keep scanning at same index
+		}
+		pr.req.deliver(env, true)
+		return true
+	}
+	mb.unexpected = append(mb.unexpected, env)
+	return false
+}
+
+// postLocked handles a receive/probe: match against the unexpected queue or
+// append to the posted list. Returns true if satisfied immediately.
+func (mb *mailbox) postLocked(pr *postedRecv) bool {
+	for i, env := range mb.unexpected {
+		if !matches(pr, env) {
+			continue
+		}
+		if pr.probe {
+			pr.req.deliver(env, false)
+			return true
+		}
+		mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+		pr.req.deliver(env, true)
+		return true
+	}
+	mb.posted = append(mb.posted, pr)
+	return false
+}
+
+// sendCommon implements all send flavours. kind determines blocking
+// behaviour; data is the payload.
+func (p *Proc) sendCommon(kind trace.Kind, dest int, tag int, comm trace.CommID, data []byte, req *Request) {
+	c := p.w.comm(comm)
+	destWorld := c.worldRank(dest)
+	target := p.w.procs[destWorld]
+
+	// Decide the effective mode.
+	synchronous := kind == trace.Ssend || kind == trace.Issend
+	if (kind == trace.Send || kind == trace.Isend) && p.w.cfg.SendMode == Rendezvous {
+		synchronous = true
+	}
+	if kind == trace.Send && p.w.cfg.SsendEvery > 0 {
+		if p.sends%p.w.cfg.SsendEvery == p.w.cfg.SsendEvery-1 {
+			synchronous = true
+		}
+	}
+	if kind == trace.Send || kind == trace.Isend {
+		p.sends++
+	}
+	// Eager buffering may be exhausted: standard sends then degrade to
+	// rendezvous, which is exactly the behaviour that makes send–send
+	// patterns unsafe.
+	eager := !synchronous
+	if eager && (kind == trace.Send || kind == trace.Isend) &&
+		int(p.eagerCounter.Load()) >= p.w.cfg.BufferSlots {
+		eager = false
+	}
+
+	env := &envelope{src: c.groupRank(p.rank), tag: tag, comm: comm, data: append([]byte(nil), data...)}
+	if eager {
+		// Track outstanding eager messages for the buffered-send cost model.
+		p.eagerCounter.Add(1)
+		env.eagerOut = &p.eagerCounter
+	} else {
+		env.matched = make(chan struct{})
+	}
+
+	mb := &target.mbox
+	mb.mu.Lock()
+	consumed := mb.depositLocked(env)
+	mb.mu.Unlock()
+
+	if p.w.cfg.BufferedSendCost > 0 && eager && !consumed {
+		// Model MPI-internal handling of buffered-send backlogs: cost grows
+		// with the number of outstanding buffered messages.
+		out := int(p.eagerCounter.Load())
+		if out > 0 {
+			spin(out * p.w.cfg.BufferedSendCost)
+		}
+	}
+
+	switch {
+	case req != nil && eager:
+		req.complete(nil) // buffered: request already complete
+	case req != nil:
+		// Non-blocking synchronous: request completes when matched.
+		go func() {
+			select {
+			case <-env.matched:
+				req.complete(nil)
+			case <-p.w.abortCh:
+			}
+		}()
+	case eager:
+		// Blocking eager send: returns immediately.
+	default:
+		// Blocking synchronous/rendezvous send.
+		p.waitAbortable(env.matched)
+	}
+	p.w.noteProgress()
+}
+
+// recvCommon implements blocking and non-blocking receives and probes.
+// It returns the posted receive whose request resolves with the message.
+func (p *Proc) recvCommon(kind trace.Kind, src int, tag int, comm trace.CommID, req *Request) {
+	pr := &postedRecv{
+		src:   src, // group rank within comm, or AnySource
+		tag:   tag,
+		comm:  comm,
+		probe: kind.IsProbe(),
+		req:   req,
+	}
+	mb := &p.mbox
+	mb.mu.Lock()
+	mb.postLocked(pr)
+	mb.mu.Unlock()
+}
+
+// unpost removes a posted entry (used by failed Iprobe polls).
+func (p *Proc) unpost(req *Request) {
+	mb := &p.mbox
+	mb.mu.Lock()
+	for i, pr := range mb.posted {
+		if pr.req == req {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			break
+		}
+	}
+	mb.mu.Unlock()
+}

@@ -1,0 +1,144 @@
+package mpisim
+
+import (
+	"sync"
+
+	"dwst/internal/trace"
+)
+
+// Request is the handle of a non-blocking operation (and, internally, of
+// blocking receives/probes while they wait).
+type Request struct {
+	id       trace.ReqID
+	kind     trace.Kind
+	owner    *Proc
+	wildcard bool
+
+	mu        sync.Mutex
+	completed bool
+	env       *envelope // delivered message (receives/probes)
+	done      chan struct{}
+	waiters   []chan struct{} // Waitany/Waitsome wakeups
+
+	// statusEmitted records whether the owner already reported the wildcard
+	// resolution to the tool.
+	statusEmitted bool
+	// ts is the timestamp of the operation that created the request, for
+	// Status events.
+	ts int
+}
+
+// ID returns the request identifier (unique per rank).
+func (r *Request) ID() trace.ReqID { return r.id }
+
+// deliver hands an envelope to the request and completes it. consume
+// reports whether the receive consumed the message (probes do not).
+func (r *Request) deliver(env *envelope, consume bool) {
+	if consume {
+		if env.matched != nil {
+			close(env.matched)
+		}
+		if env.eagerOut != nil {
+			env.eagerOut.Add(-1)
+		}
+	}
+	r.complete(env)
+}
+
+// complete marks the request complete (idempotent) and wakes any-waiters.
+func (r *Request) complete(env *envelope) {
+	r.mu.Lock()
+	if !r.completed {
+		r.completed = true
+		r.env = env
+		close(r.done)
+		for _, w := range r.waiters {
+			select {
+			case w <- struct{}{}:
+			default:
+			}
+		}
+		r.waiters = nil
+	}
+	r.mu.Unlock()
+}
+
+// addWaiter registers a wakeup channel for Waitany/Waitsome. If the request
+// is already complete the channel is signalled immediately.
+func (r *Request) addWaiter(w chan struct{}) {
+	r.mu.Lock()
+	if r.completed {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	} else {
+		r.waiters = append(r.waiters, w)
+	}
+	r.mu.Unlock()
+}
+
+// removeWaiter unregisters a wakeup channel.
+func (r *Request) removeWaiter(w chan struct{}) {
+	r.mu.Lock()
+	for i, x := range r.waiters {
+		if x == w {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+}
+
+// isComplete reports completion without blocking.
+func (r *Request) isComplete() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completed
+}
+
+// result returns the delivered envelope (nil for sends).
+func (r *Request) result() *envelope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.env
+}
+
+// Status describes a completed receive: the actual source (group rank
+// within the receive's communicator), the tag, and the payload.
+type Status struct {
+	Source int
+	Tag    int
+	Data   []byte
+}
+
+func statusOf(env *envelope) Status {
+	if env == nil {
+		return Status{Source: trace.AnySource, Tag: trace.AnyTag}
+	}
+	return Status{Source: env.src, Tag: env.tag, Data: env.data}
+}
+
+// emitPendingStatus reports the wildcard resolution of a completed receive
+// request once. Must be called from the owner's goroutine.
+func (r *Request) emitPendingStatus() {
+	if !r.wildcard || r.statusEmitted {
+		return
+	}
+	env := r.result()
+	if env == nil {
+		return
+	}
+	r.statusEmitted = true
+	r.owner.status(r.ts, env.src)
+}
+
+// wait blocks until the request completes or the world aborts.
+func (r *Request) wait() {
+	r.owner.waitAbortable(r.done)
+}
+
+// free removes the request from the owner's table.
+func (r *Request) free() {
+	delete(r.owner.reqs, r.id)
+}

@@ -1,0 +1,148 @@
+// Package report generates the user-facing deadlock outputs, mirroring
+// MUST's reporting: an HTML error report and a DOT rendering of the
+// wait-for graph of the deadlocked processes. Output generation is a
+// measured phase of detection (Figure 10(b) shows it dominating at scale).
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"dwst/internal/dws"
+	"dwst/internal/waitstate"
+	"dwst/internal/wfg"
+)
+
+// UnexpectedMatch describes a Section 3.3 situation in a report.
+type UnexpectedMatch struct {
+	RecvRank, RecvTS               int
+	MatchedSendRank, MatchedSendTS int
+	ActiveSendRank, ActiveSendTS   int
+}
+
+// Data is the input of HTML report generation.
+type Data struct {
+	Procs             int
+	Deadlocked        []int
+	Cycle             []int
+	Entries           map[int]dws.WaitEntry
+	UnexpectedMatches []UnexpectedMatch
+	Arcs              int
+}
+
+// DOT renders the wait-for graph of the given processes.
+func DOT(g *wfg.Graph, procs []int) string {
+	var sb strings.Builder
+	if err := g.DOT(&sb, procs); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html>
+<head><title>MUST-style Deadlock Report</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 4px 8px; }
+.err { color: #b00; font-weight: bold; }
+</style></head>
+<body>
+<h1>Deadlock detected</h1>
+<p class="err">{{.NumDead}} of {{.Procs}} processes are deadlocked
+({{.Arcs}} wait-for arcs).</p>
+{{if .Cycle}}<p>Dependency cycle: {{.CycleStr}}</p>{{end}}
+<h2>Wait-for conditions</h2>
+<table>
+<tr><th>Rank</th><th>Operation</th><th>Semantics</th><th>Condition</th></tr>
+{{range .Rows}}<tr><td>{{.Rank}}</td><td>{{.Op}}</td><td>{{.Sem}}</td><td>{{.Desc}}</td></tr>
+{{end}}</table>
+{{if .Unexpected}}
+<h2>Unexpected matches (unsafe wildcard receives)</h2>
+<ul>
+{{range .Unexpected}}<li>{{.}}</li>
+{{end}}</ul>
+<p>The strict blocking model (all standard sends blocking, all collectives
+synchronizing) disagreed with the matching decisions of the MPI
+implementation; the reported deadlock may not manifest with every MPI
+library, but the program is unsafe.</p>
+{{end}}
+</body></html>
+`))
+
+type row struct {
+	Rank int
+	Op   string
+	Sem  string
+	Desc string
+}
+
+// HTML renders the deadlock report.
+func HTML(d *Data) string {
+	rows := make([]row, 0, len(d.Deadlocked))
+	for _, r := range d.Deadlocked {
+		e := d.Entries[r]
+		sem := "AND"
+		if e.Sem == dws.SemOr {
+			sem = "OR"
+		}
+		rows = append(rows, row{
+			Rank: r,
+			Op:   fmt.Sprintf("%v (timestamp %d)", e.Kind, e.TS),
+			Sem:  sem,
+			Desc: e.Desc,
+		})
+	}
+	cyc := make([]string, 0, len(d.Cycle))
+	for _, c := range d.Cycle {
+		cyc = append(cyc, fmt.Sprintf("rank %d", c))
+	}
+	ums := make([]string, 0, len(d.UnexpectedMatches))
+	for _, u := range d.UnexpectedMatches {
+		ums = append(ums, fmt.Sprintf(
+			"wildcard receive (rank %d, ts %d) matched the inactive send (rank %d, ts %d) while the active send (rank %d, ts %d) could match it",
+			u.RecvRank, u.RecvTS, u.MatchedSendRank, u.MatchedSendTS, u.ActiveSendRank, u.ActiveSendTS))
+	}
+	var sb strings.Builder
+	err := htmlTmpl.Execute(&sb, map[string]any{
+		"Procs":      d.Procs,
+		"NumDead":    len(d.Deadlocked),
+		"Arcs":       d.Arcs,
+		"Cycle":      d.Cycle,
+		"CycleStr":   strings.Join(cyc, " → ") + " → " + firstCycle(cyc),
+		"Rows":       rows,
+		"Unexpected": ums,
+	})
+	if err != nil {
+		return fmt.Sprintf("<html><body>report generation failed: %v</body></html>", err)
+	}
+	return sb.String()
+}
+
+func firstCycle(cyc []string) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	return cyc[0]
+}
+
+// HTMLFromWaitInfo renders a deadlock report from reference wait-state
+// conditions (used by the centralized baseline, which computes waitstate
+// WaitInfo directly instead of distributed WaitEntry records).
+func HTMLFromWaitInfo(p int, dead, cycle []int, entries map[int]waitstate.WaitInfo, arcs int) string {
+	d := &Data{Procs: p, Deadlocked: dead, Cycle: cycle, Arcs: arcs,
+		Entries: make(map[int]dws.WaitEntry, len(entries))}
+	for r, w := range entries {
+		sem := dws.SemAnd
+		if w.Semantics == waitstate.OrWait {
+			sem = dws.SemOr
+		}
+		d.Entries[r] = dws.WaitEntry{
+			Rank: r, State: dws.Blocked, Kind: w.Kind, TS: w.Op.TS,
+			Sem: sem, Desc: w.Desc, Targets: w.Targets,
+		}
+	}
+	return HTML(d)
+}

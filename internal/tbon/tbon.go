@@ -1,0 +1,431 @@
+// Package tbon implements the Tree-Based Overlay Network the tool runs on,
+// the analogue of the paper's GTI infrastructure [11]: a tree of tool nodes
+// with a configurable fan-in, FIFO (non-overtaking) links, downward
+// broadcast, and direct intralayer links between first-layer nodes [13].
+// Order-preserving aggregation [12] is built by the layers above (collective
+// matching); tbon provides the guarantees those algorithms rely on:
+//
+//   - per-link FIFO: messages between any (sender, receiver) pair arrive in
+//     send order — upward, downward, and on intralayer links;
+//   - every node processes its messages in a single goroutine, so handler
+//     state needs no locking;
+//   - tool-internal links never deadlock: they are pumped queues that
+//     accept unboundedly, so cyclic intralayer flows (A→B while B→A) cannot
+//     wedge the tool.
+//
+// Application ranks feed the first tool layer through Inject over bounded
+// links, which apply backpressure when the tool lags — the mechanism behind
+// measured tool slowdown.
+package tbon
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes the tree.
+type Config struct {
+	// Leaves is the number of application ranks.
+	Leaves int
+	// FanIn is the maximum number of children per node (≥ 2; the paper
+	// evaluates 2, 4 and 8).
+	FanIn int
+	// EventBuf is the capacity of the rank → first-layer links. Small
+	// buffers emphasize backpressure; default 256.
+	EventBuf int
+	// PreferWaitState makes first-layer node loops drain intralayer
+	// (wait-state) messages before application events — the paper's
+	// future-work mitigation for trace-window growth (Sec. 4.2).
+	PreferWaitState bool
+	// LinkDelay, when positive, delays every tool-internal message by this
+	// duration in the link pumps — fault injection for protocol robustness
+	// tests (simulating slow network links between tool nodes). Per-link
+	// FIFO order is preserved.
+	LinkDelay time.Duration
+}
+
+// Handler is the per-node tool logic. All methods run on the node's
+// goroutine.
+type Handler interface {
+	// FromRank delivers an application event from a hosted rank
+	// (first-layer nodes only).
+	FromRank(rank int, ev any)
+	// FromChild delivers a tool message from child node index child.
+	FromChild(child int, msg any)
+	// FromParent delivers a broadcast/control message from the parent.
+	FromParent(msg any)
+	// FromPeer delivers an intralayer message (first layer only).
+	FromPeer(peer int, msg any)
+	// Control delivers an out-of-band message injected by the driver
+	// (e.g. the timeout trigger for deadlock detection at the root).
+	Control(msg any)
+}
+
+type envelope struct {
+	from int
+	msg  any
+}
+
+// queue is an unbounded FIFO link: senders enqueue without ever blocking
+// permanently; a pump goroutine feeds the consumer channel in order.
+type queue struct {
+	in  chan envelope
+	out chan envelope
+}
+
+func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration) *queue {
+	q := &queue{in: make(chan envelope, 64), out: make(chan envelope, 64)}
+	wg.Add(1)
+	// hold applies the fault-injection delay to one message (quit-aware).
+	hold := func() bool {
+		if delay <= 0 {
+			return true
+		}
+		select {
+		case <-time.After(delay):
+			return true
+		case <-quit:
+			return false
+		}
+	}
+	go func() {
+		defer wg.Done()
+		var buf []envelope
+		for {
+			if len(buf) == 0 {
+				select {
+				case e := <-q.in:
+					if !hold() {
+						return
+					}
+					buf = append(buf, e)
+				case <-quit:
+					return
+				}
+			}
+			select {
+			case e := <-q.in:
+				if !hold() {
+					return
+				}
+				buf = append(buf, e)
+			case q.out <- buf[0]:
+				buf = buf[1:]
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return q
+}
+
+func (q *queue) send(e envelope, quit <-chan struct{}) {
+	select {
+	case q.in <- e:
+	case <-quit:
+	}
+}
+
+// Node is one tool process in the tree.
+type Node struct {
+	tree  *Tree
+	layer int // 0 = first tool layer
+	index int
+
+	parent   *Node
+	children []int // child node indices (layer ≥ 1)
+
+	events    chan envelope // app events (layer 0; bounded)
+	fromBelow *queue        // tool messages from children / self
+	fromAbove *queue        // broadcasts from parent
+	fromPeer  *queue        // intralayer (layer 0)
+	control   chan envelope
+
+	handler Handler
+}
+
+// Tree is the whole overlay.
+type Tree struct {
+	cfg      Config
+	layers   [][]*Node
+	leafNode []*Node // leafNode[rank] hosts the rank
+
+	injected atomic.Uint64
+	handled  atomic.Uint64
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New builds the tree topology (without starting node loops).
+func New(cfg Config) *Tree {
+	if cfg.Leaves <= 0 {
+		panic("tbon: Leaves must be positive")
+	}
+	if cfg.FanIn < 2 {
+		panic("tbon: FanIn must be at least 2")
+	}
+	if cfg.EventBuf == 0 {
+		cfg.EventBuf = 256
+	}
+	t := &Tree{cfg: cfg, quit: make(chan struct{})}
+
+	width := (cfg.Leaves + cfg.FanIn - 1) / cfg.FanIn
+	prevWidth := 0
+	layer := 0
+	for {
+		nodes := make([]*Node, width)
+		for i := range nodes {
+			n := &Node{
+				tree:      t,
+				layer:     layer,
+				index:     i,
+				fromBelow: newQueue(t.quit, &t.wg, cfg.LinkDelay),
+				fromAbove: newQueue(t.quit, &t.wg, cfg.LinkDelay),
+				control:   make(chan envelope, 16),
+			}
+			if layer == 0 {
+				n.events = make(chan envelope, cfg.EventBuf)
+				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay)
+			} else {
+				lo := i * cfg.FanIn
+				hi := lo + cfg.FanIn
+				if hi > prevWidth {
+					hi = prevWidth
+				}
+				for c := lo; c < hi; c++ {
+					n.children = append(n.children, c)
+				}
+			}
+			nodes[i] = n
+		}
+		t.layers = append(t.layers, nodes)
+		if layer > 0 {
+			for _, child := range t.layers[layer-1] {
+				child.parent = nodes[child.index/cfg.FanIn]
+			}
+		}
+		if width == 1 {
+			break
+		}
+		prevWidth = width
+		width = (width + cfg.FanIn - 1) / cfg.FanIn
+		layer++
+	}
+
+	t.leafNode = make([]*Node, cfg.Leaves)
+	for r := 0; r < cfg.Leaves; r++ {
+		t.leafNode[r] = t.layers[0][r/cfg.FanIn]
+	}
+	return t
+}
+
+// Start launches one goroutine per node. mkHandler constructs the handler
+// for each node before any message flows.
+func (t *Tree) Start(mkHandler func(n *Node) Handler) {
+	t.startOnce.Do(func() {
+		for _, layer := range t.layers {
+			for _, n := range layer {
+				n.handler = mkHandler(n)
+			}
+		}
+		for _, layer := range t.layers {
+			for _, n := range layer {
+				t.wg.Add(1)
+				go n.loop()
+			}
+		}
+	})
+}
+
+// Stop terminates all node loops and pumps and waits for them.
+func (t *Tree) Stop() {
+	t.stopOnce.Do(func() { close(t.quit) })
+	t.wg.Wait()
+}
+
+// Inject delivers an application event to the first-layer node hosting the
+// rank. It blocks when the node's event queue is full (backpressure) and
+// drops the event after the tree stopped.
+func (t *Tree) Inject(rank int, ev any) {
+	n := t.leafNode[rank]
+	select {
+	case n.events <- envelope{from: rank, msg: ev}:
+		t.injected.Add(1)
+	case <-t.quit:
+	}
+}
+
+// Injected returns the number of injected application events.
+func (t *Tree) Injected() uint64 { return t.injected.Load() }
+
+// Handled returns the number of messages processed across all nodes; stable
+// Injected and Handled values indicate quiescence.
+func (t *Tree) Handled() uint64 { return t.handled.Load() }
+
+// FirstLayer returns the first tool layer.
+func (t *Tree) FirstLayer() []*Node { return t.layers[0] }
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.layers[len(t.layers)-1][0] }
+
+// Layers returns the number of tool layers.
+func (t *Tree) Layers() int { return len(t.layers) }
+
+// NumNodes returns the total number of tool nodes.
+func (t *Tree) NumNodes() int {
+	n := 0
+	for _, l := range t.layers {
+		n += len(l)
+	}
+	return n
+}
+
+// NodeFor returns the index of the first-layer node hosting rank.
+func (t *Tree) NodeFor(rank int) int { return rank / t.cfg.FanIn }
+
+// RanksOf returns the application ranks hosted by first-layer node idx.
+func (t *Tree) RanksOf(idx int) []int {
+	lo := idx * t.cfg.FanIn
+	hi := lo + t.cfg.FanIn
+	if hi > t.cfg.Leaves {
+		hi = t.cfg.Leaves
+	}
+	ranks := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}
+
+// Control injects an out-of-band message into a node. Safe from any
+// goroutine.
+func (t *Tree) Control(n *Node, msg any) {
+	select {
+	case n.control <- envelope{msg: msg}:
+	case <-t.quit:
+	}
+}
+
+// --- Node methods (callable from the node's handler) ---
+
+// Layer returns the node's layer (0 = first tool layer).
+func (n *Node) Layer() int { return n.layer }
+
+// Index returns the node's index within its layer.
+func (n *Node) Index() int { return n.index }
+
+// IsRoot reports whether this node is the tree root.
+func (n *Node) IsRoot() bool { return n.parent == nil }
+
+// IsFirstLayer reports whether this node is in the first tool layer.
+func (n *Node) IsFirstLayer() bool { return n.layer == 0 }
+
+// Children returns the child node indices (empty on the first layer).
+func (n *Node) Children() []int { return n.children }
+
+// NumPeers returns the number of first-layer nodes.
+func (n *Node) NumPeers() int { return len(n.tree.layers[0]) }
+
+// Tree returns the owning tree.
+func (n *Node) Tree() *Tree { return n.tree }
+
+// SendUp sends a tool message to the parent. On the root, the message is
+// delivered back to the root itself via FromChild(own index) — aggregation
+// logic then works uniformly on trees of any depth.
+func (n *Node) SendUp(msg any) {
+	target := n.parent
+	if target == nil {
+		target = n
+	}
+	target.fromBelow.send(envelope{from: n.index, msg: msg}, n.tree.quit)
+}
+
+// Broadcast sends a message down to all children; first-layer nodes have no
+// children, so handlers there act on the message instead of forwarding.
+func (n *Node) Broadcast(msg any) {
+	if n.layer == 0 {
+		return
+	}
+	below := n.tree.layers[n.layer-1]
+	for _, c := range n.children {
+		below[c].fromAbove.send(envelope{msg: msg}, n.tree.quit)
+	}
+}
+
+// SendPeer sends an intralayer message to first-layer node peer (self-sends
+// are delivered through the queue, keeping handlers single-threaded).
+func (n *Node) SendPeer(peer int, msg any) {
+	if n.layer != 0 {
+		panic(fmt.Sprintf("tbon: intralayer send from layer %d", n.layer))
+	}
+	n.tree.layers[0][peer].fromPeer.send(envelope{from: n.index, msg: msg}, n.tree.quit)
+}
+
+// loop is the node's message pump.
+func (n *Node) loop() {
+	defer n.tree.wg.Done()
+	quit := n.tree.quit
+	for {
+		if n.layer == 0 {
+			// Wait-state priority: handle intralayer and parent messages
+			// before new application events when configured.
+			if n.tree.cfg.PreferWaitState {
+				select {
+				case env := <-n.fromPeer.out:
+					n.dispatchPeer(env)
+					continue
+				case env := <-n.fromAbove.out:
+					n.dispatchParent(env)
+					continue
+				default:
+				}
+			}
+			select {
+			case env := <-n.control:
+				n.tree.handled.Add(1)
+				n.handler.Control(env.msg)
+			case env := <-n.fromPeer.out:
+				n.dispatchPeer(env)
+			case env := <-n.fromAbove.out:
+				n.dispatchParent(env)
+			case env := <-n.fromBelow.out:
+				n.tree.handled.Add(1)
+				n.handler.FromChild(env.from, env.msg)
+			case env := <-n.events:
+				n.tree.handled.Add(1)
+				n.handler.FromRank(env.from, env.msg)
+			case <-quit:
+				return
+			}
+			continue
+		}
+		select {
+		case env := <-n.control:
+			n.tree.handled.Add(1)
+			n.handler.Control(env.msg)
+		case env := <-n.fromAbove.out:
+			n.dispatchParent(env)
+		case env := <-n.fromBelow.out:
+			n.tree.handled.Add(1)
+			n.handler.FromChild(env.from, env.msg)
+		case <-quit:
+			return
+		}
+	}
+}
+
+func (n *Node) dispatchPeer(env envelope) {
+	n.tree.handled.Add(1)
+	n.handler.FromPeer(env.from, env.msg)
+}
+
+func (n *Node) dispatchParent(env envelope) {
+	n.tree.handled.Add(1)
+	n.handler.FromParent(env.msg)
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CollMatch is a complete set C of matching collective operations: one
+// participating operation per process of the communicator's group.
+type CollMatch struct {
+	Comm CommID
+	Ops  []Ref // one per participant, ascending by Proc
+}
+
+// MatchedTrace is the input of wait-state analysis (Sec. 3.1): the per-process
+// operation sequences t(i) together with the point-to-point and collective
+// matching relations. It is produced offline by Build* helpers in tests and
+// online by the matching pipeline.
+type MatchedTrace struct {
+	// Procs[i] is t(i), the operation sequence of process i; Procs[i][j] has
+	// Proc == i and TS == j.
+	Procs [][]Op
+
+	// P2P maps a send/probe/recv operation to its matching counterpart.
+	// The relation is symmetric: if P2P[s] == r then P2P[r] == s, except that
+	// probes map to the send they observed while the send maps to the real
+	// receive. Operations without a match (deadlock!) are absent.
+	P2P map[Ref]Ref
+
+	// Colls lists complete collective match sets. Incomplete collectives
+	// (some participant never reached the call) are not listed.
+	Colls []CollMatch
+
+	// collOf is a lazily built index from a participating operation to its
+	// CollMatch, or -1.
+	collOf map[Ref]int
+
+	// ReqOp maps (proc, request) to the non-blocking operation that created
+	// the request. Completion operations use it to find their communications.
+	ReqOp map[ReqKey]Ref
+
+	// Groups maps a communicator to its member ranks (ascending). CommWorld
+	// is implicit: if absent, it is all processes.
+	Groups map[CommID][]int
+
+	waveCache map[Ref]int
+}
+
+// ReqKey identifies a request within a process.
+type ReqKey struct {
+	Proc int
+	Req  ReqID
+}
+
+// NewMatchedTrace returns an empty matched trace for p processes.
+func NewMatchedTrace(p int) *MatchedTrace {
+	return &MatchedTrace{
+		Procs: make([][]Op, p),
+		P2P:   make(map[Ref]Ref),
+		ReqOp: make(map[ReqKey]Ref),
+	}
+}
+
+// Group returns the member ranks of a communicator, ascending. For CommWorld
+// (or any unregistered communicator) it is all processes.
+func (mt *MatchedTrace) Group(c CommID) []int {
+	if g, ok := mt.Groups[c]; ok {
+		return g
+	}
+	g := make([]int, len(mt.Procs))
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// SetGroup registers the member ranks of a communicator.
+func (mt *MatchedTrace) SetGroup(c CommID, ranks []int) {
+	if mt.Groups == nil {
+		mt.Groups = make(map[CommID][]int)
+	}
+	g := append([]int(nil), ranks...)
+	sort.Ints(g)
+	mt.Groups[c] = g
+}
+
+// NumProcs returns the number of processes p.
+func (mt *MatchedTrace) NumProcs() int { return len(mt.Procs) }
+
+// Op returns the operation at ref. It panics on an out-of-range reference;
+// matched traces are internally consistent by construction.
+func (mt *MatchedTrace) Op(r Ref) *Op { return &mt.Procs[r.Proc][r.TS] }
+
+// Len returns m_i + 1, the number of operations of process i.
+func (mt *MatchedTrace) Len(i int) int { return len(mt.Procs[i]) }
+
+// Append adds an operation to the end of process i's sequence, assigning its
+// timestamp, and returns its reference.
+func (mt *MatchedTrace) Append(i int, op Op) Ref {
+	op.Proc = i
+	op.TS = len(mt.Procs[i])
+	if op.ActualSrc == 0 && !op.Kind.IsRecv() {
+		op.ActualSrc = AnySource
+	}
+	mt.Procs[i] = append(mt.Procs[i], op)
+	r := Ref{Proc: i, TS: op.TS}
+	if op.Kind.IsNonBlockingP2P() && op.Req != 0 {
+		mt.ReqOp[ReqKey{Proc: i, Req: op.Req}] = r
+	}
+	return r
+}
+
+// MatchP2P records that send s matches receive r (symmetrically).
+func (mt *MatchedTrace) MatchP2P(s, r Ref) {
+	mt.P2P[s] = r
+	mt.P2P[r] = s
+}
+
+// MatchProbe records that probe p observed send s without consuming it: the
+// probe maps to the send, but the send keeps its mapping to the real receive.
+func (mt *MatchedTrace) MatchProbe(p, s Ref) {
+	mt.P2P[p] = s
+}
+
+// AddColl records a complete collective match set. Ops are sorted by
+// process. The lazy lookup index is updated incrementally so online users
+// (the centralized tool) can interleave AddColl and CollFor cheaply.
+func (mt *MatchedTrace) AddColl(comm CommID, ops []Ref) {
+	sorted := append([]Ref(nil), ops...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Proc < sorted[b].Proc })
+	mt.Colls = append(mt.Colls, CollMatch{Comm: comm, Ops: sorted})
+	if mt.collOf != nil {
+		for _, o := range sorted {
+			mt.collOf[o] = len(mt.Colls) - 1
+		}
+	}
+}
+
+// CollFor returns the complete collective match containing ref, if any.
+func (mt *MatchedTrace) CollFor(r Ref) (*CollMatch, bool) {
+	if mt.collOf == nil {
+		mt.collOf = make(map[Ref]int)
+		for i := range mt.Colls {
+			for _, o := range mt.Colls[i].Ops {
+				mt.collOf[o] = i
+			}
+		}
+	}
+	i, ok := mt.collOf[r]
+	if !ok {
+		return nil, false
+	}
+	return &mt.Colls[i], true
+}
+
+// WaveOf returns the collective wave index of a collective operation: the
+// number of earlier collective operations its process issued on the same
+// communicator. Participants of one collective instance share a wave index
+// (MPI requires every process to issue collectives on a communicator in the
+// same order). Results are cached.
+func (mt *MatchedTrace) WaveOf(r Ref) int {
+	if mt.waveCache == nil {
+		mt.waveCache = make(map[Ref]int)
+	}
+	if w, ok := mt.waveCache[r]; ok {
+		return w
+	}
+	op := mt.Op(r)
+	w := 0
+	for ts := 0; ts < r.TS; ts++ {
+		prev := &mt.Procs[r.Proc][ts]
+		if prev.Kind.IsCollective() && prev.Comm == op.Comm {
+			w++
+		}
+	}
+	mt.waveCache[r] = w
+	return w
+}
+
+// CommOps returns the refs of the non-blocking p2p operations associated with
+// the requests of completion operation c, preserving request order. Requests
+// that never resolved to an operation are skipped (freed/null requests).
+func (mt *MatchedTrace) CommOps(c *Op) []Ref {
+	refs := make([]Ref, 0, len(c.Reqs))
+	for _, rq := range c.Reqs {
+		if r, ok := mt.ReqOp[ReqKey{Proc: c.Proc, Req: rq}]; ok {
+			refs = append(refs, r)
+		}
+	}
+	return refs
+}
+
+// Validate checks internal consistency: timestamps dense per process,
+// P2P symmetry modulo probes, collective participants exist. It is used by
+// tests and by the pipeline in debug mode.
+func (mt *MatchedTrace) Validate() error {
+	for i, seq := range mt.Procs {
+		for j := range seq {
+			if seq[j].Proc != i || seq[j].TS != j {
+				return fmt.Errorf("proc %d op %d has identity (%d,%d)", i, j, seq[j].Proc, seq[j].TS)
+			}
+		}
+	}
+	inRange := func(r Ref) bool {
+		return r.Proc >= 0 && r.Proc < len(mt.Procs) && r.TS >= 0 && r.TS < len(mt.Procs[r.Proc])
+	}
+	for a, b := range mt.P2P {
+		if !inRange(a) || !inRange(b) {
+			return fmt.Errorf("p2p match %v->%v out of range", a, b)
+		}
+		if !mt.Op(a).Kind.IsProbe() {
+			if back, ok := mt.P2P[b]; !ok || back != a {
+				return fmt.Errorf("p2p match %v->%v not symmetric", a, b)
+			}
+		}
+	}
+	for _, c := range mt.Colls {
+		for _, r := range c.Ops {
+			if !inRange(r) {
+				return fmt.Errorf("collective ref %v out of range", r)
+			}
+			if !mt.Op(r).Kind.IsCollective() {
+				return fmt.Errorf("collective ref %v is %v", r, mt.Op(r).Kind)
+			}
+		}
+	}
+	return nil
+}

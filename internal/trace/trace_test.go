@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockingPredicateMatchesPaperDefinition(t *testing.T) {
+	// b = ⊤: MPI_Send, MPI_Recv, MPI_Probe, collectives, MPI_Wait[any,some,all].
+	blocking := []Kind{Send, Ssend, Recv, Probe, Sendrecv,
+		Wait, Waitall, Waitany, Waitsome,
+		Barrier, Bcast, Reduce, Allreduce, Gather, Allgather,
+		Scatter, Alltoall, Scan, CommDup, CommSplit}
+	for _, k := range blocking {
+		if !k.Blocking() {
+			t.Errorf("b(%v) must be ⊤", k)
+		}
+	}
+	// b = ⊥: MPI_Iprobe, MPI_I[s,r,b]send, MPI_{B,R}send, MPI_Test[...],
+	// MPI_Irecv; Finalize has no applicable rule and is non-blocking.
+	nonBlocking := []Kind{Iprobe, Isend, Issend, Ibsend, Irsend,
+		Bsend, Rsend, Test, Testall, Testany, Testsome, Irecv, Finalize}
+	for _, k := range nonBlocking {
+		if k.Blocking() {
+			t.Errorf("b(%v) must be ⊥", k)
+		}
+	}
+}
+
+func TestKindClassifiersAreDisjointWherePossible(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		classes := 0
+		if k.IsSend() {
+			classes++
+		}
+		if k.IsRecv() {
+			classes++
+		}
+		if k.IsCollective() {
+			classes++
+		}
+		if k.IsCompletion() {
+			classes++
+		}
+		if classes > 1 {
+			t.Errorf("%v belongs to %d classes", k, classes)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Send.String() != "Send" || Waitall.String() != "Waitall" || CommDup.String() != "Comm_dup" {
+		t.Fatal("kind names broken")
+	}
+	if !strings.Contains(Kind(99).String(), "Kind(99)") {
+		t.Fatal("out-of-range kind")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	s := (&Op{Proc: 1, TS: 2, Kind: Send, Peer: 3, Tag: 4}).String()
+	if !strings.Contains(s, "Send(to:3,tag:4)@(1,2)") {
+		t.Fatalf("op string %q", s)
+	}
+	r := (&Op{Proc: 0, TS: 0, Kind: Recv, Peer: AnySource}).String()
+	if !strings.Contains(r, "from:ANY") {
+		t.Fatalf("recv string %q", r)
+	}
+}
+
+func TestAppendAssignsIdentityAndRequests(t *testing.T) {
+	mt := NewMatchedTrace(2)
+	ref := mt.Append(1, Op{Kind: Irecv, Peer: 0, Req: 5})
+	if ref != (Ref{Proc: 1, TS: 0}) {
+		t.Fatalf("ref = %v", ref)
+	}
+	got, ok := mt.ReqOp[ReqKey{Proc: 1, Req: 5}]
+	if !ok || got != ref {
+		t.Fatal("request not indexed")
+	}
+	if mt.Len(1) != 1 || mt.Len(0) != 0 {
+		t.Fatal("lengths wrong")
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	mt := NewMatchedTrace(2)
+	s := mt.Append(0, Op{Kind: Send, Peer: 1})
+	r := mt.Append(1, Op{Kind: Recv, Peer: 0})
+	mt.P2P[s] = r // asymmetric on purpose
+	if err := mt.Validate(); err == nil {
+		t.Fatal("asymmetric match must fail validation")
+	}
+	mt.MatchP2P(s, r)
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollForIncrementalIndex(t *testing.T) {
+	mt := NewMatchedTrace(2)
+	b0 := mt.Append(0, Op{Kind: Barrier})
+	b1 := mt.Append(1, Op{Kind: Barrier})
+	mt.AddColl(CommWorld, []Ref{b0, b1})
+	if _, ok := mt.CollFor(b0); !ok {
+		t.Fatal("first collective not indexed")
+	}
+	// Adding after the index is built must update it incrementally.
+	c0 := mt.Append(0, Op{Kind: Allreduce})
+	c1 := mt.Append(1, Op{Kind: Allreduce})
+	mt.AddColl(CommWorld, []Ref{c0, c1})
+	cm, ok := mt.CollFor(c1)
+	if !ok || len(cm.Ops) != 2 {
+		t.Fatal("incremental index update broken")
+	}
+}
+
+func TestGroupsDefaultToWorld(t *testing.T) {
+	mt := NewMatchedTrace(3)
+	g := mt.Group(CommWorld)
+	if len(g) != 3 || g[0] != 0 || g[2] != 2 {
+		t.Fatalf("world group %v", g)
+	}
+	mt.SetGroup(7, []int{2, 0})
+	g = mt.Group(7)
+	if len(g) != 2 || g[0] != 0 || g[1] != 2 {
+		t.Fatalf("subgroup %v (must be sorted)", g)
+	}
+}
+
+func TestCommOpsPreservesRequestOrder(t *testing.T) {
+	mt := NewMatchedTrace(1)
+	r2 := mt.Append(0, Op{Kind: Irecv, Peer: 0, Req: 2})
+	r1 := mt.Append(0, Op{Kind: Isend, Peer: 0, Req: 1})
+	w := mt.Append(0, Op{Kind: Waitall, Reqs: []ReqID{1, 2, 9}})
+	refs := mt.CommOps(mt.Op(w))
+	if len(refs) != 2 || refs[0] != r1 || refs[1] != r2 {
+		t.Fatalf("comm ops %v", refs)
+	}
+}
+
+func TestRefStringQuick(t *testing.T) {
+	f := func(p, ts uint8) bool {
+		r := Ref{Proc: int(p), TS: int(ts)}
+		return strings.Contains(r.String(), "o(")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

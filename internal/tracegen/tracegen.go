@@ -1,0 +1,200 @@
+// Package tracegen generates random, consistently matched MPI traces for
+// property-based tests. Traces are built from a global sequence of events
+// (matched point-to-point pairs, non-blocking pairs with later completions,
+// and collectives); matching only relates operations of the same event, so
+// the generated traces are deadlock-free by construction. Tests can then
+// corrupt them (drop matches, truncate processes) to obtain stuck traces
+// with known properties.
+package tracegen
+
+import (
+	"math/rand"
+
+	"dwst/internal/trace"
+)
+
+// Config bounds the shape of generated traces.
+type Config struct {
+	Procs       int     // number of processes (≥ 2)
+	Events      int     // number of global events
+	PWildcard   float64 // probability a receive is a wildcard (resolved) receive
+	PNonBlock   float64 // probability a p2p pair is non-blocking with completions
+	PCollective float64 // probability an event is a world collective
+	PProbe      float64 // probability a matched pair gets a preceding probe
+	Finalize    bool    // append MPI_Finalize to every process
+}
+
+// Default returns a reasonable configuration for p processes.
+func Default(p int) Config {
+	return Config{
+		Procs:       p,
+		Events:      8 * p,
+		PWildcard:   0.25,
+		PNonBlock:   0.3,
+		PCollective: 0.1,
+		PProbe:      0.1,
+		Finalize:    true,
+	}
+}
+
+// Generate builds a random matched trace. The same seed yields the same
+// trace. The result validates and is deadlock-free under the wait-state
+// transition system.
+func Generate(cfg Config, rng *rand.Rand) *trace.MatchedTrace {
+	if cfg.Procs < 2 {
+		panic("tracegen: need at least 2 processes")
+	}
+	mt := trace.NewMatchedTrace(cfg.Procs)
+	nextReq := make([]trace.ReqID, cfg.Procs) // per-proc request counter
+
+	// pendingWaits holds non-blocking operations whose completion has not
+	// been emitted yet, per process.
+	type pending struct {
+		req trace.ReqID
+	}
+	pendingWaits := make([][]pending, cfg.Procs)
+
+	flushCompletions := func(i int) {
+		if len(pendingWaits[i]) == 0 {
+			return
+		}
+		reqs := make([]trace.ReqID, len(pendingWaits[i]))
+		for k, p := range pendingWaits[i] {
+			reqs[k] = p.req
+		}
+		kind := trace.Waitall
+		if len(reqs) == 1 {
+			kind = trace.Wait
+		} else if rng.Float64() < 0.3 {
+			kind = trace.Waitany
+		}
+		mt.Append(i, trace.Op{Kind: kind, Reqs: reqs, ActualSrc: trace.AnySource})
+		pendingWaits[i] = pendingWaits[i][:0]
+	}
+
+	collKinds := []trace.Kind{trace.Barrier, trace.Allreduce, trace.Bcast, trace.Alltoall}
+
+	for e := 0; e < cfg.Events; e++ {
+		if rng.Float64() < cfg.PCollective {
+			// World collective: every process must first complete its
+			// outstanding non-blocking operations so that the aligned
+			// event-frontier argument keeps the trace deadlock-free.
+			kind := collKinds[rng.Intn(len(collKinds))]
+			refs := make([]trace.Ref, cfg.Procs)
+			for i := 0; i < cfg.Procs; i++ {
+				flushCompletions(i)
+				refs[i] = mt.Append(i, trace.Op{Kind: kind, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+			}
+			mt.AddColl(trace.CommWorld, refs)
+			continue
+		}
+
+		src := rng.Intn(cfg.Procs)
+		dst := rng.Intn(cfg.Procs - 1)
+		if dst >= src {
+			dst++
+		}
+		tag := rng.Intn(4)
+		wild := rng.Float64() < cfg.PWildcard
+
+		if rng.Float64() < cfg.PNonBlock {
+			// Non-blocking pair: Isend on src, Irecv on dst, completions at
+			// this event boundary (flushed immediately, keeping alignment).
+			nextReq[src]++
+			sreq := nextReq[src]
+			sref := mt.Append(src, trace.Op{Kind: trace.Isend, Peer: dst, Tag: tag, Comm: trace.CommWorld, Req: sreq, ActualSrc: trace.AnySource})
+			pendingWaits[src] = append(pendingWaits[src], pending{req: sreq})
+
+			nextReq[dst]++
+			rreq := nextReq[dst]
+			peer := src
+			actual := trace.AnySource
+			rtag := tag
+			if wild {
+				peer = trace.AnySource
+				actual = src
+				if rng.Float64() < 0.5 {
+					rtag = trace.AnyTag
+				}
+			}
+			rref := mt.Append(dst, trace.Op{Kind: trace.Irecv, Peer: peer, Tag: rtag, Comm: trace.CommWorld, Req: rreq, ActualSrc: actual})
+			pendingWaits[dst] = append(pendingWaits[dst], pending{req: rreq})
+			mt.MatchP2P(sref, rref)
+			// Usually complete right away; sometimes leave the requests
+			// pending across later events (completions still satisfiable,
+			// since the matches are already active by then).
+			if rng.Float64() < 0.7 {
+				flushCompletions(src)
+			}
+			if rng.Float64() < 0.7 {
+				flushCompletions(dst)
+			}
+			continue
+		}
+
+		// Blocking matched pair, optionally preceded by a probe on dst.
+		sendKind := trace.Send
+		if rng.Float64() < 0.2 {
+			sendKind = trace.Ssend
+		}
+		sref := mt.Append(src, trace.Op{Kind: sendKind, Peer: dst, Tag: tag, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+		if rng.Float64() < cfg.PProbe {
+			pref := mt.Append(dst, trace.Op{Kind: trace.Probe, Peer: src, Tag: tag, Comm: trace.CommWorld, ActualSrc: src})
+			mt.MatchProbe(pref, sref)
+		}
+		peer := src
+		actual := trace.AnySource
+		rtag := tag
+		if wild {
+			peer = trace.AnySource
+			actual = src
+			if rng.Float64() < 0.5 {
+				rtag = trace.AnyTag
+			}
+		}
+		rref := mt.Append(dst, trace.Op{Kind: trace.Recv, Peer: peer, Tag: rtag, Comm: trace.CommWorld, ActualSrc: actual})
+		mt.MatchP2P(sref, rref)
+	}
+
+	for i := 0; i < cfg.Procs; i++ {
+		flushCompletions(i)
+		if cfg.Finalize {
+			mt.Append(i, trace.Op{Kind: trace.Finalize, ActualSrc: trace.AnySource})
+		}
+	}
+	return mt
+}
+
+// DropMatches removes each point-to-point match with probability p,
+// symmetrically, producing a trace that is stuck at some intermediate state.
+// Probe matches are removed alongside their send.
+func DropMatches(mt *trace.MatchedTrace, p float64, rng *rand.Rand) {
+	type pair struct{ a, b trace.Ref }
+	var pairs []pair
+	for a, b := range mt.P2P {
+		if back, ok := mt.P2P[b]; !ok || back != a {
+			continue // probe entry; handled with its send below
+		}
+		if a.Proc < b.Proc || (a.Proc == b.Proc && a.TS < b.TS) {
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	var probes []trace.Ref
+	for _, pr := range pairs {
+		if rng.Float64() >= p {
+			continue
+		}
+		delete(mt.P2P, pr.a)
+		delete(mt.P2P, pr.b)
+		// Remove dangling probe entries pointing at either removed op.
+		probes = probes[:0]
+		for a, b := range mt.P2P {
+			if b == pr.a || b == pr.b {
+				probes = append(probes, a)
+			}
+		}
+		for _, pa := range probes {
+			delete(mt.P2P, pa)
+		}
+	}
+}

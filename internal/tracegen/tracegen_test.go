@@ -1,0 +1,91 @@
+package tracegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"dwst/internal/trace"
+)
+
+func TestGeneratedTracesValidate(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mt := Generate(Default(2+rng.Intn(8)), rng)
+		if err := mt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	a := Generate(Default(4), rand.New(rand.NewSource(7)))
+	b := Generate(Default(4), rand.New(rand.NewSource(7)))
+	if a.NumProcs() != b.NumProcs() {
+		t.Fatal("proc count differs")
+	}
+	for i := 0; i < a.NumProcs(); i++ {
+		if a.Len(i) != b.Len(i) {
+			t.Fatalf("proc %d lengths differ", i)
+		}
+		for j := 0; j < a.Len(i); j++ {
+			ra, rb := a.Op(trace.Ref{Proc: i, TS: j}), b.Op(trace.Ref{Proc: i, TS: j})
+			if ra.Kind != rb.Kind || ra.Peer != rb.Peer || ra.Tag != rb.Tag {
+				t.Fatalf("proc %d op %d differs: %v vs %v", i, j, ra, rb)
+			}
+		}
+	}
+}
+
+func TestEndsWithFinalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mt := Generate(Default(3), rng)
+	for i := 0; i < mt.NumProcs(); i++ {
+		last := mt.Op(trace.Ref{Proc: i, TS: mt.Len(i) - 1})
+		if last.Kind != trace.Finalize {
+			t.Fatalf("proc %d ends with %v", i, last.Kind)
+		}
+	}
+}
+
+func TestWildcardsCarryResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := Default(4)
+	cfg.PWildcard = 1.0
+	mt := Generate(cfg, rng)
+	wildcards := 0
+	for i := 0; i < mt.NumProcs(); i++ {
+		for j := 0; j < mt.Len(i); j++ {
+			op := mt.Op(trace.Ref{Proc: i, TS: j})
+			if op.Kind.IsRecv() && op.Peer == trace.AnySource {
+				wildcards++
+				if op.ActualSrc == trace.AnySource {
+					t.Fatalf("wildcard %v lacks resolution", op)
+				}
+				m, ok := mt.P2P[op.Ref()]
+				if !ok {
+					t.Fatalf("wildcard %v unmatched", op)
+				}
+				if m.Proc != op.ActualSrc {
+					t.Fatalf("wildcard %v resolution %d but matched %v", op, op.ActualSrc, m)
+				}
+			}
+		}
+	}
+	if wildcards == 0 {
+		t.Fatal("no wildcards generated with PWildcard=1")
+	}
+}
+
+func TestDropMatchesRemovesSymmetrically(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mt := Generate(Default(4), rng)
+	DropMatches(mt, 1.0, rng) // drop everything
+	for a, b := range mt.P2P {
+		// Only probe entries may survive if their send survived — but with
+		// p=1.0 every pair is dropped, and dangling probes are cleaned up.
+		t.Fatalf("match %v -> %v survived full drop", a, b)
+	}
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

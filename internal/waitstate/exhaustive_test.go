@@ -1,0 +1,156 @@
+package waitstate
+
+import (
+	"testing"
+
+	"dwst/internal/trace"
+)
+
+// exploreAll enumerates the ENTIRE reachable state space of the transition
+// system by BFS and returns all terminal states found — an exhaustive
+// confluence check for small traces (the property tests sample schedules;
+// this leaves nothing to chance).
+func exploreAll(t *testing.T, sys *System, cap int) []State {
+	t.Helper()
+	type key string
+	enc := func(s State) key {
+		b := make([]byte, len(s))
+		for i, v := range s {
+			b[i] = byte(v)
+		}
+		return key(b)
+	}
+	seen := map[key]bool{}
+	var terminals []State
+	queue := []State{sys.Initial()}
+	seen[enc(queue[0])] = true
+	for len(queue) > 0 {
+		if len(seen) > cap {
+			t.Fatalf("state space larger than %d", cap)
+		}
+		s := queue[0]
+		queue = queue[1:]
+		terminal := true
+		for i := range s {
+			if sys.CanAdvance(s, i) == RuleNone {
+				continue
+			}
+			terminal = false
+			next := s.Clone()
+			next[i]++
+			if k := enc(next); !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+		if terminal {
+			terminals = append(terminals, s)
+		}
+	}
+	return terminals
+}
+
+func assertUniqueTerminal(t *testing.T, mt *trace.MatchedTrace, want State) {
+	t.Helper()
+	sys := New(mt)
+	terminals := exploreAll(t, sys, 1<<20)
+	if len(terminals) != 1 {
+		t.Fatalf("found %d terminal states: %v", len(terminals), terminals)
+	}
+	if want != nil && !terminals[0].Equal(want) {
+		t.Fatalf("terminal %v, want %v", terminals[0], want)
+	}
+	// The deterministic runner must land on the same state.
+	run, _ := sys.Run(sys.Initial())
+	if !run.Equal(terminals[0]) {
+		t.Fatalf("Run() reached %v, exhaustive terminal %v", run, terminals[0])
+	}
+}
+
+// TestExhaustiveConfluenceFig3 enumerates every execution of the Figure 3
+// trace: all interleavings must converge to (2,3,2).
+func TestExhaustiveConfluenceFig3(t *testing.T) {
+	assertUniqueTerminal(t, fig3Trace(), State{2, 3, 2})
+}
+
+// TestExhaustiveConfluenceFig4: the unexpected-match trace is stuck at the
+// initial state under every schedule.
+func TestExhaustiveConfluenceFig4(t *testing.T) {
+	assertUniqueTerminal(t, fig4Trace(), State{0, 0, 0})
+}
+
+// TestExhaustiveConfluenceMixedOps: a trace exercising every rule family
+// (nb, p2p, coll, any, all) has a unique terminal state across the full
+// interleaving space.
+func TestExhaustiveConfluenceMixedOps(t *testing.T) {
+	mt := trace.NewMatchedTrace(3)
+	// P0: Isend(to 1, req 1), Barrier, Waitall(1), Recv(from 2), Finalize
+	i0 := mt.Append(0, trace.Op{Kind: trace.Isend, Peer: 1, Req: 1, Comm: trace.CommWorld})
+	b0 := mt.Append(0, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(0, trace.Op{Kind: trace.Waitall, Reqs: []trace.ReqID{1}})
+	r03 := mt.Append(0, trace.Op{Kind: trace.Recv, Peer: 2, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+	mt.Append(0, trace.Op{Kind: trace.Finalize})
+
+	// P1: Irecv(from 0, req 1), Barrier, Waitany(1), Finalize
+	r10 := mt.Append(1, trace.Op{Kind: trace.Irecv, Peer: 0, Req: 1, Comm: trace.CommWorld})
+	b1 := mt.Append(1, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(1, trace.Op{Kind: trace.Waitany, Reqs: []trace.ReqID{1}})
+	mt.Append(1, trace.Op{Kind: trace.Finalize})
+
+	// P2: Barrier, Send(to 0), Finalize
+	b2 := mt.Append(2, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	s21 := mt.Append(2, trace.Op{Kind: trace.Send, Peer: 0, Comm: trace.CommWorld})
+	mt.Append(2, trace.Op{Kind: trace.Finalize})
+
+	mt.MatchP2P(i0, r10)
+	mt.MatchP2P(s21, r03)
+	mt.AddColl(trace.CommWorld, []trace.Ref{b0, b1, b2})
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertUniqueTerminal(t, mt, State{4, 3, 2})
+}
+
+// TestExhaustiveBlockedSetsMonotone: along every edge of the full state
+// graph, the set of blocked processes can only lose members through their
+// own transitions — a blocked process stays blocked until its own premise
+// is satisfied, and satisfying premises never re-blocks anyone.
+func TestExhaustiveBlockedSetsMonotone(t *testing.T) {
+	sys := New(fig3Trace())
+	var visit func(s State, seen map[string]bool)
+	enc := func(s State) string {
+		b := make([]byte, len(s))
+		for i, v := range s {
+			b[i] = byte(v)
+		}
+		return string(b)
+	}
+	seen := map[string]bool{}
+	visit = func(s State, seen map[string]bool) {
+		if seen[enc(s)] {
+			return
+		}
+		seen[enc(s)] = true
+		for i := range s {
+			if sys.CanAdvance(s, i) == RuleNone {
+				continue
+			}
+			next := s.Clone()
+			next[i]++
+			// A process blocked in s (other than i) must not become
+			// blocked→unblocked→blocked flickering; specifically, anyone
+			// who could advance in s can still advance in next (they did
+			// not advance themselves).
+			for k := range s {
+				if k == i {
+					continue
+				}
+				if sys.CanAdvance(s, k) != RuleNone && sys.CanAdvance(next, k) == RuleNone {
+					t.Fatalf("transition of %d disabled %d: %v -> %v", i, k, s, next)
+				}
+			}
+			visit(next, seen)
+		}
+	}
+	visit(sys.Initial(), seen)
+}

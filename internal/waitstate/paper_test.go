@@ -1,0 +1,232 @@
+package waitstate
+
+import (
+	"testing"
+
+	"dwst/internal/trace"
+)
+
+// fig3Trace builds the matched trace of Figure 3: the manifest deadlock run
+// of the Figure 2(b) example.
+//
+//	P0: Send(to:1)   Barrier  Send(to:1)
+//	P1: Recv(ANY)    Recv(ANY) Barrier  Send(to:2)
+//	P2: Send(to:1)   Barrier  Send(to:0)
+//
+// Matching (one possible execution, as in the paper): recv o(1,0) ↔ send
+// o(2,0); recv o(1,1) ↔ send o(0,0); barrier {o(0,1), o(1,2), o(2,1)}.
+func fig3Trace() *trace.MatchedTrace {
+	mt := trace.NewMatchedTrace(3)
+	s00 := mt.Append(0, trace.Op{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
+	b0 := mt.Append(0, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(0, trace.Op{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
+
+	r10 := mt.Append(1, trace.Op{Kind: trace.Recv, Peer: trace.AnySource, Comm: trace.CommWorld, ActualSrc: 2})
+	r11 := mt.Append(1, trace.Op{Kind: trace.Recv, Peer: trace.AnySource, Comm: trace.CommWorld, ActualSrc: 0})
+	b1 := mt.Append(1, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(1, trace.Op{Kind: trace.Send, Peer: 2, Comm: trace.CommWorld})
+
+	s20 := mt.Append(2, trace.Op{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
+	b2 := mt.Append(2, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(2, trace.Op{Kind: trace.Send, Peer: 0, Comm: trace.CommWorld})
+
+	mt.MatchP2P(s20, r10)
+	mt.MatchP2P(s00, r11)
+	mt.AddColl(trace.CommWorld, []trace.Ref{b0, b1, b2})
+	return mt
+}
+
+// TestFig3PaperExecution replays the exact execution given in Section 3.1:
+// (0,0,0) →p2p (0,0,1) →p2p (0,1,1) →p2p (0,2,1) →p2p (1,2,1)
+// →coll (1,2,2) →coll (2,2,2) →coll (2,3,2).
+func TestFig3PaperExecution(t *testing.T) {
+	mt := fig3Trace()
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(mt)
+	s := sys.Initial()
+
+	steps := []struct {
+		proc int
+		rule Rule
+		want State
+	}{
+		{2, RuleP2P, State{0, 0, 1}},
+		{1, RuleP2P, State{0, 1, 1}},
+		{1, RuleP2P, State{0, 2, 1}},
+		{0, RuleP2P, State{1, 2, 1}},
+		{2, RuleColl, State{1, 2, 2}},
+		{0, RuleColl, State{2, 2, 2}},
+		{1, RuleColl, State{2, 3, 2}},
+	}
+	for k, st := range steps {
+		if got := sys.Step(s, st.proc); got != st.rule {
+			t.Fatalf("step %d: proc %d advanced by %v, want %v (state %v)", k, st.proc, got, st.rule, s)
+		}
+		if !s.Equal(st.want) {
+			t.Fatalf("step %d: state %v, want %v", k, s, st.want)
+		}
+	}
+	if !sys.Terminal(s) {
+		t.Fatalf("state %v should be terminal", s)
+	}
+	if sys.DeadlockFree(s) {
+		t.Fatal("deadlock must be detected: not all processes finished")
+	}
+	if got := sys.BlockedSet(s); len(got) != 3 {
+		t.Fatalf("all three processes must be blocked in %v, got %v", s, got)
+	}
+}
+
+// TestFig3RulePreconditions checks the negative examples the paper discusses
+// for state (0,0,1): Rule 2 applies neither to o(2,0) (not current) nor to
+// o(0,0) (match o(1,1) not active), and Rule 3 does not apply to o(2,1).
+func TestFig3RulePreconditions(t *testing.T) {
+	sys := New(fig3Trace())
+	s := State{0, 0, 1}
+	if r := sys.CanAdvance(s, 0); r != RuleNone {
+		t.Errorf("proc 0 must not advance in (0,0,1); got rule %v", r)
+	}
+	if r := sys.CanAdvance(s, 2); r != RuleNone {
+		t.Errorf("proc 2 must not advance in (0,0,1); got rule %v", r)
+	}
+	// Proc 1's wildcard recv o(1,0) matches o(2,0) which IS active (l2=1 ≥ 0).
+	if r := sys.CanAdvance(s, 1); r != RuleP2P {
+		t.Errorf("proc 1 must advance by p2p in (0,0,1); got rule %v", r)
+	}
+}
+
+// TestFig3IntermediateBlockedSet reproduces the Section 3.2 discussion of
+// state (2,3,1): processes 0 and 1 are blocked, process 2 is not.
+func TestFig3IntermediateBlockedSet(t *testing.T) {
+	sys := New(fig3Trace())
+	s := State{2, 3, 1}
+	if !sys.Blocked(s, 0) || !sys.Blocked(s, 1) {
+		t.Errorf("processes 0 and 1 must be blocked in (2,3,1)")
+	}
+	if sys.Blocked(s, 2) {
+		t.Errorf("process 2 must not be blocked in (2,3,1): barrier completable")
+	}
+	if r := sys.CanAdvance(s, 2); r != RuleColl {
+		t.Errorf("process 2 advances by coll, got %v", r)
+	}
+}
+
+// TestFig3RunTerminal checks that the deterministic runner reaches the unique
+// terminal state (2,3,2).
+func TestFig3RunTerminal(t *testing.T) {
+	sys := New(fig3Trace())
+	term, steps := sys.Run(sys.Initial())
+	if !term.Equal(State{2, 3, 2}) {
+		t.Fatalf("terminal state %v, want (2,3,2)", term)
+	}
+	if steps != 7 {
+		t.Fatalf("took %d transitions, want 7", steps)
+	}
+}
+
+// fig2aTrace builds the recv-recv deadlock of Figure 2(a):
+//
+//	P0: Send(to:1) ... preceded by Recv(from:1)? No — Figure 2(a) is:
+//	P0: Recv(from:1) then Send(to:1); P1: Recv(from:0) then Send(to:0).
+//
+// Neither receive can match: both processes block in the receives.
+func fig2aTrace() *trace.MatchedTrace {
+	mt := trace.NewMatchedTrace(2)
+	mt.Append(0, trace.Op{Kind: trace.Recv, Peer: 1, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+	mt.Append(0, trace.Op{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
+	mt.Append(1, trace.Op{Kind: trace.Recv, Peer: 0, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+	mt.Append(1, trace.Op{Kind: trace.Send, Peer: 0, Comm: trace.CommWorld})
+	return mt
+}
+
+func TestFig2aRecvRecvDeadlock(t *testing.T) {
+	sys := New(fig2aTrace())
+	term, steps := sys.Run(sys.Initial())
+	if steps != 0 || !term.Equal(State{0, 0}) {
+		t.Fatalf("no transition must apply; got %d steps, state %v", steps, term)
+	}
+	if got := sys.BlockedSet(term); len(got) != 2 {
+		t.Fatalf("both processes blocked, got %v", got)
+	}
+	w0 := sys.WaitFor(term, 0)
+	if w0.Semantics != AndWait || len(w0.Targets) != 1 || w0.Targets[0] != 1 {
+		t.Fatalf("process 0 waits AND for process 1, got %+v", w0)
+	}
+}
+
+// fig4Trace builds the unexpected-match example of Figure 4. The MPI
+// implementation ran a non-synchronizing reduce, so the send of process 2
+// (issued after the reduce) matched the FIRST wildcard receive of process 1.
+//
+//	P0: Send(to:1)      Reduce
+//	P1: Recv(ANY)       Reduce   Recv(ANY)
+//	P2: Reduce          Send(to:1)
+func fig4Trace() *trace.MatchedTrace {
+	mt := trace.NewMatchedTrace(3)
+	s00 := mt.Append(0, trace.Op{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
+	c0 := mt.Append(0, trace.Op{Kind: trace.Reduce, Comm: trace.CommWorld})
+
+	r10 := mt.Append(1, trace.Op{Kind: trace.Recv, Peer: trace.AnySource, Comm: trace.CommWorld, ActualSrc: 2})
+	c1 := mt.Append(1, trace.Op{Kind: trace.Reduce, Comm: trace.CommWorld})
+	r12 := mt.Append(1, trace.Op{Kind: trace.Recv, Peer: trace.AnySource, Comm: trace.CommWorld, ActualSrc: 0})
+
+	c2 := mt.Append(2, trace.Op{Kind: trace.Reduce, Comm: trace.CommWorld})
+	s21 := mt.Append(2, trace.Op{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
+
+	// The unexpected matching the MPI implementation chose:
+	mt.MatchP2P(s21, r10)
+	mt.MatchP2P(s00, r12)
+	mt.AddColl(trace.CommWorld, []trace.Ref{c0, c1, c2})
+	return mt
+}
+
+// TestFig4UnexpectedMatch reproduces Section 3.3: under the strict blocking
+// model the system cannot advance past the initial state, and the stuck
+// state exhibits an unexpected match (the active send o(0,0) could match the
+// active wildcard receive o(1,0), whose recorded match o(2,1) is inactive).
+func TestFig4UnexpectedMatch(t *testing.T) {
+	sys := New(fig4Trace())
+	term, steps := sys.Run(sys.Initial())
+	if steps != 0 {
+		t.Fatalf("strict model must be stuck at the initial state, advanced %d times to %v", steps, term)
+	}
+	ums := sys.UnexpectedMatches(term)
+	if len(ums) != 1 {
+		t.Fatalf("want exactly one unexpected match, got %v", ums)
+	}
+	um := ums[0]
+	if um.Recv != (trace.Ref{Proc: 1, TS: 0}) ||
+		um.MatchedSend != (trace.Ref{Proc: 2, TS: 1}) ||
+		um.ActiveSend != (trace.Ref{Proc: 0, TS: 0}) {
+		t.Fatalf("unexpected match fields wrong: %+v", um)
+	}
+}
+
+// TestFig3NoUnexpectedMatches: the Figure 3 terminal state has no unexpected
+// matches — the sends active in it could match no active wildcard receive.
+func TestFig3NoUnexpectedMatches(t *testing.T) {
+	sys := New(fig3Trace())
+	term, _ := sys.Run(sys.Initial())
+	if ums := sys.UnexpectedMatches(term); len(ums) != 0 {
+		t.Fatalf("want no unexpected matches, got %v", ums)
+	}
+}
+
+// TestFig3WaitForConditions checks the wait-for arcs of the terminal
+// deadlock state (2,3,2): 0 → 1 (send), 1 → 2 (send), 2 → 0 (send).
+func TestFig3WaitForConditions(t *testing.T) {
+	sys := New(fig3Trace())
+	term := State{2, 3, 2}
+	wantTargets := [][]int{{1}, {2}, {0}}
+	for i := 0; i < 3; i++ {
+		w := sys.WaitFor(term, i)
+		if w.Semantics != AndWait {
+			t.Errorf("proc %d: want AND semantics, got %v", i, w.Semantics)
+		}
+		if len(w.Targets) != 1 || w.Targets[0] != wantTargets[i][0] {
+			t.Errorf("proc %d: targets %v, want %v", i, w.Targets, wantTargets[i])
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package waitstate implements the wait-state transition system
+// 𝒯 = (States, →ws, L0) of Section 3 of the paper as a centralized,
+// executable reference model.
+//
+// A state is the vector (l_0, …, l_{p-1}) of the logical timestamps of the
+// currently active operations. The five rule families of Section 3.1 define
+// when a process may advance:
+//
+//	(1)    non-blocking operation       (b(i,j) = ⊥)
+//	(2)    blocking send/recv/probe     (matching operation active)
+//	(3)    collective                   (all participants active)
+//	(4-I)  Waitany/Waitsome             (some communication matched & active)
+//	(4-II) Wait/Waitall                 (all communications matched & active)
+//
+// MPI_Finalize has no applicable rule; it is the terminal operation.
+//
+// The transition system is nondeterministic but confluent: independent
+// transitions of different processes commute and no rule application ever
+// disables another, so a unique terminal state exists. Tests exercise this
+// property with randomized schedules.
+package waitstate
+
+import (
+	"fmt"
+
+	"dwst/internal/trace"
+)
+
+// State is a timestamp vector (l_0, …, l_{p-1}). l_i == len(t(i)) means
+// process i ran past its recorded trace (only possible for traces that do
+// not end in MPI_Finalize, e.g. truncated windows).
+type State []int
+
+// Clone returns a copy of the state.
+func (s State) Clone() State { return append(State(nil), s...) }
+
+// Equal reports element-wise equality.
+func (s State) Equal(o State) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s State) String() string { return fmt.Sprintf("%v", []int(s)) }
+
+// Rule labels the transition rule that advanced a process, matching the
+// labels used in the paper (nb, p2p, coll, any, all).
+type Rule int
+
+const (
+	// RuleNone means no rule applies.
+	RuleNone Rule = iota
+	// RuleNB is Rule (1): non-blocking operation.
+	RuleNB
+	// RuleP2P is Rule (2): blocking send/receive/probe with active match.
+	RuleP2P
+	// RuleColl is Rule (3): complete collective with all participants active.
+	RuleColl
+	// RuleAny is Rule (4-I): Waitany/Waitsome with some matched communication.
+	RuleAny
+	// RuleAll is Rule (4-II): Wait/Waitall with all communications matched.
+	RuleAll
+)
+
+var ruleNames = [...]string{"none", "nb", "p2p", "coll", "any", "all"}
+
+func (r Rule) String() string {
+	if r < 0 || int(r) >= len(ruleNames) {
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+	return ruleNames[r]
+}
+
+// System evaluates the transition system over a matched trace.
+type System struct {
+	mt *trace.MatchedTrace
+}
+
+// New returns a transition system for the matched trace.
+func New(mt *trace.MatchedTrace) *System { return &System{mt: mt} }
+
+// Trace returns the underlying matched trace.
+func (sys *System) Trace() *trace.MatchedTrace { return sys.mt }
+
+// Initial returns L0 = (0, …, 0).
+func (sys *System) Initial() State { return make(State, sys.mt.NumProcs()) }
+
+// Done reports whether process i has no pending operation in s: it either
+// consumed its whole trace or sits on MPI_Finalize (the terminal operation).
+func (sys *System) Done(s State, i int) bool {
+	if s[i] >= sys.mt.Len(i) {
+		return true
+	}
+	return sys.mt.Op(trace.Ref{Proc: i, TS: s[i]}).Kind == trace.Finalize
+}
+
+// CanAdvance reports which rule (if any) allows process i to advance in s.
+func (sys *System) CanAdvance(s State, i int) Rule {
+	if s[i] >= sys.mt.Len(i) {
+		return RuleNone
+	}
+	op := sys.mt.Op(trace.Ref{Proc: i, TS: s[i]})
+	switch {
+	case op.Kind == trace.Finalize:
+		// No rule applies to Finalize; well-defined terminal state.
+		return RuleNone
+
+	case !op.Blocking():
+		return RuleNB
+
+	case op.Kind.IsSend() || op.Kind.IsRecv():
+		m, ok := sys.mt.P2P[op.Ref()]
+		if !ok {
+			return RuleNone // no matching operation exists (deadlock premise)
+		}
+		if s[m.Proc] >= m.TS {
+			return RuleP2P
+		}
+		return RuleNone
+
+	case op.Kind.IsCollective():
+		c, ok := sys.mt.CollFor(op.Ref())
+		if !ok {
+			return RuleNone // incomplete collective
+		}
+		for _, r := range c.Ops {
+			if s[r.Proc] < r.TS {
+				return RuleNone
+			}
+		}
+		return RuleColl
+
+	case op.Kind.IsCompletion():
+		comms := sys.mt.CommOps(op)
+		if len(comms) == 0 {
+			// Completion over no (live) requests returns immediately
+			// (MPI returns MPI_UNDEFINED for the any/some family).
+			if op.Kind.IsWaitAnySemantics() {
+				return RuleAny
+			}
+			return RuleAll
+		}
+		if op.Kind.IsWaitAnySemantics() {
+			for _, cr := range comms {
+				if sys.commMatched(s, cr) {
+					return RuleAny
+				}
+			}
+			return RuleNone
+		}
+		for _, cr := range comms {
+			if !sys.commMatched(s, cr) {
+				return RuleNone
+			}
+		}
+		return RuleAll
+
+	default:
+		return RuleNone
+	}
+}
+
+// commMatched reports whether the non-blocking communication at cr has a
+// matching operation that is active in s (the premise l_k ≥ n of Rule 4).
+func (sys *System) commMatched(s State, cr trace.Ref) bool {
+	m, ok := sys.mt.P2P[cr]
+	if !ok {
+		return false
+	}
+	return s[m.Proc] >= m.TS
+}
+
+// Step advances process i by one operation, returning the applied rule.
+// It returns RuleNone (and leaves s unchanged) if no rule applies.
+func (sys *System) Step(s State, i int) Rule {
+	r := sys.CanAdvance(s, i)
+	if r != RuleNone {
+		s[i]++
+	}
+	return r
+}
+
+// Blocked reports whether process i is blocked in s per Section 3.2:
+// it has a pending operation and no transition advances it.
+func (sys *System) Blocked(s State, i int) bool {
+	return !sys.Done(s, i) && sys.CanAdvance(s, i) == RuleNone
+}
+
+// BlockedSet returns the indices of all blocked processes in s, ascending.
+func (sys *System) BlockedSet(s State) []int {
+	var out []int
+	for i := range s {
+		if sys.Blocked(s, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Terminal reports whether no rule applies to any process in s.
+func (sys *System) Terminal(s State) bool {
+	for i := range s {
+		if sys.CanAdvance(s, i) != RuleNone {
+			return false
+		}
+	}
+	return true
+}
+
+// DeadlockFree reports whether the terminal state s completed every trace:
+// every process is Done. Call only on terminal states.
+func (sys *System) DeadlockFree(s State) bool {
+	for i := range s {
+		if !sys.Done(s, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the transition system from s to the terminal state using a
+// deterministic round-robin schedule and returns the terminal state and the
+// number of transitions taken. By confluence the result is independent of
+// the schedule; RunSchedule lets tests drive other orders.
+func (sys *System) Run(s State) (State, int) {
+	cur := s.Clone()
+	steps := 0
+	for {
+		progressed := false
+		for i := range cur {
+			for sys.Step(cur, i) != RuleNone {
+				steps++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return cur, steps
+		}
+	}
+}
+
+// RunSchedule executes the transition system using pick to choose among the
+// currently enabled processes. pick receives the enabled process indices
+// (ascending) and returns an index into that slice. It returns the terminal
+// state and the sequence of (process, rule) transitions taken.
+func (sys *System) RunSchedule(s State, pick func(enabled []int) int) (State, []Transition) {
+	cur := s.Clone()
+	var log []Transition
+	var enabled []int
+	for {
+		enabled = enabled[:0]
+		for i := range cur {
+			if sys.CanAdvance(cur, i) != RuleNone {
+				enabled = append(enabled, i)
+			}
+		}
+		if len(enabled) == 0 {
+			return cur, log
+		}
+		i := enabled[pick(enabled)]
+		r := sys.Step(cur, i)
+		log = append(log, Transition{Proc: i, Rule: r})
+	}
+}
+
+// Transition records one applied rule.
+type Transition struct {
+	Proc int
+	Rule Rule
+}

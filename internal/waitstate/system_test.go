@@ -1,0 +1,395 @@
+package waitstate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwst/internal/trace"
+	"dwst/internal/tracegen"
+)
+
+// twoProc builds a minimal 2-process trace from op specs for rule unit tests.
+func twoProc(t *testing.T, p0, p1 []trace.Op) *trace.MatchedTrace {
+	t.Helper()
+	mt := trace.NewMatchedTrace(2)
+	for _, o := range p0 {
+		mt.Append(0, o)
+	}
+	for _, o := range p1 {
+		mt.Append(1, o)
+	}
+	return mt
+}
+
+func TestRule1NonBlocking(t *testing.T) {
+	mt := twoProc(t,
+		[]trace.Op{
+			{Kind: trace.Isend, Peer: 1, Req: 1, Comm: trace.CommWorld},
+			{Kind: trace.Bsend, Peer: 1, Comm: trace.CommWorld},
+			{Kind: trace.Iprobe, Peer: 1, Comm: trace.CommWorld},
+			{Kind: trace.Testall, Reqs: []trace.ReqID{1}},
+		},
+		[]trace.Op{{Kind: trace.Irecv, Peer: 0, Req: 1, Comm: trace.CommWorld}},
+	)
+	sys := New(mt)
+	s := sys.Initial()
+	for k := 0; k < 4; k++ {
+		if r := sys.Step(s, 0); r != RuleNB {
+			t.Fatalf("op %d: rule %v, want nb", k, r)
+		}
+	}
+	if s[0] != 4 {
+		t.Fatalf("process 0 must run through all non-blocking ops, l0=%d", s[0])
+	}
+}
+
+func TestRule2SendBlocksUntilRecvActive(t *testing.T) {
+	mt := twoProc(t,
+		[]trace.Op{{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld}},
+		[]trace.Op{
+			{Kind: trace.Isend, Peer: 0, Req: 1, Comm: trace.CommWorld}, // filler op before the recv
+			{Kind: trace.Recv, Peer: 0, Comm: trace.CommWorld, ActualSrc: trace.AnySource},
+		},
+	)
+	mt.MatchP2P(trace.Ref{Proc: 0, TS: 0}, trace.Ref{Proc: 1, TS: 1})
+	sys := New(mt)
+	s := sys.Initial()
+	if r := sys.CanAdvance(s, 0); r != RuleNone {
+		t.Fatalf("send must block while recv not active, got %v", r)
+	}
+	if r := sys.Step(s, 1); r != RuleNB {
+		t.Fatalf("filler must advance, got %v", r)
+	}
+	// Now l1 = 1 = recv timestamp: recv is ACTIVE, send may advance even
+	// though the receiver has not returned (paper: sender/receiver advance
+	// independently).
+	if r := sys.CanAdvance(s, 0); r != RuleP2P {
+		t.Fatalf("send must advance once recv active, got %v", r)
+	}
+	// And the recv advances too (send is active: l0 = 0 ≥ 0).
+	if r := sys.CanAdvance(s, 1); r != RuleP2P {
+		t.Fatalf("recv must advance once send active, got %v", r)
+	}
+}
+
+func TestRule2ProbeBehavesLikeRecv(t *testing.T) {
+	mt := twoProc(t,
+		[]trace.Op{{Kind: trace.Send, Peer: 1, Comm: trace.CommWorld}},
+		[]trace.Op{
+			{Kind: trace.Probe, Peer: 0, Comm: trace.CommWorld, ActualSrc: 0},
+			{Kind: trace.Recv, Peer: 0, Comm: trace.CommWorld, ActualSrc: trace.AnySource},
+		},
+	)
+	sref := trace.Ref{Proc: 0, TS: 0}
+	mt.MatchProbe(trace.Ref{Proc: 1, TS: 0}, sref)
+	mt.MatchP2P(sref, trace.Ref{Proc: 1, TS: 1})
+	sys := New(mt)
+	term, _ := sys.Run(sys.Initial())
+	if !term.Equal(State{1, 2}) {
+		t.Fatalf("terminal %v, want (1,2)", term)
+	}
+}
+
+func TestRule3CollectiveNeedsAllParticipants(t *testing.T) {
+	mt := trace.NewMatchedTrace(3)
+	var refs []trace.Ref
+	for i := 0; i < 3; i++ {
+		refs = append(refs, mt.Append(i, trace.Op{Kind: trace.Allreduce, Comm: trace.CommWorld}))
+	}
+	mt.AddColl(trace.CommWorld, refs)
+	sys := New(mt)
+	s := State{0, 0, 0}
+	for i := 0; i < 3; i++ {
+		if r := sys.CanAdvance(s, i); r != RuleColl {
+			t.Fatalf("proc %d: want coll, got %v", i, r)
+		}
+	}
+}
+
+func TestRule3IncompleteCollectiveBlocks(t *testing.T) {
+	// Process 2 never joins the barrier: no complete match set exists.
+	mt := trace.NewMatchedTrace(3)
+	mt.Append(0, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(1, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(2, trace.Op{Kind: trace.Recv, Peer: 0, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+	sys := New(mt)
+	s := sys.Initial()
+	if got := sys.BlockedSet(s); len(got) != 3 {
+		t.Fatalf("all blocked, got %v", got)
+	}
+	w := sys.WaitFor(s, 0)
+	if w.Semantics != AndWait {
+		t.Fatalf("collective wait is AND, got %v", w.Semantics)
+	}
+}
+
+func TestRule4WaitallNeedsAllMatches(t *testing.T) {
+	mt := trace.NewMatchedTrace(3)
+	i1 := mt.Append(0, trace.Op{Kind: trace.Irecv, Peer: 1, Req: 1, Comm: trace.CommWorld})
+	i2 := mt.Append(0, trace.Op{Kind: trace.Irecv, Peer: 2, Req: 2, Comm: trace.CommWorld})
+	mt.Append(0, trace.Op{Kind: trace.Waitall, Reqs: []trace.ReqID{1, 2}})
+	s1 := mt.Append(1, trace.Op{Kind: trace.Send, Peer: 0, Comm: trace.CommWorld})
+	s2 := mt.Append(2, trace.Op{Kind: trace.Send, Peer: 0, Comm: trace.CommWorld})
+	mt.MatchP2P(s1, i1)
+	sys := New(mt)
+	s := sys.Initial()
+	sys.Step(s, 0) // Irecv (nb)
+	sys.Step(s, 0) // Irecv (nb)
+	if r := sys.CanAdvance(s, 0); r != RuleNone {
+		t.Fatalf("waitall must block with one unmatched request, got %v", r)
+	}
+	w := sys.WaitFor(s, 0)
+	if w.Semantics != AndWait || len(w.Targets) != 1 || w.Targets[0] != 2 {
+		t.Fatalf("waitall waits (AND) for proc 2 only (req 1 matched+active): %+v", w)
+	}
+	mt.MatchP2P(s2, i2)
+	if r := sys.CanAdvance(s, 0); r != RuleAll {
+		t.Fatalf("waitall must advance with all matched, got %v", r)
+	}
+}
+
+func TestRule4WaitanyNeedsOneMatch(t *testing.T) {
+	mt := trace.NewMatchedTrace(3)
+	i1 := mt.Append(0, trace.Op{Kind: trace.Irecv, Peer: 1, Req: 1, Comm: trace.CommWorld})
+	mt.Append(0, trace.Op{Kind: trace.Irecv, Peer: 2, Req: 2, Comm: trace.CommWorld})
+	mt.Append(0, trace.Op{Kind: trace.Waitany, Reqs: []trace.ReqID{1, 2}})
+	s1 := mt.Append(1, trace.Op{Kind: trace.Send, Peer: 0, Comm: trace.CommWorld})
+	mt.Append(2, trace.Op{Kind: trace.Finalize})
+	sys := New(mt)
+	s := sys.Initial()
+	sys.Step(s, 0)
+	sys.Step(s, 0)
+	if r := sys.CanAdvance(s, 0); r != RuleNone {
+		t.Fatalf("waitany must block with no matched request, got %v", r)
+	}
+	w := sys.WaitFor(s, 0)
+	if w.Semantics != OrWait {
+		t.Fatalf("waitany waits with OR semantics: %+v", w)
+	}
+	mt.MatchP2P(s1, i1)
+	if r := sys.CanAdvance(s, 0); r != RuleAny {
+		t.Fatalf("waitany must advance with one matched, got %v", r)
+	}
+}
+
+func TestEmptyCompletionAdvances(t *testing.T) {
+	mt := trace.NewMatchedTrace(2)
+	mt.Append(0, trace.Op{Kind: trace.Waitall})
+	mt.Append(0, trace.Op{Kind: trace.Waitany})
+	mt.Append(1, trace.Op{Kind: trace.Finalize})
+	sys := New(mt)
+	term, steps := sys.Run(sys.Initial())
+	if steps != 2 || term[0] != 2 {
+		t.Fatalf("empty completions must return immediately: steps=%d state=%v", steps, term)
+	}
+}
+
+func TestFinalizeIsTerminal(t *testing.T) {
+	mt := trace.NewMatchedTrace(2)
+	mt.Append(0, trace.Op{Kind: trace.Finalize})
+	mt.Append(1, trace.Op{Kind: trace.Finalize})
+	sys := New(mt)
+	term, steps := sys.Run(sys.Initial())
+	if steps != 0 || !sys.Terminal(term) || !sys.DeadlockFree(term) {
+		t.Fatalf("finalize-only trace: steps=%d terminal=%v free=%v",
+			steps, sys.Terminal(term), sys.DeadlockFree(term))
+	}
+	if sys.Blocked(term, 0) || sys.Blocked(term, 1) {
+		t.Fatal("processes at Finalize are done, not blocked")
+	}
+}
+
+func TestWildcardUnmatchedWaitsOrForWorld(t *testing.T) {
+	mt := trace.NewMatchedTrace(4)
+	mt.Append(0, trace.Op{Kind: trace.Recv, Peer: trace.AnySource, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+	for i := 1; i < 4; i++ {
+		mt.Append(i, trace.Op{Kind: trace.Finalize})
+	}
+	sys := New(mt)
+	s := sys.Initial()
+	w := sys.WaitFor(s, 0)
+	if w.Semantics != OrWait {
+		t.Fatalf("unmatched wildcard waits OR, got %v", w.Semantics)
+	}
+	if len(w.Targets) != 3 {
+		t.Fatalf("wildcard waits for all other ranks, got %v", w.Targets)
+	}
+}
+
+func TestWaitForRespectsSubgroupComm(t *testing.T) {
+	mt := trace.NewMatchedTrace(6)
+	const sub trace.CommID = 7
+	mt.SetGroup(sub, []int{0, 2, 4})
+	mt.Append(0, trace.Op{Kind: trace.Recv, Peer: trace.AnySource, Comm: sub, ActualSrc: trace.AnySource})
+	for i := 1; i < 6; i++ {
+		mt.Append(i, trace.Op{Kind: trace.Finalize})
+	}
+	sys := New(mt)
+	w := sys.WaitFor(sys.Initial(), 0)
+	if len(w.Targets) != 2 || w.Targets[0] != 2 || w.Targets[1] != 4 {
+		t.Fatalf("wildcard on subgroup waits for {2,4}, got %v", w.Targets)
+	}
+}
+
+// TestIncompleteCollectiveTargetsOnlyMissingMembers: the wait-for targets
+// of an incomplete collective are the group members that have not activated
+// a same-wave operation (not the fellow waiters) — matching the arc
+// structure the distributed root builds.
+func TestIncompleteCollectiveTargetsOnlyMissingMembers(t *testing.T) {
+	mt := trace.NewMatchedTrace(3)
+	mt.Append(0, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(1, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	mt.Append(2, trace.Op{Kind: trace.Recv, Peer: 0, Tag: 7, Comm: trace.CommWorld, ActualSrc: trace.AnySource})
+	sys := New(mt)
+	s := sys.Initial()
+	w := sys.WaitFor(s, 0)
+	if len(w.Targets) != 1 || w.Targets[0] != 2 {
+		t.Fatalf("barrier waiter must target only the missing rank 2: %v", w.Targets)
+	}
+}
+
+// TestWaveOfCountsPerCommunicator: wave indices are per communicator and
+// cached consistently.
+func TestWaveOfCountsPerCommunicator(t *testing.T) {
+	mt := trace.NewMatchedTrace(1)
+	const sub trace.CommID = 3
+	b0 := mt.Append(0, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	s0 := mt.Append(0, trace.Op{Kind: trace.Allreduce, Comm: sub})
+	b1 := mt.Append(0, trace.Op{Kind: trace.Barrier, Comm: trace.CommWorld})
+	s1 := mt.Append(0, trace.Op{Kind: trace.Allreduce, Comm: sub})
+	for ref, want := range map[trace.Ref]int{b0: 0, s0: 0, b1: 1, s1: 1} {
+		if got := mt.WaveOf(ref); got != want {
+			t.Fatalf("WaveOf(%v) = %d, want %d", ref, got, want)
+		}
+		// Cached second lookup agrees.
+		if got := mt.WaveOf(ref); got != want {
+			t.Fatalf("cached WaveOf(%v) = %d", ref, got)
+		}
+	}
+}
+
+// TestConfluenceRandomSchedules: for randomly generated (and randomly
+// corrupted) traces, every schedule reaches the same terminal state.
+func TestConfluenceRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := tracegen.Default(2 + rng.Intn(6))
+		cfg.Events = 30 + rng.Intn(60)
+		mt := tracegen.Generate(cfg, rng)
+		if err := mt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if seed%2 == 1 {
+			tracegen.DropMatches(mt, 0.15, rng)
+		}
+		sys := New(mt)
+		ref, _ := sys.Run(sys.Initial())
+		for trial := 0; trial < 5; trial++ {
+			srng := rand.New(rand.NewSource(seed*100 + int64(trial)))
+			term, _ := sys.RunSchedule(sys.Initial(), func(enabled []int) int {
+				return srng.Intn(len(enabled))
+			})
+			if !term.Equal(ref) {
+				t.Fatalf("seed %d trial %d: terminal %v != reference %v", seed, trial, term, ref)
+			}
+		}
+	}
+}
+
+// TestGeneratedTracesDeadlockFree: the generator's aligned-frontier
+// construction guarantees deadlock freedom; the transition system must
+// confirm it.
+func TestGeneratedTracesDeadlockFree(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		mt := tracegen.Generate(tracegen.Default(2+rng.Intn(8)), rng)
+		sys := New(mt)
+		term, _ := sys.Run(sys.Initial())
+		if !sys.DeadlockFree(term) {
+			t.Fatalf("seed %d: generated trace deadlocks at %v; blocked=%v",
+				seed, term, sys.BlockedSet(term))
+		}
+	}
+}
+
+// TestMonotonicity (quick): if a rule advances process k in state S, it
+// still advances k in any state S' ≥ S (componentwise, with S'[k] == S[k]).
+// This is the property behind the confluence argument of Section 3.1.
+func TestMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mt := tracegen.Generate(tracegen.Default(5), rng)
+	tracegen.DropMatches(mt, 0.1, rng)
+	sys := New(mt)
+
+	check := func(s State) bool {
+		for k := range s {
+			r := sys.CanAdvance(s, k)
+			if r == RuleNone {
+				continue
+			}
+			// Build S' ≥ S with random increments elsewhere.
+			sp := s.Clone()
+			for i := range sp {
+				if i != k {
+					max := sys.Trace().Len(i)
+					if sp[i] < max {
+						sp[i] += rng.Intn(max - sp[i] + 1)
+					}
+				}
+			}
+			if sys.CanAdvance(sp, k) == RuleNone {
+				t.Logf("rule %v for proc %d enabled in %v but disabled in %v", r, k, s, sp)
+				return false
+			}
+		}
+		return true
+	}
+	// Check every state along a full run (random walk through the
+	// reachable state space).
+	s := sys.Initial()
+	for {
+		if !check(s) {
+			t.Fatal("monotonicity violated along run")
+		}
+		var enabled []int
+		for i := range s {
+			if sys.CanAdvance(s, i) != RuleNone {
+				enabled = append(enabled, i)
+			}
+		}
+		if len(enabled) == 0 {
+			break
+		}
+		sys.Step(s, enabled[rng.Intn(len(enabled))])
+	}
+}
+
+// TestBlockedSetViaQuick uses testing/quick to check that BlockedSet and
+// per-process Blocked agree on arbitrary clamped states.
+func TestBlockedSetViaQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mt := tracegen.Generate(tracegen.Default(4), rng)
+	tracegen.DropMatches(mt, 0.2, rng)
+	sys := New(mt)
+	f := func(raw [4]uint8) bool {
+		s := make(State, 4)
+		for i := range s {
+			s[i] = int(raw[i]) % (mt.Len(i) + 1)
+		}
+		set := sys.BlockedSet(s)
+		m := map[int]bool{}
+		for _, i := range set {
+			m[i] = true
+		}
+		for i := range s {
+			if m[i] != sys.Blocked(s, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package waitstate
+
+import (
+	"fmt"
+	"sort"
+
+	"dwst/internal/trace"
+)
+
+// Semantics distinguishes AND wait conditions (all targets must act) from OR
+// conditions (any one target suffices), matching the AND⊕OR wait-for-graph
+// model of the paper's graph-based detection [9].
+type Semantics int
+
+const (
+	// AndWait requires all targets (sends, known-source receives,
+	// collectives, Wait/Waitall).
+	AndWait Semantics = iota
+	// OrWait requires any one target (wildcard receives, Waitany/Waitsome).
+	OrWait
+)
+
+func (s Semantics) String() string {
+	if s == OrWait {
+		return "OR"
+	}
+	return "AND"
+}
+
+// WaitInfo describes the wait-for condition of one blocked process: the
+// operation it is blocked in and the processes it waits for.
+type WaitInfo struct {
+	Proc      int
+	Op        trace.Ref
+	Kind      trace.Kind
+	Semantics Semantics
+	Targets   []int  // waited-for processes, ascending, no duplicates, no self
+	Desc      string // human-readable condition for reports
+}
+
+// WaitFor computes the wait-for condition of process i, which must be
+// blocked in s. The targets are the processes whose progress could satisfy
+// the unmet premise of the (only) rule that could advance i.
+func (sys *System) WaitFor(s State, i int) WaitInfo {
+	opRef := trace.Ref{Proc: i, TS: s[i]}
+	op := sys.mt.Op(opRef)
+	info := WaitInfo{Proc: i, Op: opRef, Kind: op.Kind, Semantics: AndWait}
+
+	switch {
+	case op.Kind.IsSend():
+		info.Targets = sys.p2pTargets(s, op)
+		info.Desc = fmt.Sprintf("%s waits for a matching receive on process %d", op.Describe(), op.Peer)
+
+	case op.Kind.IsRecv():
+		info.Targets = sys.p2pTargets(s, op)
+		if op.Peer == trace.AnySource {
+			if _, matched := sys.mt.P2P[opRef]; !matched {
+				info.Semantics = OrWait
+				info.Desc = fmt.Sprintf("%s waits for a send from ANY process", op.Describe())
+				break
+			}
+		}
+		info.Desc = fmt.Sprintf("%s waits for a matching send", op.Describe())
+
+	case op.Kind.IsCollective():
+		info.Targets = sys.collTargets(s, op)
+		info.Desc = fmt.Sprintf("%s waits for all processes of communicator %d to join", op.Describe(), op.Comm)
+
+	case op.Kind.IsCompletion():
+		comms := sys.mt.CommOps(op)
+		set := map[int]struct{}{}
+		for _, cr := range comms {
+			if op.Kind.IsWaitAnySemantics() || !sys.commMatched(s, cr) {
+				for _, t := range sys.p2pTargets(s, sys.mt.Op(cr)) {
+					set[t] = struct{}{}
+				}
+			}
+		}
+		info.Targets = sortedSet(set, i)
+		if op.Kind.IsWaitAnySemantics() {
+			info.Semantics = OrWait
+			info.Desc = fmt.Sprintf("%s waits for any associated communication to complete", op.Describe())
+		} else {
+			info.Desc = fmt.Sprintf("%s waits for all associated communications to complete", op.Describe())
+		}
+
+	default:
+		info.Desc = fmt.Sprintf("%s blocked with no known condition", op.Describe())
+	}
+	return info
+}
+
+// p2pTargets returns the processes whose progress could satisfy a blocked
+// (or unmatched) point-to-point operation.
+func (sys *System) p2pTargets(s State, op *trace.Op) []int {
+	if m, ok := sys.mt.P2P[op.Ref()]; ok {
+		return []int{m.Proc}
+	}
+	// No match recorded. For a send or a known-source receive, the peer is
+	// determined by the call arguments. An unmatched wildcard receive may be
+	// satisfied by any other member of the communicator group.
+	if op.Peer != trace.AnySource {
+		return []int{op.Peer}
+	}
+	set := map[int]struct{}{}
+	for _, r := range sys.mt.Group(op.Comm) {
+		if r != op.Proc {
+			set[r] = struct{}{}
+		}
+	}
+	return sortedSet(set, op.Proc)
+}
+
+// collTargets returns the group members that have not yet activated their
+// participating operation of op's collective.
+func (sys *System) collTargets(s State, op *trace.Op) []int {
+	set := map[int]struct{}{}
+	if c, ok := sys.mt.CollFor(op.Ref()); ok {
+		for _, r := range c.Ops {
+			if r.Proc != op.Proc && s[r.Proc] < r.TS {
+				set[r.Proc] = struct{}{}
+			}
+		}
+		return sortedSet(set, op.Proc)
+	}
+	// Incomplete collective: some member never reached the call. The waiters
+	// are exactly the group members that have NOT activated a matching
+	// operation of the same wave — members whose current operation is the
+	// same-wave collective are fellow waiters, not blockers (this matches
+	// the arc structure the distributed root builds).
+	myWave := sys.mt.WaveOf(op.Ref())
+	for _, r := range sys.mt.Group(op.Comm) {
+		if r == op.Proc {
+			continue
+		}
+		if s[r] < sys.mt.Len(r) {
+			cur := sys.mt.Op(trace.Ref{Proc: r, TS: s[r]})
+			if cur.Kind.IsCollective() && cur.Comm == op.Comm &&
+				sys.mt.WaveOf(cur.Ref()) == myWave {
+				continue // active in the same wave
+			}
+		}
+		set[r] = struct{}{}
+	}
+	return sortedSet(set, op.Proc)
+}
+
+func sortedSet(set map[int]struct{}, self int) []int {
+	out := make([]int, 0, len(set))
+	for t := range set {
+		if t != self {
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UnexpectedMatch reports a wildcard receive whose recorded match is not
+// active in a terminal state while another active send could match it
+// (Section 3.3). The strict blocking predicate b is only valid while no
+// unexpected matches occur.
+type UnexpectedMatch struct {
+	Recv        trace.Ref // the wildcard receive, active in S
+	MatchedSend trace.Ref // the recorded match, NOT active in S
+	ActiveSend  trace.Ref // an active send that could match instead
+}
+
+// UnexpectedMatches scans a (typically terminal) state for unexpected
+// matches per the paper's definition.
+func (sys *System) UnexpectedMatches(s State) []UnexpectedMatch {
+	var out []UnexpectedMatch
+	for i := range s {
+		if s[i] >= sys.mt.Len(i) {
+			continue
+		}
+		opRef := trace.Ref{Proc: i, TS: s[i]}
+		op := sys.mt.Op(opRef)
+		if op.Kind != trace.Recv || op.Peer != trace.AnySource {
+			continue
+		}
+		m, ok := sys.mt.P2P[opRef]
+		if !ok || s[m.Proc] >= m.TS {
+			continue // unmatched, or match is active: not unexpected
+		}
+		// The recorded match is not active in S. Look for an active send
+		// that could have matched this wildcard receive instead.
+		for k := range s {
+			if k == i || s[k] >= sys.mt.Len(k) {
+				continue
+			}
+			cand := sys.mt.Op(trace.Ref{Proc: k, TS: s[k]})
+			if !cand.Kind.IsSend() || cand.Peer != i || cand.Comm != op.Comm {
+				continue
+			}
+			if op.Tag != trace.AnyTag && cand.Tag != op.Tag {
+				continue
+			}
+			out = append(out, UnexpectedMatch{Recv: opRef, MatchedSend: m, ActiveSend: cand.Ref()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+// Package workload provides the benchmark programs of the paper's
+// evaluation (Section 6): the synthetic cyclic-exchange stress test, the
+// deadlock test cases (wildcard receive storm, the Figure 2 examples), and
+// synthetic proxies for the SPEC MPI2007 applications of Figure 12.
+//
+// The proxies reproduce the communication *signatures* that drive tool
+// overhead — message rate, pattern, collective frequency, wildcard use,
+// buffered-send backlogs, unsafe send–send pairs — with calibrated spin
+// loops standing in for the numerical kernels (see DESIGN.md for the
+// substitution argument).
+package workload
+
+import (
+	"time"
+
+	"dwst/mpi"
+)
+
+// Stress is the paper's synthetic stress test: iters iterations of a cyclic
+// exchange where each process sends one integer to its right neighbor and
+// receives one from its left neighbor; every 10th iteration issues an
+// MPI_Barrier. It is communication bound and latency sensitive.
+func Stress(iters int) mpi.Program {
+	return func(p *mpi.Proc) {
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() + n - 1) % n
+		buf := mpi.Int64(int64(p.Rank()))
+		for i := 0; i < iters; i++ {
+			p.Sendrecv(buf, right, 0, left, 0, mpi.CommWorld)
+			if (i+1)%10 == 0 {
+				p.Barrier(mpi.CommWorld)
+			}
+		}
+		p.Finalize()
+	}
+}
+
+// WildcardDeadlock is the Figure 10 test case: every process issues a
+// wildcard receive without any send, deadlocking with a wait-for graph of
+// maximal size (p² arcs).
+func WildcardDeadlock() mpi.Program {
+	return func(p *mpi.Proc) {
+		p.Recv(mpi.AnySource, mpi.AnyTag, mpi.CommWorld)
+		p.Finalize()
+	}
+}
+
+// RecvRecvDeadlock is Figure 2(a): neighboring pairs first receive, then
+// send — a head-on receive-receive deadlock on every pair.
+func RecvRecvDeadlock() mpi.Program {
+	return func(p *mpi.Proc) {
+		peer := p.Rank() ^ 1
+		if peer >= p.Size() {
+			p.Finalize()
+			return
+		}
+		p.Recv(peer, 0, mpi.CommWorld)
+		p.Send(mpi.Int64(1), peer, 0, mpi.CommWorld)
+		p.Finalize()
+	}
+}
+
+// Fig2b is the Figure 2(b) example on 3k processes: send-send deadlock
+// behind wildcard receives and a barrier. With buffered sends it is a
+// potential deadlock; with rendezvous sends it manifests.
+func Fig2b() mpi.Program {
+	return func(p *mpi.Proc) {
+		g := p.Rank() / 3 * 3 // triple base
+		switch p.Rank() % 3 {
+		case 0:
+			p.Send(nil, g+1, 0, mpi.CommWorld)
+			p.Barrier(mpi.CommWorld)
+			p.Send(nil, g+1, 0, mpi.CommWorld)
+			p.Recv(g+2, 0, mpi.CommWorld)
+		case 1:
+			p.Recv(mpi.AnySource, 0, mpi.CommWorld)
+			p.Recv(mpi.AnySource, 0, mpi.CommWorld)
+			p.Barrier(mpi.CommWorld)
+			p.Send(nil, g+2, 0, mpi.CommWorld)
+			p.Recv(g, 0, mpi.CommWorld)
+		case 2:
+			p.Send(nil, g+1, 0, mpi.CommWorld)
+			p.Barrier(mpi.CommWorld)
+			p.Send(nil, g, 0, mpi.CommWorld)
+			p.Recv(g+1, 0, mpi.CommWorld)
+		}
+		p.Finalize()
+	}
+}
+
+// UnexpectedMatch is the Figure 4 example: a non-synchronizing reduce lets
+// a send issued after the collective match an earlier wildcard receive.
+// Rank 0 briefly sleeps so the racy interleaving is likely.
+func UnexpectedMatch() mpi.Program {
+	return func(p *mpi.Proc) {
+		switch p.Rank() {
+		case 0:
+			time.Sleep(2 * time.Millisecond)
+			p.Send(mpi.Int64(0), 1, 0, mpi.CommWorld)
+			p.Reduce(mpi.Int64(1), 1, mpi.CommWorld)
+		case 1:
+			p.Recv(mpi.AnySource, mpi.AnyTag, mpi.CommWorld)
+			p.Reduce(mpi.Int64(1), 1, mpi.CommWorld)
+			p.Recv(mpi.AnySource, mpi.AnyTag, mpi.CommWorld)
+		case 2:
+			p.Reduce(mpi.Int64(1), 1, mpi.CommWorld)
+			p.Send(mpi.Int64(2), 1, 0, mpi.CommWorld)
+		}
+		p.Finalize()
+	}
+}

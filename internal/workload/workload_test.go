@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"dwst/mpi"
+	"dwst/must"
+)
+
+func fastOpts() must.Options {
+	return must.Options{FanIn: 2, Timeout: 25 * time.Millisecond}
+}
+
+func TestStressRunsCleanlyUnderTool(t *testing.T) {
+	rep := must.Run(8, Stress(30), fastOpts())
+	if rep.Deadlock || rep.AppAborted {
+		t.Fatalf("stress: deadlock=%v aborted=%v", rep.Deadlock, rep.AppAborted)
+	}
+}
+
+func TestStressRunsStandalone(t *testing.T) {
+	if err := mpi.Run(8, Stress(30)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardDeadlockDetected(t *testing.T) {
+	const p = 8
+	rep := must.Run(p, WildcardDeadlock(), fastOpts())
+	if !rep.Deadlock || len(rep.Deadlocked) != p || rep.Arcs != p*(p-1) {
+		t.Fatalf("deadlock=%v dead=%v arcs=%d", rep.Deadlock, rep.Deadlocked, rep.Arcs)
+	}
+}
+
+func TestRecvRecvDeadlockDetected(t *testing.T) {
+	rep := must.Run(4, RecvRecvDeadlock(), fastOpts())
+	if !rep.Deadlock || rep.PotentialOnly {
+		t.Fatalf("deadlock=%v potential=%v", rep.Deadlock, rep.PotentialOnly)
+	}
+}
+
+func TestFig2bPotentialWithBufferingManifestWithout(t *testing.T) {
+	rep := must.Run(3, Fig2b(), fastOpts())
+	if !rep.Deadlock || !rep.PotentialOnly {
+		t.Fatalf("buffered fig2b: deadlock=%v potential=%v", rep.Deadlock, rep.PotentialOnly)
+	}
+	o := fastOpts()
+	o.Rendezvous = true
+	rep = must.Run(3, Fig2b(), o)
+	if !rep.Deadlock || rep.PotentialOnly {
+		t.Fatalf("rendezvous fig2b: deadlock=%v potential=%v", rep.Deadlock, rep.PotentialOnly)
+	}
+	if len(rep.Deadlocked) != 3 {
+		t.Fatalf("deadlocked = %v", rep.Deadlocked)
+	}
+}
+
+func TestSpecSuiteShape(t *testing.T) {
+	suite := SpecSuite()
+	if len(suite) != 15 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	if SpecApps("137.lu") == nil || SpecApps("nope") != nil {
+		t.Fatal("SpecApps lookup broken")
+	}
+	unsafe := 0
+	for _, a := range suite {
+		if a.Unsafe {
+			unsafe++
+		}
+	}
+	if unsafe != 1 {
+		t.Fatalf("exactly 126.lammps is unsafe, got %d", unsafe)
+	}
+}
+
+// TestSpecProxiesRunCleanly runs every safe proxy at small scale under the
+// tool and checks for false positives.
+func TestSpecProxiesRunCleanly(t *testing.T) {
+	for _, app := range SpecSuite() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			prog := app.Build(6, 5*time.Microsecond)
+			rep := must.Run(4, prog, fastOpts())
+			if rep.AppAborted {
+				t.Fatalf("%s: app aborted", app.Name)
+			}
+			if app.Unsafe {
+				if !rep.Deadlock || !rep.PotentialOnly {
+					t.Fatalf("%s: potential deadlock not flagged (deadlock=%v potential=%v)",
+						app.Name, rep.Deadlock, rep.PotentialOnly)
+				}
+				return
+			}
+			if rep.Deadlock {
+				t.Fatalf("%s: false positive %v (%v)", app.Name, rep.Deadlocked, rep.Conditions)
+			}
+		})
+	}
+}
+
+func TestLammpsDeadlockManifestsUnderRendezvous(t *testing.T) {
+	o := fastOpts()
+	o.Rendezvous = true
+	rep := must.Run(4, SpecApps("126.lammps").Build(5, 0), o)
+	if !rep.Deadlock || rep.PotentialOnly {
+		t.Fatalf("deadlock=%v potential=%v", rep.Deadlock, rep.PotentialOnly)
+	}
+}
+
+func TestUnexpectedMatchWorkload(t *testing.T) {
+	found := false
+	for trial := 0; trial < 30 && !found; trial++ {
+		rep := must.Run(3, UnexpectedMatch(), fastOpts())
+		if rep.Deadlock && rep.UnexpectedMatches > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unexpected match never observed")
+	}
+}
+
+func TestGAPgeofemWindowGrowth(t *testing.T) {
+	app := SpecApps("128.GAPgeofem")
+	rep := must.Run(4, app.Build(30, 0), fastOpts())
+	if rep.Deadlock {
+		t.Fatalf("false positive: %v", rep.Deadlocked)
+	}
+	if rep.WindowHighWater <= 0 {
+		t.Fatal("window high-water not measured")
+	}
+}

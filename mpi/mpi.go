@@ -1,0 +1,277 @@
+// Package mpi is the public programming surface of the bundled MPI runtime
+// simulator: it lets you write MPI-style Go programs (ranks, blocking and
+// non-blocking point-to-point communication, wildcards, collectives,
+// communicator management) that can run stand-alone or under the deadlock
+// detection tool in package must.
+//
+// A program is a function executed once per rank:
+//
+//	err := mpi.Run(4, func(p *mpi.Proc) {
+//		right := (p.Rank() + 1) % p.Size()
+//		left := (p.Rank() + p.Size() - 1) % p.Size()
+//		p.Sendrecv([]byte("hi"), right, 0, left, 0, mpi.CommWorld)
+//		p.Barrier(mpi.CommWorld)
+//		p.Finalize()
+//	})
+//
+// Calls follow MPI semantics: standard sends may buffer (configurable),
+// receives match per-sender in order with tag selectivity, AnySource /
+// AnyTag wildcards are supported, and collectives operate per communicator.
+// When the job deadlocks, Run returns an error (via the hang watchdog)
+// rather than hanging forever; under the must tool, precise detection
+// replaces the watchdog.
+package mpi
+
+import (
+	"time"
+
+	"dwst/internal/mpisim"
+	"dwst/internal/trace"
+)
+
+// Comm identifies a communicator.
+type Comm = trace.CommID
+
+// CommWorld is MPI_COMM_WORLD.
+const CommWorld = trace.CommWorld
+
+// AnySource is MPI_ANY_SOURCE.
+const AnySource = trace.AnySource
+
+// AnyTag is MPI_ANY_TAG.
+const AnyTag = trace.AnyTag
+
+// Status describes a completed receive or probe.
+type Status = mpisim.Status
+
+// Request is the handle of a non-blocking operation.
+type Request = mpisim.Request
+
+// Program is the per-rank application function. It must call Finalize
+// before returning on the success path.
+type Program func(p *Proc)
+
+// Options configures a stand-alone run.
+type Options struct {
+	// Rendezvous forces standard sends to block until matched (no
+	// buffering); with the default (false), sends are buffered eagerly up
+	// to BufferSlots outstanding messages.
+	Rendezvous bool
+	// BufferSlots bounds outstanding buffered sends per rank (0 = generous
+	// default).
+	BufferSlots int
+	// SynchronizingCollectives makes all collectives behave like barriers.
+	SynchronizingCollectives bool
+	// BufferedSendCost charges BufferedSendCost × (outstanding buffered
+	// sends) spin iterations per eager send, modeling MPI-internal handling
+	// of buffered-send backlogs.
+	BufferedSendCost int
+	// SsendEvery gives every n-th standard send synchronous semantics (the
+	// paper's MPI_Send → MPI_Ssend throttling wrapper).
+	SsendEvery int
+	// HangTimeout aborts the run when no rank progresses for this long
+	// (default 2s). Deadlocked stand-alone runs return ErrHang.
+	HangTimeout time.Duration
+}
+
+// ErrHang is returned by Run when the watchdog aborted a hung job.
+var ErrHang = mpisim.ErrHang
+
+// Run executes prog on n ranks without any tool attached and returns the
+// abort cause (nil for a clean run, ErrHang for a deadlock caught by the
+// watchdog).
+func Run(n int, prog Program, opts ...Options) error {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.HangTimeout == 0 {
+		o.HangTimeout = 2 * time.Second
+	}
+	mode := mpisim.Eager
+	if o.Rendezvous {
+		mode = mpisim.Rendezvous
+	}
+	w := mpisim.NewWorld(mpisim.Config{
+		Procs:                    n,
+		SendMode:                 mode,
+		BufferSlots:              o.BufferSlots,
+		SynchronizingCollectives: o.SynchronizingCollectives,
+		BufferedSendCost:         o.BufferedSendCost,
+		SsendEvery:               o.SsendEvery,
+		HangTimeout:              o.HangTimeout,
+	})
+	return w.Run(func(p *mpisim.Proc) { prog(&Proc{p: p}) })
+}
+
+// Proc is the per-rank handle. All methods must be called from the rank's
+// own goroutine (the Program invocation).
+type Proc struct{ p *mpisim.Proc }
+
+// NewProc wraps a simulator rank handle; used by the must tool runner, not
+// by application code.
+func NewProc(p *mpisim.Proc) *Proc { return &Proc{p: p} }
+
+// Rank returns this process's world rank.
+func (p *Proc) Rank() int { return p.p.Rank() }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.p.Size() }
+
+// Finalize records MPI_Finalize; call it before returning from the program.
+func (p *Proc) Finalize() { p.p.Finalize() }
+
+// Compute busy-spins for roughly d, modeling computation between calls.
+func (p *Proc) Compute(d time.Duration) { p.p.Compute(d) }
+
+// Send is MPI_Send (standard mode).
+func (p *Proc) Send(data []byte, dest, tag int, comm Comm) { p.p.Send(data, dest, tag, comm) }
+
+// Ssend is MPI_Ssend (synchronous mode).
+func (p *Proc) Ssend(data []byte, dest, tag int, comm Comm) { p.p.Ssend(data, dest, tag, comm) }
+
+// Bsend is MPI_Bsend (buffered mode).
+func (p *Proc) Bsend(data []byte, dest, tag int, comm Comm) { p.p.Bsend(data, dest, tag, comm) }
+
+// Rsend is MPI_Rsend (ready mode).
+func (p *Proc) Rsend(data []byte, dest, tag int, comm Comm) { p.p.Rsend(data, dest, tag, comm) }
+
+// Recv is MPI_Recv; src may be AnySource and tag may be AnyTag.
+func (p *Proc) Recv(src, tag int, comm Comm) Status { return p.p.Recv(src, tag, comm) }
+
+// Probe is MPI_Probe.
+func (p *Proc) Probe(src, tag int, comm Comm) Status { return p.p.Probe(src, tag, comm) }
+
+// Iprobe is MPI_Iprobe.
+func (p *Proc) Iprobe(src, tag int, comm Comm) (Status, bool) { return p.p.Iprobe(src, tag, comm) }
+
+// Isend is MPI_Isend.
+func (p *Proc) Isend(data []byte, dest, tag int, comm Comm) *Request {
+	return p.p.Isend(data, dest, tag, comm)
+}
+
+// Issend is MPI_Issend.
+func (p *Proc) Issend(data []byte, dest, tag int, comm Comm) *Request {
+	return p.p.Issend(data, dest, tag, comm)
+}
+
+// Irecv is MPI_Irecv.
+func (p *Proc) Irecv(src, tag int, comm Comm) *Request { return p.p.Irecv(src, tag, comm) }
+
+// Wait is MPI_Wait.
+func (p *Proc) Wait(req *Request) Status { return p.p.Wait(req) }
+
+// Waitall is MPI_Waitall.
+func (p *Proc) Waitall(reqs ...*Request) []Status { return p.p.Waitall(reqs...) }
+
+// Waitany is MPI_Waitany.
+func (p *Proc) Waitany(reqs ...*Request) (int, Status) { return p.p.Waitany(reqs...) }
+
+// Waitsome is MPI_Waitsome.
+func (p *Proc) Waitsome(reqs ...*Request) ([]int, []Status) { return p.p.Waitsome(reqs...) }
+
+// Test is MPI_Test.
+func (p *Proc) Test(req *Request) (Status, bool) { return p.p.Test(req) }
+
+// Testall is MPI_Testall.
+func (p *Proc) Testall(reqs ...*Request) ([]Status, bool) { return p.p.Testall(reqs...) }
+
+// Testany is MPI_Testany.
+func (p *Proc) Testany(reqs ...*Request) (int, Status, bool) { return p.p.Testany(reqs...) }
+
+// Testsome is MPI_Testsome.
+func (p *Proc) Testsome(reqs ...*Request) ([]int, []Status) { return p.p.Testsome(reqs...) }
+
+// Sendrecv is MPI_Sendrecv (executed, as the MPI standard suggests, as
+// Isend + Irecv + Waitall).
+func (p *Proc) Sendrecv(sdata []byte, dest, stag, src, rtag int, comm Comm) Status {
+	return p.p.Sendrecv(sdata, dest, stag, src, rtag, comm)
+}
+
+// Barrier is MPI_Barrier.
+func (p *Proc) Barrier(comm Comm) { p.p.Barrier(comm) }
+
+// Bcast is MPI_Bcast; every rank receives the root's buffer.
+func (p *Proc) Bcast(data []byte, root int, comm Comm) []byte { return p.p.Bcast(data, root, comm) }
+
+// Reduce is MPI_Reduce (elementwise int64 sum); result valid on the root.
+func (p *Proc) Reduce(data []byte, root int, comm Comm) []byte { return p.p.Reduce(data, root, comm) }
+
+// Allreduce is MPI_Allreduce (elementwise int64 sum).
+func (p *Proc) Allreduce(data []byte, comm Comm) []byte { return p.p.Allreduce(data, comm) }
+
+// Op selects a reduction operation for ReduceWith/AllreduceWith.
+type Op = mpisim.ReduceOp
+
+// Reduction operations.
+const (
+	OpSum  = mpisim.OpSum
+	OpMax  = mpisim.OpMax
+	OpMin  = mpisim.OpMin
+	OpProd = mpisim.OpProd
+)
+
+// ReduceWith is MPI_Reduce with a selectable operation (result on the root).
+func (p *Proc) ReduceWith(data []byte, op Op, root int, comm Comm) []byte {
+	return p.p.ReduceWith(data, op, root, comm)
+}
+
+// AllreduceWith is MPI_Allreduce with a selectable operation.
+func (p *Proc) AllreduceWith(data []byte, op Op, comm Comm) []byte {
+	return p.p.AllreduceWith(data, op, comm)
+}
+
+// Gather is MPI_Gather; the root receives all contributions.
+func (p *Proc) Gather(data []byte, root int, comm Comm) [][]byte { return p.p.Gather(data, root, comm) }
+
+// Allgather is MPI_Allgather.
+func (p *Proc) Allgather(data []byte, comm Comm) [][]byte { return p.p.Allgather(data, comm) }
+
+// Scatter is MPI_Scatter over equal chunks of the root's buffer.
+func (p *Proc) Scatter(data []byte, root int, comm Comm) []byte { return p.p.Scatter(data, root, comm) }
+
+// Alltoall is MPI_Alltoall over equal chunks.
+func (p *Proc) Alltoall(data []byte, comm Comm) []byte { return p.p.Alltoall(data, comm) }
+
+// Scan is MPI_Scan (int64 prefix sums).
+func (p *Proc) Scan(data []byte, comm Comm) []byte { return p.p.Scan(data, comm) }
+
+// CommDup is MPI_Comm_dup.
+func (p *Proc) CommDup(comm Comm) Comm { return p.p.CommDup(comm) }
+
+// CommSplit is MPI_Comm_split.
+func (p *Proc) CommSplit(comm Comm, color, key int) Comm { return p.p.CommSplit(comm, color, key) }
+
+// CommGroup returns the world ranks of a communicator.
+func (p *Proc) CommGroup(comm Comm) []int { return p.p.World().CommGroup(comm) }
+
+// CommRank returns this process's rank within the communicator.
+func (p *Proc) CommRank(comm Comm) int {
+	for i, r := range p.CommGroup(comm) {
+		if r == p.Rank() {
+			return i
+		}
+	}
+	return -1
+}
+
+// CommSize returns the communicator's group size.
+func (p *Proc) CommSize(comm Comm) int { return len(p.CommGroup(comm)) }
+
+// Int64 encodes v for data-carrying collectives.
+func Int64(v int64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// ToInt64 decodes the first 8 bytes of a buffer.
+func ToInt64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package mpi_test
+
+import (
+	"testing"
+	"time"
+
+	"dwst/mpi"
+	"dwst/must"
+)
+
+func TestRunBasicExchange(t *testing.T) {
+	err := mpi.Run(4, func(p *mpi.Proc) {
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() + p.Size() - 1) % p.Size()
+		st := p.Sendrecv(mpi.Int64(int64(p.Rank())), right, 0, left, 0, mpi.CommWorld)
+		if mpi.ToInt64(st.Data) != int64(left) {
+			t.Errorf("rank %d got %d", p.Rank(), mpi.ToInt64(st.Data))
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 50)} {
+		if got := mpi.ToInt64(mpi.Int64(v)); got != v {
+			t.Fatalf("roundtrip %d -> %d", v, got)
+		}
+	}
+	if mpi.ToInt64(nil) != 0 {
+		t.Fatal("nil buffer must decode to 0")
+	}
+}
+
+func TestCommHelpers(t *testing.T) {
+	err := mpi.Run(6, func(p *mpi.Proc) {
+		sub := p.CommSplit(mpi.CommWorld, p.Rank()%3, p.Rank())
+		if p.CommSize(sub) != 2 {
+			t.Errorf("sub size %d", p.CommSize(sub))
+		}
+		gr := p.CommRank(sub)
+		if gr != p.Rank()/3 {
+			t.Errorf("rank %d group rank %d", p.Rank(), gr)
+		}
+		p.Barrier(sub)
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentRequestsRoundTrip(t *testing.T) {
+	err := mpi.Run(2, func(p *mpi.Proc) {
+		peer := 1 - p.Rank()
+		const rounds = 5
+		if p.Rank() == 0 {
+			pr := p.SendInit([]byte{42}, peer, 7, mpi.CommWorld)
+			for i := 0; i < rounds; i++ {
+				p.Start(pr)
+				p.WaitP(pr)
+			}
+		} else {
+			pr := p.RecvInit(peer, 7, mpi.CommWorld)
+			for i := 0; i < rounds; i++ {
+				p.Start(pr)
+				st := p.WaitP(pr)
+				if st.Data[0] != 42 {
+					t.Errorf("round %d payload %v", i, st.Data)
+				}
+			}
+		}
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentStartallUnderTool(t *testing.T) {
+	rep := must.Run(4, func(p *mpi.Proc) {
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() + n - 1) % n
+		s := p.SendInit([]byte{1}, right, 0, mpi.CommWorld)
+		r := p.RecvInit(left, 0, mpi.CommWorld)
+		for i := 0; i < 8; i++ {
+			p.Startall(s, r)
+			p.WaitallP(s, r)
+		}
+		p.Barrier(mpi.CommWorld)
+		p.Finalize()
+	}, must.Options{FanIn: 2, Timeout: 25 * time.Millisecond})
+	if rep.Deadlock || rep.AppAborted {
+		t.Fatalf("deadlock=%v aborted=%v", rep.Deadlock, rep.AppAborted)
+	}
+}
+
+func TestPersistentDeadlockDetectedUnderTool(t *testing.T) {
+	// Both ranks start persistent receives that are never matched.
+	rep := must.Run(2, func(p *mpi.Proc) {
+		pr := p.RecvInit(1-p.Rank(), 0, mpi.CommWorld)
+		p.Start(pr)
+		p.WaitP(pr)
+		p.Finalize()
+	}, must.Options{FanIn: 2, Timeout: 25 * time.Millisecond})
+	if !rep.Deadlock || len(rep.Deadlocked) != 2 {
+		t.Fatalf("deadlock=%v deadlocked=%v", rep.Deadlock, rep.Deadlocked)
+	}
+}
+
+func TestStartOnActiveRequestPanics(t *testing.T) {
+	_ = mpi.Run(2, func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			pr := p.SendInit(nil, 1, 0, mpi.CommWorld)
+			p.Start(pr)
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("double Start must panic")
+					}
+				}()
+				p.Start(pr)
+			}()
+			p.WaitP(pr)
+		} else {
+			p.Recv(0, 0, mpi.CommWorld)
+		}
+		p.Finalize()
+	})
+}
+
+func TestRendezvousOptionChangesSemantics(t *testing.T) {
+	prog := func(p *mpi.Proc) {
+		peer := 1 - p.Rank()
+		p.Send(nil, peer, 0, mpi.CommWorld)
+		p.Recv(peer, 0, mpi.CommWorld)
+		p.Finalize()
+	}
+	if err := mpi.Run(2, prog); err != nil {
+		t.Fatalf("buffered run: %v", err)
+	}
+	err := mpi.Run(2, prog, mpi.Options{Rendezvous: true, HangTimeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("rendezvous send-send must hang")
+	}
+}

@@ -1,0 +1,105 @@
+package mpi
+
+import "sync"
+
+// Persistent communication requests (MPI_Send_init / MPI_Recv_init /
+// MPI_Start / MPI_Startall). The paper's blocking predicate b deliberately
+// omits persistent operations "since we can handle them like non-blocking
+// point-to-point operations" (Sec. 3.1): each MPI_Start is observed by the
+// tool as the corresponding non-blocking operation, and completion runs
+// through the regular MPI_Wait machinery.
+
+// PersistentRequest is an inactive communication request created by
+// SendInit or RecvInit. Start activates it; the resulting activation is
+// completed with WaitP (or Wait on the underlying request), after which the
+// request may be started again.
+type PersistentRequest struct {
+	p    *Proc
+	send bool
+	data []byte
+	peer int
+	tag  int
+	comm Comm
+
+	mu     sync.Mutex
+	active *Request
+}
+
+// SendInit is MPI_Send_init: creates an inactive persistent send request.
+func (p *Proc) SendInit(data []byte, dest, tag int, comm Comm) *PersistentRequest {
+	return &PersistentRequest{p: p, send: true, data: append([]byte(nil), data...), peer: dest, tag: tag, comm: comm}
+}
+
+// RecvInit is MPI_Recv_init: creates an inactive persistent receive request.
+func (p *Proc) RecvInit(src, tag int, comm Comm) *PersistentRequest {
+	return &PersistentRequest{p: p, peer: src, tag: tag, comm: comm}
+}
+
+// Start is MPI_Start: activates the request. The tool observes it as the
+// corresponding non-blocking operation (Isend/Irecv). Starting an already
+// active request panics, as it would be erroneous MPI usage.
+func (p *Proc) Start(pr *PersistentRequest) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.active != nil {
+		panic("mpi: MPI_Start on an active persistent request")
+	}
+	if pr.send {
+		pr.active = p.p.Isend(pr.data, pr.peer, pr.tag, pr.comm)
+	} else {
+		pr.active = p.p.Irecv(pr.peer, pr.tag, pr.comm)
+	}
+}
+
+// Startall is MPI_Startall.
+func (p *Proc) Startall(prs ...*PersistentRequest) {
+	for _, pr := range prs {
+		p.Start(pr)
+	}
+}
+
+// WaitP is MPI_Wait on a persistent request's current activation. The
+// request returns to the inactive state and may be started again.
+func (p *Proc) WaitP(pr *PersistentRequest) Status {
+	pr.mu.Lock()
+	req := pr.active
+	pr.active = nil
+	pr.mu.Unlock()
+	if req == nil {
+		panic("mpi: MPI_Wait on an inactive persistent request")
+	}
+	return p.Wait(req)
+}
+
+// WaitallP is MPI_Waitall over persistent activations.
+func (p *Proc) WaitallP(prs ...*PersistentRequest) []Status {
+	reqs := make([]*Request, len(prs))
+	for i, pr := range prs {
+		pr.mu.Lock()
+		reqs[i] = pr.active
+		pr.active = nil
+		pr.mu.Unlock()
+		if reqs[i] == nil {
+			panic("mpi: MPI_Waitall on an inactive persistent request")
+		}
+	}
+	return p.Waitall(reqs...)
+}
+
+// TestP is MPI_Test on a persistent activation; on completion the request
+// becomes inactive again.
+func (p *Proc) TestP(pr *PersistentRequest) (Status, bool) {
+	pr.mu.Lock()
+	req := pr.active
+	pr.mu.Unlock()
+	if req == nil {
+		panic("mpi: MPI_Test on an inactive persistent request")
+	}
+	st, ok := p.Test(req)
+	if ok {
+		pr.mu.Lock()
+		pr.active = nil
+		pr.mu.Unlock()
+	}
+	return st, ok
+}

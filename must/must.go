@@ -1,0 +1,255 @@
+// Package must is the public entry point of the runtime deadlock detection
+// tool — a Go reproduction of MUST with the distributed wait state tracking
+// of Hilbrich et al., "Distributed Wait State Tracking for Runtime MPI
+// Deadlock Detection" (SC '13).
+//
+// It runs an mpi.Program under one of two tool architectures:
+//
+//   - Distributed (the paper's contribution, Figure 1(b)): a tree-based
+//     overlay network whose first layer performs distributed point-to-point
+//     matching and wait-state tracking; collectives are matched over the
+//     whole tree; only the rare, timeout-triggered graph search runs
+//     centrally at the root.
+//   - Centralized (the prior architecture, Figure 1(a)): a single tool
+//     process that receives all events and rescans the wait-state
+//     transition system after each operation.
+//
+// Both detect actual deadlocks precisely (aborting the application and
+// producing an HTML report plus a DOT wait-for graph) and flag *potential*
+// deadlocks that did not manifest because the MPI implementation buffered
+// sends — the strict interpretation of MPI blocking semantics from
+// Section 3.3 of the paper.
+package must
+
+import (
+	"time"
+
+	"dwst/internal/centralized"
+	"dwst/internal/core"
+	"dwst/internal/detect"
+	"dwst/internal/mpisim"
+	"dwst/mpi"
+)
+
+// Mode selects the tool architecture.
+type Mode int
+
+const (
+	// Distributed is the paper's TBON architecture (default).
+	Distributed Mode = iota
+	// Centralized is the prior single-tool-process architecture.
+	Centralized
+)
+
+// Options configures a tool run.
+type Options struct {
+	// Mode selects the tool architecture (default Distributed).
+	Mode Mode
+	// FanIn is the TBON fan-in (2, 4 or 8 in the paper; default 4).
+	FanIn int
+	// Timeout is the event-quiescence period before the root triggers
+	// graph-based detection (default 50ms).
+	Timeout time.Duration
+	// PreferWaitState prioritizes wait-state messages over new application
+	// events on first-layer nodes (the paper's Sec. 4.2 future-work option
+	// for bounding the trace window).
+	PreferWaitState bool
+	// EventBuf is the application→tool link depth (backpressure).
+	EventBuf int
+	// LinkDelay injects a per-message delay on tool-internal links
+	// (fault injection for robustness testing).
+	LinkDelay time.Duration
+
+	// TrackCallSites records the application source line of every MPI call
+	// so wait-for conditions and reports point at code (one runtime.Caller
+	// lookup per call).
+	TrackCallSites bool
+
+	// Application/runtime semantics.
+	Rendezvous               bool // standard sends block until matched
+	BufferSlots              int
+	BufferedSendCost         int
+	SsendEvery               int // every n-th standard send synchronous
+	SynchronizingCollectives bool
+}
+
+// Timings is the detection-phase breakdown of Figures 10(b)/11(b).
+type Timings struct {
+	Synchronization  time.Duration
+	WFGGather        time.Duration
+	GraphBuild       time.Duration
+	DeadlockCheck    time.Duration
+	OutputGeneration time.Duration
+}
+
+// Total sums all phases.
+func (t Timings) Total() time.Duration {
+	return t.Synchronization + t.WFGGather + t.GraphBuild + t.DeadlockCheck + t.OutputGeneration
+}
+
+// Report is the outcome of a tool run.
+type Report struct {
+	// Deadlock reports whether a deadlock was found.
+	Deadlock bool
+	// PotentialOnly is set when the application completed but the strict
+	// blocking model revealed a deadlock (e.g. unbuffered send–send).
+	PotentialOnly bool
+	// Deadlocked, Blocked and Cycle identify the affected ranks.
+	Deadlocked []int
+	Blocked    []int
+	Cycle      []int
+	// Groups decomposes the deadlocked set into independent deadlock
+	// clusters (e.g. pairwise send-send deadlocks yield one group per pair).
+	Groups [][]int
+	// Conditions describes each blocked rank's wait-for condition.
+	Conditions map[int]string
+	// UnexpectedMatches counts Sec. 3.3 wildcard situations in the state.
+	UnexpectedMatches int
+	// Arcs is the wait-for graph size.
+	Arcs int
+	// HTML and DOT are the generated report artifacts.
+	HTML string
+	DOT  string
+	// SimplifiedDOT is the class-compressed wait-for graph whose size is
+	// proportional to the number of distinct wait patterns rather than to
+	// p² (the paper's Sec. 6 graph-simplification direction); Summary is
+	// its one-line description.
+	SimplifiedDOT string
+	Summary       string
+	// Timings is the detection breakdown (Distributed mode only).
+	Timings Timings
+
+	// CallMismatches lists collective verification errors: participants of
+	// one collective wave issued different operations or roots (one of
+	// MUST's checks beyond deadlock detection).
+	CallMismatches []string
+	// LostMessages counts sends that never matched any receive; meaningful
+	// when the application completed (AppAborted == false).
+	LostMessages int
+
+	// Run statistics.
+	Elapsed         time.Duration
+	Detections      int
+	ToolNodes       int
+	WindowHighWater int
+	AppAborted      bool
+	// ToolMessages counts the wait-state messages the distributed tool
+	// generated (passSend / recvActive / recvActiveAck / collectiveReady).
+	ToolMessages ToolMessages
+}
+
+// ToolMessages is the distributed tool's message census.
+type ToolMessages struct {
+	PassSends      int
+	RecvActives    int
+	RecvActiveAcks int
+	CollReadys     int
+}
+
+// Total sums all counters.
+func (t ToolMessages) Total() int {
+	return t.PassSends + t.RecvActives + t.RecvActiveAcks + t.CollReadys
+}
+
+// Run executes prog on procs ranks under the tool.
+func Run(procs int, prog mpi.Program, opts Options) *Report {
+	simProg := func(p *mpisim.Proc) { prog(mpi.NewProc(p)) }
+	mode := mpisim.Eager
+	if opts.Rendezvous {
+		mode = mpisim.Rendezvous
+	}
+
+	if opts.Mode == Centralized {
+		res := centralized.Run(centralized.Config{
+			Procs:                    procs,
+			Timeout:                  opts.Timeout,
+			EventBuf:                 opts.EventBuf,
+			SendMode:                 mode,
+			BufferSlots:              opts.BufferSlots,
+			BufferedSendCost:         opts.BufferedSendCost,
+			SsendEvery:               opts.SsendEvery,
+			SynchronizingCollectives: opts.SynchronizingCollectives,
+			TrackCallSites:           opts.TrackCallSites,
+		}, simProg)
+		rep := &Report{
+			Deadlock:          res.Deadlock,
+			PotentialOnly:     res.Deadlock && res.AppErr == nil,
+			Deadlocked:        res.Deadlocked,
+			Blocked:           res.Blocked,
+			Cycle:             res.Cycle,
+			Groups:            res.Groups,
+			Conditions:        res.Conditions,
+			UnexpectedMatches: res.Unexpected,
+			HTML:              res.HTML,
+			DOT:               res.DOT,
+			CallMismatches:    res.CallMismatches,
+			LostMessages:      res.LostMessages,
+			Elapsed:           res.Elapsed,
+			Detections:        res.Detections,
+			ToolNodes:         1,
+			AppAborted:        res.AppErr != nil,
+		}
+		return rep
+	}
+
+	res := core.Run(core.Config{
+		Procs:                    procs,
+		FanIn:                    opts.FanIn,
+		Timeout:                  opts.Timeout,
+		EventBuf:                 opts.EventBuf,
+		PreferWaitState:          opts.PreferWaitState,
+		LinkDelay:                opts.LinkDelay,
+		SendMode:                 mode,
+		BufferSlots:              opts.BufferSlots,
+		BufferedSendCost:         opts.BufferedSendCost,
+		SsendEvery:               opts.SsendEvery,
+		SynchronizingCollectives: opts.SynchronizingCollectives,
+		TrackCallSites:           opts.TrackCallSites,
+	}, simProg)
+
+	rep := &Report{
+		Elapsed:         res.Elapsed,
+		Detections:      res.Detections,
+		ToolNodes:       res.ToolNodes,
+		WindowHighWater: res.WindowHighWater,
+		AppAborted:      res.AppErr != nil,
+		CallMismatches:  res.CallMismatches,
+		LostMessages:    res.LostMessages,
+		ToolMessages: ToolMessages{
+			PassSends:      res.MsgStats.PassSends,
+			RecvActives:    res.MsgStats.RecvActives,
+			RecvActiveAcks: res.MsgStats.RecvActiveAcks,
+			CollReadys:     res.MsgStats.CollReadys,
+		},
+	}
+	if d := res.Deadlock; d != nil {
+		fillFromDetect(rep, d)
+		rep.PotentialOnly = res.AppErr == nil
+	}
+	return rep
+}
+
+func fillFromDetect(rep *Report, d *detect.Result) {
+	rep.Deadlock = d.Deadlock
+	rep.Deadlocked = d.Deadlocked
+	rep.Blocked = d.Blocked
+	rep.Cycle = d.Cycle
+	rep.Groups = d.Groups
+	rep.UnexpectedMatches = len(d.UnexpectedMatches)
+	rep.Arcs = d.Arcs
+	rep.HTML = d.HTML
+	rep.DOT = d.DOT
+	rep.SimplifiedDOT = d.SimplifiedDOT
+	rep.Summary = d.Summary
+	rep.Timings = Timings{
+		Synchronization:  d.Timings.Synchronization,
+		WFGGather:        d.Timings.WFGGather,
+		GraphBuild:       d.Timings.GraphBuild,
+		DeadlockCheck:    d.Timings.DeadlockCheck,
+		OutputGeneration: d.Timings.OutputGeneration,
+	}
+	rep.Conditions = make(map[int]string, len(d.Entries))
+	for r, e := range d.Entries {
+		rep.Conditions[r] = e.Desc
+	}
+}
