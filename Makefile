@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos short ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (what CI runs).
+race:
+	$(GO) test -race ./...
+
+# The seeded fault-injection sweep only (190 adversarial runs).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestTransport|TestCrash' ./internal/fault/ ./internal/tbon/
+
+# Short shard: unit tests plus a small chaos slice; skips `go run` smoke tests.
+short:
+	$(GO) test -short -race ./...
+
+ci: vet build race

@@ -38,6 +38,15 @@ func main() {
 		htmlPath   = flag.String("html", "", "write the HTML report to this file")
 		dotPath    = flag.String("dot", "", "write the DOT wait-for graph to this file")
 		sites      = flag.Bool("sites", false, "record call sites (reports point at source lines)")
+
+		linkDelay  = flag.Duration("link-delay", 0, "per-message delay on tool-internal links")
+		faultDrop  = flag.Float64("fault-drop", 0, "probability of dropping a tool-link message (0..1)")
+		faultDup   = flag.Float64("fault-dup", 0, "probability of duplicating a tool-link message (0..1)")
+		faultReord = flag.Float64("fault-reorder", 0, "probability of reordering adjacent tool-link messages (0..1)")
+		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for fault injection")
+		crashNode  = flag.Int("fault-crash-node", -1, "crash this first-layer tool node (degraded-mode demo)")
+		crashAfter = flag.Duration("fault-crash-after", 20*time.Millisecond, "delay before the injected crash")
+		snapDeadl  = flag.Duration("snapshot-deadline", 0, "per-snapshot deadline before abort+retry (0 = default)")
 	)
 	flag.Parse()
 
@@ -48,14 +57,32 @@ func main() {
 	}
 
 	opts := must.Options{
-		FanIn:           *fanIn,
-		Timeout:         *timeout,
-		Rendezvous:      *rendezvous,
-		PreferWaitState: *prefer,
-		TrackCallSites:  *sites,
+		FanIn:            *fanIn,
+		Timeout:          *timeout,
+		Rendezvous:       *rendezvous,
+		PreferWaitState:  *prefer,
+		TrackCallSites:   *sites,
+		LinkDelay:        *linkDelay,
+		SnapshotDeadline: *snapDeadl,
 	}
 	if *mode == "centralized" {
 		opts.Mode = must.Centralized
+	}
+
+	faultActive := *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 || *crashNode >= 0
+	if faultActive {
+		plan := &must.FaultPlan{Seed: *faultSeed}
+		if *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 {
+			plan.Rules = []must.FaultRule{{
+				Drop:    *faultDrop,
+				Dup:     *faultDup,
+				Reorder: *faultReord,
+			}}
+		}
+		if *crashNode >= 0 {
+			plan.Crashes = []must.Crash{{Layer: 0, Index: *crashNode, After: *crashAfter}}
+		}
+		opts.Fault = plan
 	}
 
 	rep := must.Run(*procs, prog, opts)
@@ -69,6 +96,14 @@ func main() {
 		fmt.Printf("DEADLOCK — application aborted\n")
 	default:
 		fmt.Printf("no deadlock\n")
+	}
+	if rep.Partial {
+		fmt.Printf("PARTIAL REPORT: tool nodes hosting ranks %v crashed; their wait state is unknown\n",
+			summarizeRanks(rep.UnknownRanks))
+	}
+	if faultActive {
+		fmt.Printf("fault-plane: seed=%d retransmits=%d abandoned=%d dropped-events=%d snapshot-retries=%d\n",
+			*faultSeed, rep.Retransmits, rep.AbandonedFrames, rep.DroppedEvents, rep.SnapshotRetries)
 	}
 	for _, m := range rep.CallMismatches {
 		fmt.Println("ERROR:", m)

@@ -68,6 +68,34 @@ func TestCmdMustrunCleanAndArtifacts(t *testing.T) {
 	}
 }
 
+func TestCmdMustrunFaultFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	// Message loss healed by retransmission: same verdict as fault-free.
+	out, code := goRun(t, "./cmd/mustrun", "-workload", "wildcard", "-procs", "8",
+		"-fault-drop", "0.02", "-fault-dup", "0.02", "-fault-seed", "7")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"DEADLOCK", "fault-plane: seed=7", "deadlocked ranks: [0 1 2 3 4 5 6 7]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// First-layer crash: degraded mode, report flagged partial.
+	out, code = goRun(t, "./cmd/mustrun", "-workload", "recvrecv", "-procs", "8",
+		"-fanin", "2", "-fault-crash-node", "1", "-fault-crash-after", "15ms")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"DEADLOCK", "PARTIAL REPORT", "ranks [2 3]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdMustreplayRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("command smoke tests skipped in -short")

@@ -115,7 +115,7 @@ func newTool(p int) *tool {
 		sys:      waitstate.New(mt),
 		l:        make(waitstate.State, p),
 		match:    p2pmatch.NewEngine(),
-		coll:     collmatch.NewRoot(p),
+		coll:     collmatch.NewRoot(p, 0),
 		collRefs: make(map[collKey][]trace.Ref),
 		collSeq:  make(map[rankComm]int),
 		opWave:   make(map[trace.Ref]int),
@@ -175,6 +175,7 @@ func (t *tool) enter(op trace.Op) {
 		t.seen[op.Comm] = true
 		acks, mism := t.coll.OnReady(collmatch.Ready{
 			Comm: op.Comm, Wave: wave, Count: 1, Kind: kind, Root: op.Peer,
+			Rank: op.Proc,
 		})
 		if mism != nil {
 			t.recordMismatch(*mism)

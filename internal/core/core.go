@@ -10,12 +10,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dwst/internal/collmatch"
 	"dwst/internal/detect"
 	"dwst/internal/dws"
 	"dwst/internal/event"
+	"dwst/internal/fault"
 	"dwst/internal/mpisim"
 	"dwst/internal/tbon"
 )
@@ -44,6 +46,17 @@ type Config struct {
 	// TrackCallSites records application source locations in events so
 	// reports can point at code.
 	TrackCallSites bool
+
+	// Fault optionally injects link faults and tool-node crashes (see
+	// fault.Plan). The reliable transport (sequence numbers, acks,
+	// retransmission) and the crash supervisor activate only when a plan is
+	// present; nil keeps the fault-free fast path bit-identical to before.
+	Fault *fault.Plan
+	// SnapshotDeadline bounds one consistent-state attempt at the root: on
+	// expiry the attempt is aborted and retried under a fresh epoch
+	// (Sec. 5's protocol is deadlock-free only when messages arrive, so
+	// unhealed loss must time out rather than wedge). Default 2s.
+	SnapshotDeadline time.Duration
 
 	// Simulator options (passed through to mpisim).
 	SendMode                 mpisim.SendMode
@@ -81,6 +94,22 @@ type Result struct {
 	// MsgStats aggregates the wait-state tool messages generated across all
 	// first-layer nodes.
 	MsgStats dws.Stats
+
+	// Partial and UnknownRanks mirror the degraded-mode flags of the last
+	// detection: a first-layer tool node crashed and the listed ranks' wait
+	// states are unknown (conservatively modeled as permanently blocked).
+	Partial      bool
+	UnknownRanks []int
+	// DroppedEvents counts application events the tool could not ingest
+	// (injected after the tree stopped or into a crashed node).
+	DroppedEvents int
+	// SnapshotRetries counts snapshot attempts aborted after missing
+	// SnapshotDeadline and retried under a fresh epoch.
+	SnapshotRetries int
+	// Retransmits and AbandonedFrames count reliable-transport activity
+	// (zero without a fault plan).
+	Retransmits     uint64
+	AbandonedFrames uint64
 }
 
 // handler adapts one tbon node to its tool roles: first-layer wait-state
@@ -112,7 +141,7 @@ func (h *handler) FromPeer(peer int, msg any) {
 func (h *handler) FromChild(child int, msg any) {
 	if h.agg != nil {
 		if r, ok := msg.(collmatch.Ready); ok {
-			merged, emit, mism := h.agg.OnReady(r)
+			outs, mism := h.agg.OnReady(r)
 			if mism != nil {
 				if h.root != nil {
 					h.root.OnMismatch(*mism)
@@ -120,12 +149,17 @@ func (h *handler) FromChild(child int, msg any) {
 					h.tn.SendUp(*mism)
 				}
 			}
-			if !emit {
-				return
+			for _, out := range outs {
+				h.up(out)
 			}
-			msg = merged
+			return
 		}
 	}
+	h.up(msg)
+}
+
+// up consumes a message at the root or forwards it one layer towards it.
+func (h *handler) up(msg any) {
 	if h.root != nil {
 		h.atRoot(msg)
 		return
@@ -134,8 +168,15 @@ func (h *handler) FromChild(child int, msg any) {
 }
 
 // FromParent receives downward broadcasts: leaves apply them, interior
-// nodes forward them.
+// nodes forward them. A Resync additionally flushes the local aggregator
+// (held partial waves move upward, later Readys pass through unmerged) so
+// collective matching recovers after a crashed node lost aggregation state.
 func (h *handler) FromParent(msg any) {
+	if _, ok := msg.(collmatch.Resync); ok && h.agg != nil {
+		for _, r := range h.agg.Flush() {
+			h.up(r)
+		}
+	}
 	if h.leaf != nil {
 		h.applyDown(msg)
 		return
@@ -143,14 +184,38 @@ func (h *handler) FromParent(msg any) {
 	h.tn.Broadcast(msg)
 }
 
-// Control receives driver messages (detection trigger at the root).
+// Control receives driver messages at the root: the detection trigger, the
+// snapshot-deadline abort, and tool-node crash notifications.
 func (h *handler) Control(msg any) {
 	if h.root == nil {
 		return
 	}
-	if _, ok := msg.(detect.TriggerDetection); ok {
+	switch m := msg.(type) {
+	case detect.TriggerDetection:
 		if h.root.Start() {
-			h.down(dws.RequestConsistentState{})
+			h.down(dws.RequestConsistentState{Epoch: h.root.Epoch()})
+		}
+	case detect.AbortDetection:
+		if ep := h.root.Abort(); ep != 0 {
+			h.down(dws.AbortSnapshot{Epoch: ep})
+		}
+	case detect.NodeDown:
+		// The dead node may have held partially aggregated collective waves
+		// and unacked leaf state; flush the root's own aggregator and make
+		// every survivor resynchronize.
+		if h.agg != nil {
+			for _, r := range h.agg.Flush() {
+				h.atRoot(r)
+			}
+		}
+		h.down(collmatch.Resync{})
+		if m.Ranks != nil {
+			// First-layer crash: surviving peers must stop waiting for its
+			// pongs, and the root proceeds without its acks/reports.
+			h.down(dws.PeerDown{Node: m.Node})
+			if h.root.OnNodeDown(m.Node, m.Ranks) {
+				h.down(dws.RequestWaits{Epoch: h.root.Epoch()})
+			}
 		}
 	}
 }
@@ -169,15 +234,20 @@ func (h *handler) applyDown(msg any) {
 	switch m := msg.(type) {
 	case collmatch.Ack:
 		h.leaf.OnCollAck(m)
+	case collmatch.Resync:
+		h.leaf.ResendReady()
 	case dws.RequestConsistentState:
-		h.leaf.BeginSnapshot()
+		h.leaf.BeginSnapshot(m.Epoch)
+	case dws.AbortSnapshot:
+		h.leaf.Abort(m.Epoch)
+	case dws.PeerDown:
+		h.leaf.OnPeerDown(m.Node)
 	case dws.RequestWaits:
-		rep := h.leaf.BuildReports()
-		if h.root != nil {
-			h.atRoot(rep)
-		} else {
-			h.tn.SendUp(rep)
+		rep, ok := h.leaf.BuildReports(m.Epoch)
+		if !ok {
+			return // stale request of an aborted attempt
 		}
+		h.up(rep)
 	default:
 		panic(fmt.Sprintf("core: unexpected downward message %T", msg))
 	}
@@ -197,7 +267,7 @@ func (h *handler) atRoot(msg any) {
 		h.root.OnMismatch(m)
 	case dws.AckConsistentState:
 		if h.root.OnAck(m) {
-			h.down(dws.RequestWaits{})
+			h.down(dws.RequestWaits{Epoch: h.root.Epoch()})
 		}
 	case dws.WaitReport:
 		h.root.OnWaitReport(m) // result delivered via root.Results
@@ -215,13 +285,27 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 50 * time.Millisecond
 	}
+	if cfg.SnapshotDeadline == 0 {
+		cfg.SnapshotDeadline = 2 * time.Second
+	}
 
-	tree := tbon.New(tbon.Config{
+	var tree *tbon.Tree
+	tree = tbon.New(tbon.Config{
 		Leaves:          cfg.Procs,
 		FanIn:           cfg.FanIn,
 		EventBuf:        cfg.EventBuf,
 		PreferWaitState: cfg.PreferWaitState,
 		LinkDelay:       cfg.LinkDelay,
+		Fault:           cfg.Fault,
+		OnNodeDown: func(n *tbon.Node) {
+			// Runs on the supervisor goroutine; Control is safe from any
+			// goroutine and serializes with the root's other messages.
+			nd := detect.NodeDown{Node: n.Index()}
+			if n.IsFirstLayer() {
+				nd.Ranks = tree.RanksOf(n.Index())
+			}
+			tree.Control(tree.Root(), nd)
+		},
 	})
 	defer tree.Stop()
 
@@ -243,6 +327,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		return h
 	})
 
+	var dropped atomic.Uint64
 	world := mpisim.NewWorld(mpisim.Config{
 		Procs:                    cfg.Procs,
 		SendMode:                 cfg.SendMode,
@@ -256,7 +341,11 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			if ev.Type == event.Enter {
 				rank = ev.Op.Proc
 			}
-			tree.Inject(rank, ev)
+			if err := tree.Inject(rank, ev); err != nil {
+				// Crashed hosting node or stopped tree: the application keeps
+				// running unobserved (degraded mode); count the loss.
+				dropped.Add(1)
+			}
 		}),
 	})
 
@@ -273,9 +362,24 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 
+	record := func(r *detect.Result, live bool) {
+		res.Detections++
+		if r.Partial {
+			res.Partial = true
+			res.UnknownRanks = r.UnknownRanks
+		}
+		if r.Deadlock && res.Deadlock == nil {
+			res.Deadlock = r
+			if live {
+				world.Abort(ErrDeadlockDetected)
+			}
+		}
+	}
+
 	lastHandled := tree.Handled()
 	lastChange := time.Now()
 	inFlight := false
+	detectStart := time.Time{}
 	appErr := error(nil)
 	appFinished := false
 
@@ -288,21 +392,17 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			if res.Deadlock == nil {
 				// Final detection: catches potential deadlocks that did not
 				// manifest (buffered send–send) once the tool drained.
-				waitQuiesce(tree)
-				if !inFlight {
-					tree.Control(rootNode, detect.TriggerDetection{})
-					inFlight = true
-				}
-				if r := awaitResult(root, tree, rootNode, &inFlight); r != nil {
-					res.Detections++
+				if r := finalDetect(root, tree, rootNode, cfg.SnapshotDeadline, &inFlight); r != nil {
+					record(r, false)
 					res.LostMessages = r.LostMessages
-					if r.Deadlock {
-						res.Deadlock = r
-					}
 				}
 			}
 			res.AppErr = appErr
+			res.SnapshotRetries = root.Aborted()
 			res.WindowHighWater = windowHighWater(tree, leaves)
+			res.DroppedEvents = int(dropped.Load())
+			res.Retransmits = tree.Retransmits()
+			res.AbandonedFrames = tree.Abandoned()
 			// Safe after the tree stopped: node goroutines are quiescent.
 			for _, l := range leaves {
 				res.MsgStats.Add(l.Stats())
@@ -314,16 +414,24 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 
 		case r := <-root.Results:
 			inFlight = false
-			res.Detections++
-			if r.Deadlock && res.Deadlock == nil {
-				res.Deadlock = r
-				world.Abort(ErrDeadlockDetected)
-			}
+			record(r, true)
 			lastHandled = tree.Handled()
 			lastChange = time.Now()
 
 		case <-ticker.C:
-			if appFinished || inFlight {
+			if appFinished {
+				continue
+			}
+			if inFlight {
+				if time.Since(detectStart) >= cfg.SnapshotDeadline {
+					// The snapshot missed its deadline (messages lost beyond
+					// what retransmission healed): abort it and retry
+					// immediately under a fresh epoch. Both controls queue in
+					// order on the root goroutine.
+					tree.Control(rootNode, detect.AbortDetection{})
+					tree.Control(rootNode, detect.TriggerDetection{})
+					detectStart = time.Now()
+				}
 				continue
 			}
 			h := tree.Handled()
@@ -335,6 +443,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			if time.Since(lastChange) >= cfg.Timeout {
 				tree.Control(rootNode, detect.TriggerDetection{})
 				inFlight = true
+				detectStart = time.Now()
 			}
 		}
 	}
@@ -357,16 +466,28 @@ func waitQuiesce(tree *tbon.Tree) {
 	}
 }
 
-// awaitResult waits for the result of an in-flight detection.
-func awaitResult(root *detect.Root, tree *tbon.Tree, rootNode *tbon.Node, inFlight *bool) *detect.Result {
-	select {
-	case r := <-root.Results:
-		*inFlight = false
-		return r
-	case <-time.After(10 * time.Second):
-		*inFlight = false
-		return nil
+// finalDetect runs the after-the-application detection with the same
+// deadline-abort-retry discipline as the in-run driver, bounded so a
+// hopelessly degraded tree (everything dropped, retransmission disabled)
+// terminates rather than hangs.
+func finalDetect(root *detect.Root, tree *tbon.Tree, rootNode *tbon.Node, deadline time.Duration, inFlight *bool) *detect.Result {
+	const maxAttempts = 5
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		waitQuiesce(tree)
+		if !*inFlight {
+			tree.Control(rootNode, detect.TriggerDetection{})
+			*inFlight = true
+		}
+		select {
+		case r := <-root.Results:
+			*inFlight = false
+			return r
+		case <-time.After(deadline):
+			tree.Control(rootNode, detect.AbortDetection{})
+			*inFlight = false
+		}
 	}
+	return nil
 }
 
 // windowHighWater reads the per-node window statistics after the tree

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dwst/internal/mpisim"
+	"dwst/internal/testseed"
 	"dwst/internal/trace"
 )
 
@@ -224,8 +225,7 @@ func TestSubCommunicatorDeadlock(t *testing.T) {
 // TestNoFalsePositivesRandomPrograms runs randomized deadlock-free programs
 // and asserts the tool never reports a deadlock.
 func TestNoFalsePositivesRandomPrograms(t *testing.T) {
-	for seed := int64(0); seed < 6; seed++ {
-		seed := seed
+	testseed.Run(t, 0, 6, func(t *testing.T, seed int64) {
 		p := 4 + int(seed%3)*2
 		res := Run(Config{Procs: p, FanIn: 2, Timeout: 20 * time.Millisecond},
 			randomProgram(p, seed))
@@ -236,7 +236,7 @@ func TestNoFalsePositivesRandomPrograms(t *testing.T) {
 			t.Fatalf("seed %d: false positive: ranks %v entries %+v",
 				seed, res.Deadlock.Deadlocked, res.Deadlock.Entries)
 		}
-	}
+	})
 }
 
 // randomProgram builds a deterministic deadlock-free program: a shared

@@ -36,6 +36,16 @@ func (t Timings) Total() time.Duration {
 
 // Result is the outcome of one detection run.
 type Result struct {
+	// Epoch is the snapshot attempt this result was computed from.
+	Epoch int
+	// Partial marks a degraded result: one or more first-layer tool nodes
+	// crashed, so the wait state of their ranks (UnknownRanks) is unknown.
+	// Unknown ranks are modeled as permanently blocked (an OR-wait over
+	// the empty set), the conservative choice: processes waiting on them
+	// are reported deadlocked rather than silently released.
+	Partial bool
+	// UnknownRanks lists the ranks whose wait state is unknown (ascending).
+	UnknownRanks []int
 	// Deadlock reports whether a deadlock (cycle/knot residue) was found.
 	Deadlock bool
 	// Deadlocked lists the deadlocked ranks (ascending).
@@ -71,6 +81,21 @@ type Result struct {
 // when the event-quiescence timeout fires.
 type TriggerDetection struct{}
 
+// AbortDetection is the control message the driver injects when an
+// in-flight detection missed its deadline (snapshot messages lost beyond
+// what retransmission healed): the root returns to idle and the driver
+// broadcasts the matching dws.AbortSnapshot before retrying with a fresh
+// epoch.
+type AbortDetection struct{}
+
+// NodeDown is the control message the driver injects after the TBON
+// supervisor declared a tool node dead. Ranks is non-nil for first-layer
+// nodes: the application ranks whose wait state is now unknown.
+type NodeDown struct {
+	Node  int
+	Ranks []int
+}
+
 // Root is the root node's tool state: collective matching completion, the
 // communicator registry, and the detection state machine. All methods run
 // on the root's TBON goroutine.
@@ -80,11 +105,17 @@ type Root struct {
 	coll       *collmatch.Root
 
 	phase       phase
+	epoch       int // snapshot attempt counter (first attempt = 1)
 	began       time.Time
-	ackCount    int
+	acked       map[int]bool
 	acksDone    time.Time
 	reports     map[int]dws.WaitReport
 	gatherStart time.Time
+	aborted     int // snapshot attempts aborted after missing the deadline
+
+	// deadNodes maps crashed first-layer nodes to their hosted ranks;
+	// detection proceeds without them and flags results as partial.
+	deadNodes map[int][]int
 
 	// Results delivers one Result per detection run (including runs that
 	// found no deadlock) to the driver.
@@ -107,7 +138,8 @@ func NewRoot(p, firstLayer int) *Root {
 	return &Root{
 		p:          p,
 		firstLayer: firstLayer,
-		coll:       collmatch.NewRoot(p),
+		coll:       collmatch.NewRoot(p, firstLayer),
+		deadNodes:  make(map[int][]int),
 		Results:    make(chan *Result, 4),
 	}
 }
@@ -143,26 +175,47 @@ func (r *Root) OnMismatch(m collmatch.Mismatch) {
 // after the tool stopped (the root goroutine owns the slice while running).
 func (r *Root) Mismatches() []collmatch.Mismatch { return r.mismatches }
 
-// Start begins a detection run; returns false if one is already running.
+// Start begins a detection run under a fresh snapshot epoch; returns false
+// if one is already running.
 func (r *Root) Start() bool {
 	if r.phase != idle {
 		return false
 	}
 	r.phase = awaitingAcks
+	r.epoch++
 	r.began = time.Now()
-	r.ackCount = 0
+	r.acked = make(map[int]bool, r.firstLayer)
 	r.reports = make(map[int]dws.WaitReport, r.firstLayer)
 	return true
 }
 
-// OnAck processes an ackConsistentState; returns true when all first-layer
-// nodes acknowledged (the driver then broadcasts RequestWaits).
+// Epoch returns the current snapshot epoch (the one Start just opened).
+func (r *Root) Epoch() int { return r.epoch }
+
+// Aborted returns the number of snapshot attempts aborted by the driver.
+func (r *Root) Aborted() int { return r.aborted }
+
+// Abort cancels an in-flight detection (deadline missed) and returns the
+// aborted epoch so the driver can broadcast the matching dws.AbortSnapshot;
+// it returns 0 when no detection was running.
+func (r *Root) Abort() int {
+	if r.phase == idle {
+		return 0
+	}
+	r.phase = idle
+	r.aborted++
+	return r.epoch
+}
+
+// OnAck processes an ackConsistentState; returns true when every live
+// first-layer node acknowledged the current epoch (the driver then
+// broadcasts RequestWaits). Acks of stale epochs are discarded.
 func (r *Root) OnAck(a dws.AckConsistentState) bool {
-	if r.phase != awaitingAcks {
+	if r.phase != awaitingAcks || a.Epoch != r.epoch {
 		return false
 	}
-	r.ackCount += a.Count
-	if r.ackCount < r.firstLayer {
+	r.acked[a.Node] = true
+	if !r.acksComplete() {
 		return false
 	}
 	r.phase = awaitingReports
@@ -171,16 +224,72 @@ func (r *Root) OnAck(a dws.AckConsistentState) bool {
 	return true
 }
 
-// OnWaitReport collects one node's wait report; when all nodes reported it
-// runs graph detection and returns the Result (nil otherwise).
+func (r *Root) acksComplete() bool {
+	for i := 0; i < r.firstLayer; i++ {
+		if _, dead := r.deadNodes[i]; dead {
+			continue
+		}
+		if !r.acked[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Root) reportsComplete() bool {
+	for i := 0; i < r.firstLayer; i++ {
+		if _, dead := r.deadNodes[i]; dead {
+			continue
+		}
+		if _, ok := r.reports[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// OnWaitReport collects one node's wait report; when every live node
+// reported it runs graph detection and returns the Result (nil otherwise).
+// Reports of stale epochs are discarded.
 func (r *Root) OnWaitReport(rep dws.WaitReport) *Result {
-	if r.phase != awaitingReports {
+	if r.phase != awaitingReports || rep.Epoch != r.epoch {
 		return nil
 	}
 	r.reports[rep.Node] = rep
-	if len(r.reports) < r.firstLayer {
+	if !r.reportsComplete() {
 		return nil
 	}
+	return r.finish()
+}
+
+// OnNodeDown records a crashed first-layer node: detection proceeds
+// without it and results become partial. When the crash completes the
+// current phase (the dead node was the last missing acker or reporter),
+// the return value tells the driver what to do next: ackDone means
+// broadcast RequestWaits for the current epoch.
+func (r *Root) OnNodeDown(node int, ranks []int) (ackDone bool) {
+	if _, seen := r.deadNodes[node]; seen {
+		return false
+	}
+	r.deadNodes[node] = append([]int(nil), ranks...)
+	switch r.phase {
+	case awaitingAcks:
+		if r.acksComplete() {
+			r.phase = awaitingReports
+			r.acksDone = time.Now()
+			r.gatherStart = r.acksDone
+			return true
+		}
+	case awaitingReports:
+		if r.reportsComplete() {
+			r.finish()
+		}
+	}
+	return false
+}
+
+// finish runs the analysis and publishes the result.
+func (r *Root) finish() *Result {
 	res := r.analyze()
 	r.phase = idle
 	select {
@@ -192,9 +301,18 @@ func (r *Root) OnWaitReport(rep dws.WaitReport) *Result {
 
 // analyze builds the WFG from the gathered reports and checks for deadlock.
 func (r *Root) analyze() *Result {
-	res := &Result{Entries: make(map[int]dws.WaitEntry)}
+	res := &Result{Entries: make(map[int]dws.WaitEntry), Epoch: r.epoch}
 	res.Timings.Synchronization = r.acksDone.Sub(r.began)
 	res.Timings.WFGGather = time.Since(r.gatherStart)
+
+	// Degraded mode: ranks hosted by crashed first-layer nodes have an
+	// unknown wait state. Their report (if any arrived before the crash)
+	// is discarded as untrustworthy.
+	for _, ranks := range r.deadNodes {
+		res.UnknownRanks = append(res.UnknownRanks, ranks...)
+	}
+	sort.Ints(res.UnknownRanks)
+	res.Partial = len(res.UnknownRanks) > 0
 
 	buildStart := time.Now()
 	// Index blocked collective participants per wave for target expansion.
@@ -205,7 +323,10 @@ func (r *Root) analyze() *Result {
 	inWave := map[wave]map[int]bool{}
 	var all []dws.WaitEntry
 	var finished []int
-	for _, rep := range r.reports {
+	for node, rep := range r.reports {
+		if _, dead := r.deadNodes[node]; dead {
+			continue
+		}
 		res.LostMessages += rep.UnmatchedSends
 		for _, e := range rep.Entries {
 			if e.State == dws.Finished {
@@ -271,6 +392,21 @@ func (r *Root) analyze() *Result {
 		}
 		g.SetBlocked(e.Rank, sem, targets, e.Desc)
 	}
+	// Unknown ranks enter the graph as permanently blocked sinks: an
+	// OR-wait over the empty set is never satisfiable, so they are never
+	// released and anything waiting on them stays deadlocked — the
+	// conservative reading of "we cannot observe this rank anymore". (An
+	// AND-wait over the empty set would be the opposite: released
+	// immediately.)
+	for _, u := range res.UnknownRanks {
+		e := dws.WaitEntry{
+			Rank: u, State: dws.Unknown, Sem: dws.SemOr,
+			Desc: "wait state unknown (hosting tool node crashed)",
+		}
+		res.Entries[u] = e
+		res.Blocked = append(res.Blocked, u)
+		g.SetBlocked(u, waitstate.OrWait, nil, e.Desc)
+	}
 	sort.Ints(res.Blocked)
 	res.Arcs = g.Arcs()
 	res.Timings.GraphBuild = time.Since(buildStart)
@@ -301,6 +437,8 @@ func (r *Root) analyze() *Result {
 			Entries:           res.Entries,
 			UnexpectedMatches: res.UnexpectedMatches,
 			Arcs:              res.Arcs,
+			Partial:           res.Partial,
+			UnknownRanks:      res.UnknownRanks,
 		})
 		res.Timings.OutputGeneration = time.Since(outStart)
 	}

@@ -20,13 +20,14 @@ func runDetection(t *testing.T, r *Root, reports []dws.WaitReport) *Result {
 		t.Fatal("second Start must be refused while in flight")
 	}
 	for i := 0; i < len(reports); i++ {
-		done := r.OnAck(dws.AckConsistentState{Count: 1})
+		done := r.OnAck(dws.AckConsistentState{Node: reports[i].Node, Epoch: r.Epoch()})
 		if (i == len(reports)-1) != done {
 			t.Fatalf("ack %d: done=%v", i, done)
 		}
 	}
 	var res *Result
 	for i, rep := range reports {
+		rep.Epoch = r.Epoch()
 		res = r.OnWaitReport(rep)
 		if (i == len(reports)-1) != (res != nil) {
 			t.Fatalf("report %d: res=%v", i, res)

@@ -6,6 +6,7 @@ import (
 
 	"dwst/internal/collmatch"
 	"dwst/internal/event"
+	"dwst/internal/testseed"
 	"dwst/internal/trace"
 	"dwst/internal/tracegen"
 	"dwst/internal/waitstate"
@@ -59,7 +60,8 @@ func (o harnessOut) Up(msg any) {
 			}
 		}
 	case AckConsistentState:
-		o.h.acks += m.Count
+		_ = m
+		o.h.acks++
 	case WaitReport:
 		o.h.reports = append(o.h.reports, m)
 	default:
@@ -69,8 +71,8 @@ func (o harnessOut) Up(msg any) {
 
 // newHarness builds nodes hosting fanIn consecutive ranks each.
 func newHarness(t *testing.T, procs, fanIn int) *harness {
-	h := &harness{t: t, fanIn: fanIn, root: collmatch.NewRoot(procs)}
 	numNodes := (procs + fanIn - 1) / fanIn
+	h := &harness{t: t, fanIn: fanIn, root: collmatch.NewRoot(procs, numNodes)}
 	nodeFor := func(rank int) int { return rank / fanIn }
 	for i := 0; i < numNodes; i++ {
 		var hosted []int
@@ -235,14 +237,18 @@ func TestSnapshotReportsBlockedAndRunning(t *testing.T) {
 	h.drain()
 
 	for _, n := range h.nodes {
-		n.BeginSnapshot()
+		n.BeginSnapshot(1)
 	}
 	h.drain() // ping-pong
 	if h.acks != 2 {
 		t.Fatalf("acks = %d, want 2", h.acks)
 	}
 	for _, n := range h.nodes {
-		h.reports = append(h.reports, n.BuildReports())
+		rep, ok := n.BuildReports(1)
+		if !ok {
+			t.Fatal("BuildReports refused the current epoch")
+		}
+		h.reports = append(h.reports, rep)
 	}
 	var e0, e1 *WaitEntry
 	for i := range h.reports {
@@ -272,14 +278,18 @@ func TestSnapshotFlushesInTransitHandshake(t *testing.T) {
 	h.enter(trace.Op{Proc: 1, TS: 0, Kind: trace.Recv, Peer: 0, Comm: trace.CommWorld})
 	// Do NOT drain: passSend/recvActive are queued.
 	for _, n := range h.nodes {
-		n.BeginSnapshot()
+		n.BeginSnapshot(1)
 	}
 	h.drain()
 	if h.acks != 2 {
 		t.Fatalf("acks = %d", h.acks)
 	}
 	for _, n := range h.nodes {
-		h.reports = append(h.reports, n.BuildReports())
+		rep, ok := n.BuildReports(1)
+		if !ok {
+			t.Fatal("BuildReports refused the current epoch")
+		}
+		h.reports = append(h.reports, rep)
 	}
 	for _, rep := range h.reports {
 		for _, e := range rep.Entries {
@@ -292,14 +302,45 @@ func TestSnapshotFlushesInTransitHandshake(t *testing.T) {
 
 func TestEventsDeferredWhileFrozen(t *testing.T) {
 	h := newHarness(t, 2, 1)
-	h.nodes[0].BeginSnapshot()
+	h.nodes[0].BeginSnapshot(1)
 	h.enter(trace.Op{Proc: 0, TS: 0, Kind: trace.Send, Peer: 1, Comm: trace.CommWorld})
 	if h.nodes[0].WindowSize() != 0 {
 		t.Fatal("events must be deferred while frozen")
 	}
-	h.nodes[0].BuildReports() // resumes and replays deferred events
+	h.nodes[0].BuildReports(1) // resumes and replays deferred events
 	if h.nodes[0].WindowSize() != 1 {
 		t.Fatal("deferred event must be processed after the snapshot")
+	}
+}
+
+func TestSnapshotEpochsIdempotentAndAbortable(t *testing.T) {
+	h := newHarness(t, 2, 1)
+	n := h.nodes[0]
+	n.BeginSnapshot(1)
+	// A duplicate (retransmitted) request for the same epoch is a no-op.
+	n.BeginSnapshot(1)
+	// A stale request for an older epoch is ignored too.
+	n.BeginSnapshot(0)
+	// Stale-epoch aborts and report requests do nothing.
+	n.Abort(7)
+	if _, ok := n.BuildReports(7); ok {
+		t.Fatal("BuildReports accepted a wrong epoch")
+	}
+	if !n.Frozen() {
+		t.Fatal("node must still be frozen under epoch 1")
+	}
+	// The matching abort resumes.
+	n.Abort(1)
+	if n.Frozen() {
+		t.Fatal("abort must thaw the node")
+	}
+	// A newer epoch restarts the protocol from scratch.
+	n.BeginSnapshot(2)
+	if _, ok := n.BuildReports(1); ok {
+		t.Fatal("old-epoch report request accepted after restart")
+	}
+	if rep, ok := n.BuildReports(2); !ok || rep.Epoch != 2 {
+		t.Fatalf("current-epoch report = %+v ok=%v", rep, ok)
 	}
 }
 
@@ -346,9 +387,9 @@ func TestNoDuplicateHandshakeMessages(t *testing.T) {
 	for i := 0; i < pairs; i++ {
 		h.enter(trace.Op{Proc: 1, TS: i, Kind: trace.Recv, Peer: 0, Tag: i, Comm: trace.CommWorld})
 		if i == 4 {
-			h.nodes[0].BeginSnapshot()
+			h.nodes[0].BeginSnapshot(1)
 			drainCount()
-			h.nodes[0].BuildReports()
+			h.nodes[0].BuildReports(1)
 		}
 		if i%3 == 0 {
 			drainCount()
@@ -474,7 +515,7 @@ func truncateTrace(mt *trace.MatchedTrace, cuts []int) (out *trace.MatchedTrace,
 // the cut (a receive whose sender vanished never completed, so no status
 // exists).
 func TestEquivalenceOnTruncatedTraces(t *testing.T) {
-	for seed := int64(100); seed < 250; seed++ {
+	testseed.Run(t, 100, 250, func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		procs := 2 + rng.Intn(6)
 		cfg := tracegen.Default(procs)
@@ -585,7 +626,7 @@ func TestEquivalenceOnTruncatedTraces(t *testing.T) {
 					seed, i, got, ref[i], cuts)
 			}
 		}
-	}
+	})
 }
 
 // TestEquivalenceWithReferenceOnRandomTraces drives randomly generated
@@ -593,7 +634,7 @@ func TestEquivalenceOnTruncatedTraces(t *testing.T) {
 // FIFO intralayer delivery) and checks every rank reaches the reference
 // terminal state of the formal transition system.
 func TestEquivalenceWithReferenceOnRandomTraces(t *testing.T) {
-	for seed := int64(0); seed < 20; seed++ {
+	testseed.Run(t, 0, 20, func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		procs := 2 + rng.Intn(6)
 		cfg := tracegen.Default(procs)
@@ -664,5 +705,5 @@ func TestEquivalenceWithReferenceOnRandomTraces(t *testing.T) {
 				t.Fatalf("seed %d: rank %d not finished", seed, i)
 			}
 		}
-	}
+	})
 }

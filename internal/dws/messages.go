@@ -49,29 +49,49 @@ type RecvActiveAck struct {
 
 // Ping and Pong implement the double ping-pong synchronization of the
 // consistent-state protocol (Figure 8). Round is 1 for the first exchange
-// and 2 for the second.
+// and 2 for the second. Epoch tags the snapshot attempt the exchange
+// belongs to, so stale messages of an aborted attempt are discarded.
 type Ping struct {
 	Round    int
+	Epoch    int
 	FromNode int
 }
 
-// Pong answers a Ping of the same round.
+// Pong answers a Ping of the same round and epoch.
 type Pong struct {
 	Round    int
+	Epoch    int
 	FromNode int
 }
 
 // RequestConsistentState is broadcast from the root to freeze the wait-state
-// transition system and start the ping-pong synchronization.
-type RequestConsistentState struct{}
+// transition system and start the ping-pong synchronization. Epoch is the
+// root's snapshot attempt counter: requests for an epoch the node already
+// saw are ignored, requests for a newer epoch restart the synchronization.
+type RequestConsistentState struct{ Epoch int }
 
-// AckConsistentState reports (upward) that a first-layer node finished its
-// ping-pong synchronizations. Count aggregates acknowledged nodes.
-type AckConsistentState struct{ Count int }
+// AckConsistentState reports (upward) that first-layer node Node finished
+// its ping-pong synchronizations for the given snapshot epoch.
+type AckConsistentState struct {
+	Node  int
+	Epoch int
+}
 
 // RequestWaits is broadcast after all acks: nodes reply with the wait-for
 // conditions of their blocked processes and resume the transition system.
-type RequestWaits struct{}
+// Nodes frozen under a different epoch ignore it.
+type RequestWaits struct{ Epoch int }
+
+// AbortSnapshot is broadcast when a snapshot attempt missed its deadline
+// (messages lost beyond what retransmission healed, or a node died
+// mid-protocol): nodes frozen under this epoch resume the transition
+// system; the root retries with a fresh epoch.
+type AbortSnapshot struct{ Epoch int }
+
+// PeerDown is broadcast after first-layer node Node was declared dead:
+// surviving nodes drop it from snapshot synchronization (a dead peer can
+// never pong) and future snapshots skip it.
+type PeerDown struct{ Node int }
 
 // ProcState classifies a rank in a consistent state.
 type ProcState int
@@ -84,6 +104,9 @@ const (
 	Blocked
 	// Finished: the rank reached MPI_Finalize.
 	Finished
+	// Unknown: the tool node hosting the rank crashed; its wait state is
+	// unavailable and reports including it are partial.
+	Unknown
 )
 
 // Sem mirrors waitstate semantics without importing it (AND = all targets,
@@ -148,9 +171,11 @@ type GroupRef struct {
 
 // WaitReport carries the wait entries of one first-layer node to the root.
 // UnmatchedSends counts sends to hosted ranks that never matched a receive
-// (lost messages, when gathered after the application finished).
+// (lost messages, when gathered after the application finished). Epoch is
+// the snapshot attempt the report belongs to.
 type WaitReport struct {
 	Node           int
+	Epoch          int
 	Entries        []WaitEntry
 	UnmatchedSends int
 }

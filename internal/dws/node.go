@@ -42,6 +42,19 @@ type Node struct {
 	frozen   bool
 	snap     *snapshot
 	deferred []event.Event
+	// lastEpoch is the newest snapshot epoch this node entered; older
+	// requests are duplicates of aborted attempts and ignored.
+	lastEpoch int
+	// deadPeers are first-layer nodes declared crashed: snapshots skip
+	// them (they can never pong).
+	deadPeers map[int]bool
+
+	// readySent holds collective reports emitted but not yet acknowledged
+	// by a collective Ack, and membersSent the communicator-registry
+	// reports, for re-emission after a tool-node crash (Resync): anything
+	// swallowed by a dead interior node must reach the root again.
+	readySent   map[collKey][]collmatch.Ready
+	membersSent []collmatch.Member
 
 	// dirty tracks peers this node sent wait-state messages to since the
 	// last snapshot. The consistent-state ping-pong must cover them all: an
@@ -139,10 +152,12 @@ func NewNode(id int, hosted []int, nodeFor func(int) int, out Out) *Node {
 		out:        out,
 		ranks:      make(map[int]*rankState, len(hosted)),
 		match:      p2pmatch.NewEngine(),
-		coll:       collmatch.NewLeaf(len(hosted)),
+		coll:       collmatch.NewLeaf(id, len(hosted)),
 		collOps:    make(map[collKey][]opRef),
 		ackedEarly: make(map[collKey]bool),
 		dirty:      make(map[int]bool),
+		deadPeers:  make(map[int]bool),
+		readySent:  make(map[collKey][]collmatch.Ready),
 	}
 	for _, r := range hosted {
 		n.ranks[r] = &rankState{
@@ -165,6 +180,9 @@ func (n *Node) WindowHighWater() int { return n.maxWindow }
 
 // WindowSize returns the operations currently stored.
 func (n *Node) WindowSize() int { return n.curWindow }
+
+// Frozen reports whether the transition system is frozen for a snapshot.
+func (n *Node) Frozen() bool { return n.frozen }
 
 // peer sends a wait-state message to another first-layer node, recording it
 // for the snapshot ping set and the message statistics.
@@ -323,10 +341,12 @@ func (n *Node) onCommInfo(proc, ts int, newComm trace.CommID) {
 	if o == nil {
 		return
 	}
-	n.out.Up(collmatch.Member{
+	m := collmatch.Member{
 		NewComm: newComm, Rank: proc,
 		Parent: o.op.Comm, ParentWave: o.wave,
-	})
+	}
+	n.membersSent = append(n.membersSent, m)
+	n.out.Up(m)
 }
 
 // OnPeer dispatches an intralayer message.
@@ -339,7 +359,7 @@ func (n *Node) OnPeer(from int, msg any) {
 	case RecvActiveAck:
 		n.handleRecvActiveAck(m)
 	case Ping:
-		n.out.Peer(m.FromNode, Pong{Round: m.Round, FromNode: n.id})
+		n.out.Peer(m.FromNode, Pong{Round: m.Round, Epoch: m.Epoch, FromNode: n.id})
 	case Pong:
 		n.handlePong(m)
 	default:
@@ -478,6 +498,23 @@ func (n *Node) OnCollAck(a collmatch.Ack) {
 		}
 	}
 	delete(n.collOps, k)
+	delete(n.readySent, k)
+}
+
+// ResendReady re-emits every collective report not yet answered by an Ack
+// and every communicator-registry report, after a tool-node crash
+// (Resync): reports buffered inside the dead node are gone; the root
+// deduplicates what did arrive and re-broadcasts Acks for waves it already
+// completed.
+func (n *Node) ResendReady() {
+	for _, m := range n.membersSent {
+		n.out.Up(m)
+	}
+	for _, rs := range n.readySent {
+		for _, r := range rs {
+			n.out.Up(r)
+		}
+	}
 }
 
 // activate is Figure 7's activate: the operation became the current
@@ -494,6 +531,10 @@ func (n *Node) activate(rs *rankState, o *opState) {
 		}
 		if emit {
 			n.stats.CollReadys++
+			k := collKey{o.op.Comm, o.wave}
+			if !o.collAcked && !n.ackedEarly[k] {
+				n.readySent[k] = append(n.readySent[k], r)
+			}
 			n.out.Up(r)
 		}
 	case kind.IsRecv() && kind != trace.Iprobe:

@@ -6,10 +6,12 @@ import (
 	"dwst/internal/trace"
 )
 
-// snapshot is the node-local state of the consistent-state protocol
-// (Figure 8): the double ping-pong with every node that hosts matching
-// receives for this node's active sends.
+// snapshot is the node-local state of one consistent-state protocol
+// attempt (Figure 8): the double ping-pong with every node that hosts
+// matching receives for this node's active sends, tagged with the root's
+// snapshot epoch so aborted attempts leave no residue.
 type snapshot struct {
+	epoch int
 	// outstanding[peer] is the next pong round expected from the peer
 	// (1 or 2); entries are removed after round 2.
 	outstanding map[int]int
@@ -20,22 +22,34 @@ type snapshot struct {
 // system, then run a double ping-pong with every peer node that may still
 // owe or expect messages for our active sends. When no synchronization is
 // needed the node acknowledges immediately.
-func (n *Node) BeginSnapshot() {
-	if n.frozen {
-		return // duplicate request (should not happen)
+//
+// Epochs make the handler idempotent and restartable: a request for an
+// epoch this node already entered is a duplicate and ignored; a request
+// for a newer epoch while still frozen (the abort of the previous attempt
+// was lost) restarts the ping-pong under the new epoch without thawing in
+// between.
+func (n *Node) BeginSnapshot(epoch int) {
+	if epoch <= n.lastEpoch {
+		return // duplicate or stale attempt
 	}
+	n.lastEpoch = epoch
 	n.frozen = true
-	n.snap = &snapshot{outstanding: make(map[int]int)}
+	n.snap = &snapshot{epoch: epoch, outstanding: make(map[int]int)}
 
 	// Ping-pong peers: every node we sent wait-state messages to since the
 	// last snapshot (a superset of the paper's "nodes hosting matching
 	// receives for our active sends" — the superset also flushes
 	// acknowledgements that are still in transit although the local send
-	// already completed), plus the hosts of currently active sends.
+	// already completed), plus the hosts of currently active sends. Dead
+	// peers are skipped: they can never pong, and the root accounts for
+	// their ranks as unknown.
 	ping := func(peer int) {
+		if n.deadPeers[peer] {
+			return
+		}
 		if _, ok := n.snap.outstanding[peer]; !ok {
 			n.snap.outstanding[peer] = 1
-			n.out.Peer(peer, Ping{Round: 1, FromNode: n.id})
+			n.out.Peer(peer, Ping{Round: 1, Epoch: epoch, FromNode: n.id})
 		}
 	}
 	for peer := range n.dirty {
@@ -54,8 +68,8 @@ func (n *Node) BeginSnapshot() {
 
 // handlePong advances the double ping-pong with one peer.
 func (n *Node) handlePong(m Pong) {
-	if n.snap == nil {
-		return
+	if n.snap == nil || m.Epoch != n.snap.epoch {
+		return // stale pong from an aborted attempt
 	}
 	round, ok := n.snap.outstanding[m.FromNode]
 	if !ok || round != m.Round {
@@ -63,7 +77,7 @@ func (n *Node) handlePong(m Pong) {
 	}
 	if m.Round == 1 {
 		n.snap.outstanding[m.FromNode] = 2
-		n.out.Peer(m.FromNode, Ping{Round: 2, FromNode: n.id})
+		n.out.Peer(m.FromNode, Ping{Round: 2, Epoch: m.Epoch, FromNode: n.id})
 		return
 	}
 	delete(n.snap.outstanding, m.FromNode)
@@ -75,24 +89,62 @@ func (n *Node) maybeAckConsistent() {
 		return
 	}
 	n.snap.acked = true
-	n.out.Up(AckConsistentState{Count: 1})
+	n.out.Up(AckConsistentState{Node: n.id, Epoch: n.snap.epoch})
+}
+
+// Abort handles abortSnapshot: a snapshot attempt missed its deadline at
+// the root; resume the transition system. Aborts for other epochs (already
+// superseded) are ignored.
+func (n *Node) Abort(epoch int) {
+	if n.snap == nil || n.snap.epoch != epoch {
+		return
+	}
+	// Keep the dirty set: the aborted ping-pong did not prove our earlier
+	// messages were consumed, so the retry must ping those peers again.
+	n.resume(false)
+}
+
+// OnPeerDown marks a first-layer peer as dead: pending and future snapshot
+// synchronization skips it (a dead peer never pongs, which would otherwise
+// wedge every snapshot attempt forever).
+func (n *Node) OnPeerDown(node int) {
+	n.deadPeers[node] = true
+	delete(n.dirty, node)
+	if n.snap != nil {
+		if _, ok := n.snap.outstanding[node]; ok {
+			delete(n.snap.outstanding, node)
+			n.maybeAckConsistent()
+		}
+	}
 }
 
 // BuildReports handles requestWaits: describe the wait-for condition of
 // every hosted rank in the frozen state, then resume the transition system
-// (processing any events deferred during the snapshot).
-func (n *Node) BuildReports() WaitReport {
-	rep := WaitReport{Node: n.id, UnmatchedSends: n.UnmatchedSends()}
+// (processing any events deferred during the snapshot). The bool result is
+// false when the node is not frozen under the requested epoch (the request
+// is stale); no report must be sent then.
+func (n *Node) BuildReports(epoch int) (WaitReport, bool) {
+	if n.snap == nil || n.snap.epoch != epoch {
+		return WaitReport{}, false
+	}
+	rep := WaitReport{Node: n.id, Epoch: epoch, UnmatchedSends: n.UnmatchedSends()}
 	for _, rs := range n.ranks {
 		rep.Entries = append(rep.Entries, n.entryFor(rs))
 	}
+	n.resume(true)
+	return rep, true
+}
 
-	// Resume. The dirty set is cleared first: everything sent before this
-	// snapshot was flushed by the ping-pong, and replaying the deferred
-	// events below re-marks any peers they touch.
+// resume thaws the transition system after a completed or aborted
+// snapshot. After a completed snapshot the dirty set is cleared first:
+// everything sent before it was flushed by the ping-pong, and replaying
+// the deferred events below re-marks any peers they touch.
+func (n *Node) resume(clearDirty bool) {
 	n.frozen = false
 	n.snap = nil
-	n.dirty = make(map[int]bool)
+	if clearDirty {
+		n.dirty = make(map[int]bool)
+	}
 	for _, rs := range n.ranks {
 		n.tryAdvance(rs)
 	}
@@ -101,7 +153,6 @@ func (n *Node) BuildReports() WaitReport {
 	for _, ev := range deferred {
 		n.processEvent(ev)
 	}
-	return rep
 }
 
 // entryFor classifies one rank in the frozen state and, when blocked,

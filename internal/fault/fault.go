@@ -1,0 +1,289 @@
+// Package fault is the tool's fault-injection plane: a deterministic,
+// seeded description of infrastructure misbehaviour — message drop,
+// duplication, reordering, delay jitter, link stalls, and tool-node
+// crashes — that the TBON applies to its internal links and nodes.
+//
+// The paper's protocols (Figures 6–8) assume lossless, non-overtaking
+// links and immortal tool nodes. A production tool cannot: this package
+// provides the adversary, and the TBON's reliable link layer
+// (sequence numbers, acknowledgements, retransmission, resequencing)
+// plus its heartbeat supervision provide the defense. Chaos tests pair
+// the two and assert the reported deadlock sets stay exact, or are
+// explicitly flagged partial.
+//
+// All randomness is derived from Plan.Seed with a per-link splitmix64
+// stream, so a failing chaos run is reproducible from its seed alone.
+package fault
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Class names the kind of tool-internal link a rule applies to.
+type Class int
+
+const (
+	// AnyLink matches every tool-internal link.
+	AnyLink Class = iota
+	// UpLink matches child → parent links (and the root's self-loop).
+	UpLink
+	// DownLink matches parent → child broadcast links.
+	DownLink
+	// PeerLink matches first-layer intralayer links.
+	PeerLink
+)
+
+func (c Class) String() string {
+	switch c {
+	case UpLink:
+		return "up"
+	case DownLink:
+		return "down"
+	case PeerLink:
+		return "peer"
+	default:
+		return "any"
+	}
+}
+
+// Rule is one fault policy. Probabilities are per message in [0, 1];
+// zero-valued fields inject nothing.
+type Rule struct {
+	// Link restricts the rule to one link class (AnyLink = all).
+	Link Class
+	// Drop is the probability of losing a message.
+	Drop float64
+	// Dup is the probability of delivering a message twice.
+	Dup float64
+	// Reorder is the probability of a message overtaking its predecessor
+	// on the link (a per-link FIFO violation).
+	Reorder float64
+	// JitterMax adds a uniform random delay in [0, JitterMax] to the
+	// message's delivery time.
+	JitterMax time.Duration
+	// StallEvery/StallFor stall the whole link for StallFor once every
+	// StallEvery messages (0 = never).
+	StallEvery int
+	StallFor   time.Duration
+	// MaxDrops caps the number of messages this rule may drop across all
+	// links (0 = unlimited). Used by tests that lose exactly one message.
+	MaxDrops int
+	// Match restricts the rule to messages it returns true for (nil =
+	// all messages). The argument is the tool-level message, not the
+	// transport frame.
+	Match func(msg any) bool
+}
+
+// Crash schedules the death of one tool node: After the given duration
+// from tree start, node (Layer, Index) stops processing messages.
+type Crash struct {
+	Layer, Index int
+	After        time.Duration
+}
+
+// Plan is a complete, seeded fault scenario plus the knobs of the
+// self-healing machinery that defends against it.
+type Plan struct {
+	// Seed derives every per-link random stream.
+	Seed int64
+	// Rules are the link-fault policies (all matching rules apply).
+	Rules []Rule
+	// Crashes are the scheduled tool-node deaths.
+	Crashes []Crash
+
+	// DisableRetransmit turns the reliable link layer off, so injected
+	// link faults become permanent. Used by tests that exercise the
+	// higher-level defenses (snapshot epoch retry) in isolation.
+	DisableRetransmit bool
+
+	// Heartbeat is the node liveness beacon interval (default 5ms);
+	// DeadAfter is the silence after which the supervisor declares a
+	// node dead (default 10 heartbeats).
+	Heartbeat time.Duration
+	DeadAfter time.Duration
+
+	// RetryBase is the first retransmission timeout (default 2ms),
+	// doubling per attempt up to RetryCap (default 32ms), for at most
+	// MaxAttempts retransmissions (default 12) before the frame is
+	// abandoned.
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+	MaxAttempts int
+}
+
+// HeartbeatInterval returns the effective heartbeat period.
+func (p *Plan) HeartbeatInterval() time.Duration {
+	if p.Heartbeat > 0 {
+		return p.Heartbeat
+	}
+	return 5 * time.Millisecond
+}
+
+// DeadAfterInterval returns the effective death-declaration silence.
+func (p *Plan) DeadAfterInterval() time.Duration {
+	if p.DeadAfter > 0 {
+		return p.DeadAfter
+	}
+	return 10 * p.HeartbeatInterval()
+}
+
+// RetryBaseInterval returns the effective first retransmission timeout.
+func (p *Plan) RetryBaseInterval() time.Duration {
+	if p.RetryBase > 0 {
+		return p.RetryBase
+	}
+	return 2 * time.Millisecond
+}
+
+// RetryCapInterval returns the effective retransmission backoff cap.
+func (p *Plan) RetryCapInterval() time.Duration {
+	if p.RetryCap > 0 {
+		return p.RetryCap
+	}
+	return 32 * time.Millisecond
+}
+
+// RetryAttempts returns the effective retransmission attempt bound.
+func (p *Plan) RetryAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 12
+}
+
+// Supervised reports whether the plan requires heartbeat supervision
+// (it schedules crashes or configures an explicit heartbeat).
+func (p *Plan) Supervised() bool {
+	return len(p.Crashes) > 0 || p.Heartbeat > 0
+}
+
+// Decision is the fault outcome for one message on one link.
+type Decision struct {
+	// Drop loses the message.
+	Drop bool
+	// Dup delivers the message twice.
+	Dup bool
+	// Reorder lets the message overtake its predecessor.
+	Reorder bool
+	// Delay postpones delivery (jitter).
+	Delay time.Duration
+	// Stall freezes the whole link for this long.
+	Stall time.Duration
+}
+
+// Injector instantiates a Plan: it hands out deterministic per-link
+// deciders and owns the shared drop budgets. Safe for concurrent Link
+// calls; each returned Link must be used by a single goroutine.
+type Injector struct {
+	plan    *Plan
+	budgets []atomic.Int64 // remaining MaxDrops per rule (-1 = unlimited)
+}
+
+// NewInjector prepares the plan for execution.
+func NewInjector(plan *Plan) *Injector {
+	in := &Injector{plan: plan, budgets: make([]atomic.Int64, len(plan.Rules))}
+	for i, r := range plan.Rules {
+		if r.MaxDrops > 0 {
+			in.budgets[i].Store(int64(r.MaxDrops))
+		} else {
+			in.budgets[i].Store(-1)
+		}
+	}
+	return in
+}
+
+// Plan returns the underlying plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// takeDrop consumes one unit of rule ri's drop budget.
+func (in *Injector) takeDrop(ri int) bool {
+	b := &in.budgets[ri]
+	for {
+		cur := b.Load()
+		if cur < 0 {
+			return true // unlimited
+		}
+		if cur == 0 {
+			return false
+		}
+		if b.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Link returns the decider for one link, identified by the receiving
+// node's global id and the link class. The random stream is a pure
+// function of (Plan.Seed, id, class).
+func (in *Injector) Link(id int, class Class) *Link {
+	rules := make([]int, 0, len(in.plan.Rules))
+	for i, r := range in.plan.Rules {
+		if r.Link == AnyLink || r.Link == class {
+			rules = append(rules, i)
+		}
+	}
+	seed := splitmix64(uint64(in.plan.Seed) ^ splitmix64(uint64(id)<<8|uint64(class)))
+	return &Link{
+		inj:   in,
+		rules: rules,
+		rng:   rand.New(rand.NewSource(int64(seed))),
+	}
+}
+
+// Link decides the fate of each message on one link. Not safe for
+// concurrent use — it belongs to the link's pump goroutine.
+type Link struct {
+	inj   *Injector
+	rules []int
+	rng   *rand.Rand
+	count int
+}
+
+// Decide rolls the link's deterministic dice for one message. The same
+// number of random draws is consumed for every message, so decision
+// streams do not depend on message contents beyond Match.
+func (l *Link) Decide(msg any) Decision {
+	var d Decision
+	l.count++
+	for _, ri := range l.rules {
+		r := &l.inj.plan.Rules[ri]
+		// Fixed draw count per rule keeps the stream deterministic.
+		pd := l.rng.Float64()
+		pu := l.rng.Float64()
+		po := l.rng.Float64()
+		var jitter time.Duration
+		if r.JitterMax > 0 {
+			jitter = time.Duration(l.rng.Int63n(int64(r.JitterMax) + 1))
+		}
+		if r.Match != nil && !r.Match(msg) {
+			continue
+		}
+		if !d.Drop && pd < r.Drop && l.inj.takeDrop(ri) {
+			d.Drop = true
+		}
+		if pu < r.Dup {
+			d.Dup = true
+		}
+		if po < r.Reorder {
+			d.Reorder = true
+		}
+		if jitter > d.Delay {
+			d.Delay = jitter
+		}
+		if r.StallEvery > 0 && l.count%r.StallEvery == 0 && r.StallFor > d.Stall {
+			d.Stall = r.StallFor
+		}
+	}
+	return d
+}
+
+// splitmix64 is the SplitMix64 mixing function — a cheap, high-quality
+// way to derive independent streams from one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"dwst/internal/testseed"
 	"dwst/internal/trace"
 	"dwst/internal/tracegen"
 )
@@ -166,7 +167,7 @@ func TestUnmatchedQueries(t *testing.T) {
 // engine in random (per-rank-order-preserving) interleavings and checks the
 // produced matching equals the generator's ground truth.
 func TestAgainstGeneratedGroundTruth(t *testing.T) {
-	for seed := int64(0); seed < 30; seed++ {
+	testseed.Run(t, 0, 30, func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := tracegen.Default(2 + rng.Intn(6))
 		cfg.PCollective = 0 // p2p only
@@ -252,5 +253,5 @@ func TestAgainstGeneratedGroundTruth(t *testing.T) {
 				t.Fatalf("seed %d: %v matched %v, want %v", seed, k, got[k], v)
 			}
 		}
-	}
+	})
 }

@@ -29,6 +29,11 @@ type Data struct {
 	Entries           map[int]dws.WaitEntry
 	UnexpectedMatches []UnexpectedMatch
 	Arcs              int
+	// Partial marks a degraded report: the tool nodes hosting
+	// UnknownRanks crashed, so those ranks' wait states are unknown and
+	// conservatively modeled as permanently blocked.
+	Partial      bool
+	UnknownRanks []int
 }
 
 // DOT renders the wait-for graph of the given processes.
@@ -53,6 +58,11 @@ td, th { border: 1px solid #999; padding: 4px 8px; }
 <h1>Deadlock detected</h1>
 <p class="err">{{.NumDead}} of {{.Procs}} processes are deadlocked
 ({{.Arcs}} wait-for arcs).</p>
+{{if .Partial}}<p class="err">PARTIAL REPORT: tool nodes hosting ranks
+{{.UnknownStr}} crashed; their wait state is unknown and conservatively
+treated as permanently blocked. Conclusions about these ranks (and
+processes waiting on them) reflect tool degradation, not necessarily
+application state.</p>{{end}}
 {{if .Cycle}}<p>Dependency cycle: {{.CycleStr}}</p>{{end}}
 <h2>Wait-for conditions</h2>
 <table>
@@ -88,9 +98,13 @@ func HTML(d *Data) string {
 		if e.Sem == dws.SemOr {
 			sem = "OR"
 		}
+		op := fmt.Sprintf("%v (timestamp %d)", e.Kind, e.TS)
+		if e.State == dws.Unknown {
+			op = "unknown (tool node crashed)"
+		}
 		rows = append(rows, row{
 			Rank: r,
-			Op:   fmt.Sprintf("%v (timestamp %d)", e.Kind, e.TS),
+			Op:   op,
 			Sem:  sem,
 			Desc: e.Desc,
 		})
@@ -105,6 +119,10 @@ func HTML(d *Data) string {
 			"wildcard receive (rank %d, ts %d) matched the inactive send (rank %d, ts %d) while the active send (rank %d, ts %d) could match it",
 			u.RecvRank, u.RecvTS, u.MatchedSendRank, u.MatchedSendTS, u.ActiveSendRank, u.ActiveSendTS))
 	}
+	unk := make([]string, 0, len(d.UnknownRanks))
+	for _, u := range d.UnknownRanks {
+		unk = append(unk, fmt.Sprintf("%d", u))
+	}
 	var sb strings.Builder
 	err := htmlTmpl.Execute(&sb, map[string]any{
 		"Procs":      d.Procs,
@@ -114,6 +132,8 @@ func HTML(d *Data) string {
 		"CycleStr":   strings.Join(cyc, " → ") + " → " + firstCycle(cyc),
 		"Rows":       rows,
 		"Unexpected": ums,
+		"Partial":    d.Partial,
+		"UnknownStr": strings.Join(unk, ", "),
 	})
 	if err != nil {
 		return fmt.Sprintf("<html><body>report generation failed: %v</body></html>", err)

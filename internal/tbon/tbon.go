@@ -16,14 +16,43 @@
 // Application ranks feed the first tool layer through Inject over bounded
 // links, which apply backpressure when the tool lags — the mechanism behind
 // measured tool slowdown.
+//
+// # Faults and self-healing
+//
+// A Config.Fault plan (see internal/fault) turns the idealized substrate
+// into an adversarial one: link pumps drop, duplicate, reorder, jitter and
+// stall messages, and scheduled crashes kill tool nodes. Two defense layers
+// restore the guarantees the protocols need:
+//
+//   - a reliable link layer (transport.go): tool messages travel in
+//     sequence-numbered frames; receivers deduplicate and resequence per
+//     directed link, restoring exactly-once FIFO delivery, while a
+//     retransmission scanner resends unacknowledged frames with exponential
+//     backoff;
+//   - heartbeat supervision (supervise.go): node loops beat a liveness
+//     clock; a supervisor declares silent nodes dead, reattaches their
+//     children to the grandparent (migrating unacknowledged frames to the
+//     new link in order), and notifies the tool via Config.OnNodeDown so
+//     the protocol layers can resynchronize or degrade explicitly.
 package tbon
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dwst/internal/fault"
 )
+
+// ErrStopped is returned by Inject after the tree stopped: the event was
+// not delivered to the tool.
+var ErrStopped = errors.New("tbon: tree stopped")
+
+// ErrNodeDown is returned by Inject when the first-layer node hosting the
+// rank has crashed (fault injection): the event was not delivered.
+var ErrNodeDown = errors.New("tbon: hosting tool node is down")
 
 // Config parameterizes the tree.
 type Config struct {
@@ -40,10 +69,18 @@ type Config struct {
 	// future-work mitigation for trace-window growth (Sec. 4.2).
 	PreferWaitState bool
 	// LinkDelay, when positive, delays every tool-internal message by this
-	// duration in the link pumps — fault injection for protocol robustness
-	// tests (simulating slow network links between tool nodes). Per-link
-	// FIFO order is preserved.
+	// duration in the link pumps (simulating slow network links between
+	// tool nodes). Per-link FIFO order is preserved; messages on one link
+	// are serialized delay apart.
 	LinkDelay time.Duration
+	// Fault, when non-nil, activates the fault plane: link faults per the
+	// plan's rules, scheduled node crashes, heartbeat supervision, and —
+	// unless the plan disables it — the reliable link layer.
+	Fault *fault.Plan
+	// OnNodeDown is invoked (from the supervisor goroutine) after a
+	// crashed node was detected and its children reattached. The tool
+	// uses it to resynchronize aggregation or degrade explicitly.
+	OnNodeDown func(n *Node)
 }
 
 // Handler is the per-node tool logic. All methods run on the node's
@@ -68,51 +105,103 @@ type envelope struct {
 	msg  any
 }
 
+// timed is a queued message with its earliest delivery time.
+type timed struct {
+	env envelope
+	due time.Time
+}
+
 // queue is an unbounded FIFO link: senders enqueue without ever blocking
-// permanently; a pump goroutine feeds the consumer channel in order.
+// permanently; a pump goroutine feeds the consumer channel in order. The
+// pump drains the intake eagerly — fault delays and stalls gate delivery,
+// never admission, so a stalled link cannot block its senders.
 type queue struct {
 	in  chan envelope
 	out chan envelope
 }
 
-func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration) *queue {
+func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl *fault.Link) *queue {
 	q := &queue{in: make(chan envelope, 64), out: make(chan envelope, 64)}
 	wg.Add(1)
-	// hold applies the fault-injection delay to one message (quit-aware).
-	hold := func() bool {
-		if delay <= 0 {
-			return true
-		}
-		select {
-		case <-time.After(delay):
-			return true
-		case <-quit:
-			return false
-		}
-	}
 	go func() {
 		defer wg.Done()
-		var buf []envelope
+		var buf []timed
+		var lastDue time.Time
+		var stallUntil time.Time
+		timer := time.NewTimer(time.Hour)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		timerArmed := false
+		admit := func(e envelope) {
+			now := time.Now()
+			var d fault.Decision
+			if fl != nil {
+				d = fl.Decide(innerMsg(e.msg))
+			}
+			if d.Stall > 0 {
+				if until := now.Add(d.Stall); until.After(stallUntil) {
+					stallUntil = until
+				}
+			}
+			if d.Drop {
+				return
+			}
+			due := now
+			if delay > 0 {
+				// Serialize: each message occupies the link for `delay`.
+				base := now
+				if lastDue.After(base) {
+					base = lastDue
+				}
+				due = base.Add(delay)
+				lastDue = due
+			}
+			if d.Delay > 0 {
+				due = due.Add(d.Delay)
+			}
+			if stallUntil.After(due) {
+				due = stallUntil
+			}
+			copies := 1
+			if d.Dup {
+				copies = 2
+			}
+			first := len(buf)
+			for i := 0; i < copies; i++ {
+				buf = append(buf, timed{env: e, due: due})
+			}
+			if d.Reorder && first >= 1 {
+				// The new message overtakes its predecessor (dues stay in
+				// place so head wakeups remain monotone).
+				buf[first-1].env, buf[first].env = buf[first].env, buf[first-1].env
+			}
+		}
 		for {
-			if len(buf) == 0 {
-				select {
-				case e := <-q.in:
-					if !hold() {
-						return
+			var outCh chan envelope
+			var timerCh <-chan time.Time
+			var head envelope
+			if len(buf) > 0 {
+				now := time.Now()
+				if !buf[0].due.After(now) {
+					outCh = q.out
+					head = buf[0].env
+				} else {
+					if timerArmed && !timer.Stop() {
+						<-timer.C
 					}
-					buf = append(buf, e)
-				case <-quit:
-					return
+					timer.Reset(buf[0].due.Sub(now))
+					timerArmed = true
+					timerCh = timer.C
 				}
 			}
 			select {
 			case e := <-q.in:
-				if !hold() {
-					return
-				}
-				buf = append(buf, e)
-			case q.out <- buf[0]:
+				admit(e)
+			case outCh <- head:
 				buf = buf[1:]
+			case <-timerCh:
+				timerArmed = false
 			case <-quit:
 				return
 			}
@@ -133,9 +222,12 @@ type Node struct {
 	tree  *Tree
 	layer int // 0 = first tool layer
 	index int
+	gid   int // global node id, unique across layers
 
+	// parent and children are guarded by tree.topo: reattachment after a
+	// crash rewires them at runtime.
 	parent   *Node
-	children []int // child node indices (layer ≥ 1)
+	children []*Node
 
 	events    chan envelope // app events (layer 0; bounded)
 	fromBelow *queue        // tool messages from children / self
@@ -144,6 +236,19 @@ type Node struct {
 	control   chan envelope
 
 	handler Handler
+
+	// rsq resequences reliable frames per incoming directed link; it is
+	// touched only by the node goroutine.
+	rsq map[linkKey]*reseq
+
+	// lastBeat is the liveness clock (UnixNano), updated by the node loop
+	// and read by the supervisor.
+	lastBeat atomic.Int64
+	// dead is closed when the node crashes (scheduled or declared).
+	dead     chan struct{}
+	deadOnce sync.Once
+	// reaped marks that the supervisor already handled this death.
+	reaped atomic.Bool
 }
 
 // Tree is the whole overlay.
@@ -151,6 +256,13 @@ type Tree struct {
 	cfg      Config
 	layers   [][]*Node
 	leafNode []*Node // leafNode[rank] hosts the rank
+
+	// topo guards every node's parent/children pointers (crash
+	// reattachment mutates them). Lock order: topo before transport.mu.
+	topo sync.Mutex
+
+	injector  *fault.Injector
+	transport *transport // nil unless the reliable link layer is active
 
 	injected atomic.Uint64
 	handled  atomic.Uint64
@@ -174,7 +286,22 @@ func New(cfg Config) *Tree {
 		cfg.EventBuf = 256
 	}
 	t := &Tree{cfg: cfg, quit: make(chan struct{})}
+	if cfg.Fault != nil {
+		t.injector = fault.NewInjector(cfg.Fault)
+		if !cfg.Fault.DisableRetransmit {
+			t.transport = newTransport(t, cfg.Fault)
+		}
+	}
+	// link returns the fault decider for one receiving (node, class) link
+	// bundle, or nil when no fault plan is active.
+	link := func(gid int, class fault.Class) *fault.Link {
+		if t.injector == nil {
+			return nil
+		}
+		return t.injector.Link(gid, class)
+	}
 
+	gid := 0
 	width := (cfg.Leaves + cfg.FanIn - 1) / cfg.FanIn
 	prevWidth := 0
 	layer := 0
@@ -182,16 +309,20 @@ func New(cfg Config) *Tree {
 		nodes := make([]*Node, width)
 		for i := range nodes {
 			n := &Node{
-				tree:      t,
-				layer:     layer,
-				index:     i,
-				fromBelow: newQueue(t.quit, &t.wg, cfg.LinkDelay),
-				fromAbove: newQueue(t.quit, &t.wg, cfg.LinkDelay),
-				control:   make(chan envelope, 16),
+				tree:    t,
+				layer:   layer,
+				index:   i,
+				gid:     gid,
+				control: make(chan envelope, 16),
+				dead:    make(chan struct{}),
+				rsq:     make(map[linkKey]*reseq),
 			}
+			n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, link(gid, fault.UpLink))
+			n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, link(gid, fault.DownLink))
+			gid++
 			if layer == 0 {
 				n.events = make(chan envelope, cfg.EventBuf)
-				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay)
+				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, link(n.gid, fault.PeerLink))
 			} else {
 				lo := i * cfg.FanIn
 				hi := lo + cfg.FanIn
@@ -199,7 +330,7 @@ func New(cfg Config) *Tree {
 					hi = prevWidth
 				}
 				for c := lo; c < hi; c++ {
-					n.children = append(n.children, c)
+					n.children = append(n.children, t.layers[layer-1][c])
 				}
 			}
 			nodes[i] = n
@@ -225,8 +356,9 @@ func New(cfg Config) *Tree {
 	return t
 }
 
-// Start launches one goroutine per node. mkHandler constructs the handler
-// for each node before any message flows.
+// Start launches one goroutine per node (plus, with a fault plan, the
+// retransmission scanner, crash timers and the heartbeat supervisor).
+// mkHandler constructs the handler for each node before any message flows.
 func (t *Tree) Start(mkHandler func(n *Node) Handler) {
 	t.startOnce.Do(func() {
 		for _, layer := range t.layers {
@@ -240,6 +372,17 @@ func (t *Tree) Start(mkHandler func(n *Node) Handler) {
 				go n.loop()
 			}
 		}
+		if t.transport != nil {
+			t.wg.Add(1)
+			go t.transport.run()
+		}
+		if t.cfg.Fault != nil {
+			t.startCrashTimers()
+			if t.cfg.Fault.Supervised() {
+				t.wg.Add(1)
+				go t.supervise()
+			}
+		}
 	})
 }
 
@@ -250,14 +393,19 @@ func (t *Tree) Stop() {
 }
 
 // Inject delivers an application event to the first-layer node hosting the
-// rank. It blocks when the node's event queue is full (backpressure) and
-// drops the event after the tree stopped.
-func (t *Tree) Inject(rank int, ev any) {
+// rank. It blocks when the node's event queue is full (backpressure). It
+// returns ErrStopped after the tree stopped and ErrNodeDown when the
+// hosting node crashed; in both cases the event was not delivered.
+func (t *Tree) Inject(rank int, ev any) error {
 	n := t.leafNode[rank]
 	select {
 	case n.events <- envelope{from: rank, msg: ev}:
 		t.injected.Add(1)
+		return nil
+	case <-n.dead:
+		return ErrNodeDown
 	case <-t.quit:
+		return ErrStopped
 	}
 }
 
@@ -267,6 +415,24 @@ func (t *Tree) Injected() uint64 { return t.injected.Load() }
 // Handled returns the number of messages processed across all nodes; stable
 // Injected and Handled values indicate quiescence.
 func (t *Tree) Handled() uint64 { return t.handled.Load() }
+
+// Retransmits returns the number of frames the reliable link layer resent
+// (0 without a fault plan).
+func (t *Tree) Retransmits() uint64 {
+	if t.transport == nil {
+		return 0
+	}
+	return t.transport.retransmits.Load()
+}
+
+// Abandoned returns the number of frames the reliable link layer gave up
+// on after exhausting retransmission attempts.
+func (t *Tree) Abandoned() uint64 {
+	if t.transport == nil {
+		return 0
+	}
+	return t.transport.abandoned.Load()
+}
 
 // FirstLayer returns the first tool layer.
 func (t *Tree) FirstLayer() []*Node { return t.layers[0] }
@@ -321,13 +487,22 @@ func (n *Node) Layer() int { return n.layer }
 func (n *Node) Index() int { return n.index }
 
 // IsRoot reports whether this node is the tree root.
-func (n *Node) IsRoot() bool { return n.parent == nil }
+func (n *Node) IsRoot() bool { return n.layer == len(n.tree.layers)-1 }
 
 // IsFirstLayer reports whether this node is in the first tool layer.
 func (n *Node) IsFirstLayer() bool { return n.layer == 0 }
 
-// Children returns the child node indices (empty on the first layer).
-func (n *Node) Children() []int { return n.children }
+// Children returns the current child node indices (empty on the first
+// layer). After crash reattachment the list may span layers.
+func (n *Node) Children() []int {
+	n.tree.topo.Lock()
+	defer n.tree.topo.Unlock()
+	idx := make([]int, len(n.children))
+	for i, c := range n.children {
+		idx[i] = c.index
+	}
+	return idx
+}
 
 // NumPeers returns the number of first-layer nodes.
 func (n *Node) NumPeers() int { return len(n.tree.layers[0]) }
@@ -339,11 +514,18 @@ func (n *Node) Tree() *Tree { return n.tree }
 // delivered back to the root itself via FromChild(own index) — aggregation
 // logic then works uniformly on trees of any depth.
 func (n *Node) SendUp(msg any) {
+	t := n.tree
+	t.topo.Lock()
 	target := n.parent
 	if target == nil {
 		target = n
 	}
-	target.fromBelow.send(envelope{from: n.index, msg: msg}, n.tree.quit)
+	env := envelope{from: n.index, msg: msg}
+	if t.transport != nil {
+		env = t.transport.wrap(n, target, fault.UpLink, env)
+	}
+	t.topo.Unlock()
+	target.fromBelow.send(env, t.quit)
 }
 
 // Broadcast sends a message down to all children; first-layer nodes have no
@@ -352,9 +534,20 @@ func (n *Node) Broadcast(msg any) {
 	if n.layer == 0 {
 		return
 	}
-	below := n.tree.layers[n.layer-1]
-	for _, c := range n.children {
-		below[c].fromAbove.send(envelope{msg: msg}, n.tree.quit)
+	t := n.tree
+	t.topo.Lock()
+	targets := make([]*Node, len(n.children))
+	copy(targets, n.children)
+	envs := make([]envelope, len(targets))
+	for i, c := range targets {
+		envs[i] = envelope{msg: msg}
+		if t.transport != nil {
+			envs[i] = t.transport.wrap(n, c, fault.DownLink, envs[i])
+		}
+	}
+	t.topo.Unlock()
+	for i, c := range targets {
+		c.fromAbove.send(envs[i], t.quit)
 	}
 }
 
@@ -364,14 +557,33 @@ func (n *Node) SendPeer(peer int, msg any) {
 	if n.layer != 0 {
 		panic(fmt.Sprintf("tbon: intralayer send from layer %d", n.layer))
 	}
-	n.tree.layers[0][peer].fromPeer.send(envelope{from: n.index, msg: msg}, n.tree.quit)
+	t := n.tree
+	target := t.layers[0][peer]
+	env := envelope{from: n.index, msg: msg}
+	if t.transport != nil {
+		t.topo.Lock()
+		env = t.transport.wrap(n, target, fault.PeerLink, env)
+		t.topo.Unlock()
+	}
+	target.fromPeer.send(env, t.quit)
 }
 
 // loop is the node's message pump.
 func (n *Node) loop() {
 	defer n.tree.wg.Done()
 	quit := n.tree.quit
+	var hbC <-chan time.Time
+	supervised := n.tree.cfg.Fault != nil && n.tree.cfg.Fault.Supervised()
+	if supervised {
+		tick := time.NewTicker(n.tree.cfg.Fault.HeartbeatInterval())
+		defer tick.Stop()
+		hbC = tick.C
+		n.lastBeat.Store(time.Now().UnixNano())
+	}
 	for {
+		if supervised {
+			n.lastBeat.Store(time.Now().UnixNano())
+		}
 		if n.layer == 0 {
 			// Wait-state priority: handle intralayer and parent messages
 			// before new application events when configured.
@@ -395,11 +607,13 @@ func (n *Node) loop() {
 			case env := <-n.fromAbove.out:
 				n.dispatchParent(env)
 			case env := <-n.fromBelow.out:
-				n.tree.handled.Add(1)
-				n.handler.FromChild(env.from, env.msg)
+				n.dispatchChild(env)
 			case env := <-n.events:
 				n.tree.handled.Add(1)
 				n.handler.FromRank(env.from, env.msg)
+			case <-hbC:
+			case <-n.dead:
+				return
 			case <-quit:
 				return
 			}
@@ -412,8 +626,10 @@ func (n *Node) loop() {
 		case env := <-n.fromAbove.out:
 			n.dispatchParent(env)
 		case env := <-n.fromBelow.out:
-			n.tree.handled.Add(1)
-			n.handler.FromChild(env.from, env.msg)
+			n.dispatchChild(env)
+		case <-hbC:
+		case <-n.dead:
+			return
 		case <-quit:
 			return
 		}
@@ -421,11 +637,30 @@ func (n *Node) loop() {
 }
 
 func (n *Node) dispatchPeer(env envelope) {
-	n.tree.handled.Add(1)
-	n.handler.FromPeer(env.from, env.msg)
+	n.deliver(env, func(e envelope) {
+		n.tree.handled.Add(1)
+		n.handler.FromPeer(e.from, e.msg)
+	})
 }
 
 func (n *Node) dispatchParent(env envelope) {
-	n.tree.handled.Add(1)
-	n.handler.FromParent(env.msg)
+	n.deliver(env, func(e envelope) {
+		n.tree.handled.Add(1)
+		n.handler.FromParent(e.msg)
+	})
+}
+
+func (n *Node) dispatchChild(env envelope) {
+	n.deliver(env, func(e envelope) {
+		n.tree.handled.Add(1)
+		n.handler.FromChild(e.from, e.msg)
+	})
+}
+
+// innerMsg unwraps a transport frame for fault Match predicates.
+func innerMsg(msg any) any {
+	if f, ok := msg.(frame); ok {
+		return f.msg
+	}
+	return msg
 }

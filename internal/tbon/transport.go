@@ -1,0 +1,268 @@
+package tbon
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwst/internal/fault"
+)
+
+// This file is the TBON's reliable link layer, active when a fault plan is
+// configured (and retransmission not disabled). Tool messages travel in
+// sequence-numbered frames per directed link; receivers deduplicate and
+// resequence, restoring the exactly-once FIFO delivery the protocol layers
+// require even when link pumps drop, duplicate or reorder. Senders keep
+// unacknowledged frames in a per-link outbox; a scanner goroutine resends
+// overdue frames with exponential backoff up to a bounded attempt count.
+// Acknowledgements are cumulative and — since all nodes share one process —
+// delivered by directly trimming the sender's outbox rather than by
+// ack messages on the (also faulty) reverse link.
+//
+// When the supervisor reattaches a crashed node's children to the
+// grandparent, redirect migrates each child's unacknowledged upward frames
+// onto the new link in sequence order, so nothing buffered inside the dead
+// node's queues is lost (at-least-once; receiver-side protocol idempotence
+// at the root absorbs re-executions the dead node already forwarded).
+
+// linkKey identifies a directed tool link: sender and receiver global node
+// ids plus the link class (a node pair can be connected by links of
+// different classes, e.g. the root's self up-link and its down-links).
+type linkKey struct {
+	from, to int
+	class    fault.Class
+}
+
+// frame is a sequence-numbered tool message on one directed link.
+type frame struct {
+	key linkKey
+	seq uint64
+	msg any
+}
+
+// pending is an unacknowledged frame in a sender outbox.
+type pending struct {
+	env      envelope // the framed envelope as originally sent
+	q        *queue   // destination queue
+	attempts int
+	due      time.Time // next retransmission time
+}
+
+// linkOut is the sender-side state of one directed link.
+type linkOut struct {
+	nextSeq uint64
+	pend    map[uint64]*pending
+}
+
+// reseq is the receiver-side state of one directed link: the next expected
+// sequence number and the out-of-order buffer.
+type reseq struct {
+	expected uint64
+	buf      map[uint64]envelope
+}
+
+type transport struct {
+	t *Tree
+
+	mu    sync.Mutex // guards links; lock order: Tree.topo before mu
+	links map[linkKey]*linkOut
+
+	retryBase   time.Duration
+	retryCap    time.Duration
+	maxAttempts int
+
+	retransmits atomic.Uint64
+	abandoned   atomic.Uint64
+}
+
+func newTransport(t *Tree, plan *fault.Plan) *transport {
+	return &transport{
+		t:           t,
+		links:       make(map[linkKey]*linkOut),
+		retryBase:   plan.RetryBaseInterval(),
+		retryCap:    plan.RetryCapInterval(),
+		maxAttempts: plan.RetryAttempts(),
+	}
+}
+
+// wrap assigns the next sequence number on the (from → to, class) link,
+// records the frame as pending, and returns the framed envelope. Callers
+// hold Tree.topo, which makes the parent resolution they just did and the
+// outbox entry atomic with respect to crash redirection.
+func (tr *transport) wrap(from, to *Node, class fault.Class, env envelope) envelope {
+	key := linkKey{from: from.gid, to: to.gid, class: class}
+	tr.mu.Lock()
+	lo := tr.links[key]
+	if lo == nil {
+		lo = &linkOut{pend: make(map[uint64]*pending)}
+		tr.links[key] = lo
+	}
+	seq := lo.nextSeq
+	lo.nextSeq++
+	fenv := envelope{from: env.from, msg: frame{key: key, seq: seq, msg: env.msg}}
+	var q *queue
+	switch class {
+	case fault.UpLink:
+		q = to.fromBelow
+	case fault.DownLink:
+		q = to.fromAbove
+	default:
+		q = to.fromPeer
+	}
+	lo.pend[seq] = &pending{env: fenv, q: q, due: time.Now().Add(tr.retryBase)}
+	tr.mu.Unlock()
+	return fenv
+}
+
+// ack trims the sender outbox of one link up to and including seq upTo.
+func (tr *transport) ack(key linkKey, upTo uint64) {
+	tr.mu.Lock()
+	if lo := tr.links[key]; lo != nil {
+		for s := range lo.pend {
+			if s <= upTo {
+				delete(lo.pend, s)
+			}
+		}
+	}
+	tr.mu.Unlock()
+}
+
+// redirect migrates a child's unacknowledged upward frames from the dead
+// old parent's link onto the new parent's link, preserving sequence order.
+// The caller holds Tree.topo and has already swapped the child's parent
+// pointer, so no new frame can target the old link concurrently.
+func (tr *transport) redirect(child, oldParent, newParent *Node) {
+	oldKey := linkKey{from: child.gid, to: oldParent.gid, class: fault.UpLink}
+	newKey := linkKey{from: child.gid, to: newParent.gid, class: fault.UpLink}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	old := tr.links[oldKey]
+	if old == nil || len(old.pend) == 0 {
+		delete(tr.links, oldKey)
+		return
+	}
+	seqs := make([]uint64, 0, len(old.pend))
+	for s := range old.pend {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	nl := tr.links[newKey]
+	if nl == nil {
+		nl = &linkOut{pend: make(map[uint64]*pending)}
+		tr.links[newKey] = nl
+	}
+	now := time.Now()
+	for _, s := range seqs {
+		p := old.pend[s]
+		seq := nl.nextSeq
+		nl.nextSeq++
+		f := p.env.msg.(frame)
+		nl.pend[seq] = &pending{
+			env: envelope{from: p.env.from, msg: frame{key: newKey, seq: seq, msg: f.msg}},
+			q:   newParent.fromBelow,
+			due: now, // resend promptly on the new link
+		}
+	}
+	delete(tr.links, oldKey)
+}
+
+// dropLinksTo discards outbox state for links into a dead node (frames
+// that can never be acknowledged and need no retransmission).
+func (tr *transport) dropLinksTo(gid int) {
+	tr.mu.Lock()
+	for key := range tr.links {
+		if key.to == gid {
+			delete(tr.links, key)
+		}
+	}
+	tr.mu.Unlock()
+}
+
+// run is the retransmission scanner: it periodically resends overdue
+// unacknowledged frames with exponential backoff, abandoning a frame after
+// maxAttempts resends.
+func (tr *transport) run() {
+	defer tr.t.wg.Done()
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-tr.t.quit:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var resend []*pending
+		tr.mu.Lock()
+		for _, lo := range tr.links {
+			for s, p := range lo.pend {
+				if p.due.After(now) {
+					continue
+				}
+				if p.attempts >= tr.maxAttempts {
+					delete(lo.pend, s)
+					tr.abandoned.Add(1)
+					continue
+				}
+				p.attempts++
+				backoff := tr.retryBase << uint(p.attempts)
+				if backoff > tr.retryCap {
+					backoff = tr.retryCap
+				}
+				p.due = now.Add(backoff)
+				resend = append(resend, p)
+			}
+		}
+		tr.mu.Unlock()
+		for _, p := range resend {
+			tr.retransmits.Add(1)
+			p.q.send(p.env, tr.t.quit)
+		}
+	}
+}
+
+// deliver dispatches one received envelope. Reliable frames pass through
+// the per-link resequencer: duplicates and already-delivered frames are
+// dropped, gaps are buffered, and in-order frames are dispatched followed
+// by a cumulative acknowledgement. Unframed messages dispatch directly.
+func (n *Node) deliver(env envelope, dispatch func(envelope)) {
+	f, ok := env.msg.(frame)
+	if !ok {
+		dispatch(env)
+		return
+	}
+	tr := n.tree.transport
+	if tr == nil {
+		// Frame without an active transport cannot happen; be safe.
+		dispatch(envelope{from: env.from, msg: f.msg})
+		return
+	}
+	rs := n.rsq[f.key]
+	if rs == nil {
+		rs = &reseq{buf: make(map[uint64]envelope)}
+		n.rsq[f.key] = rs
+	}
+	if f.seq < rs.expected {
+		// Stale duplicate (e.g. a retransmission that crossed its ack):
+		// re-acknowledge so the sender outbox drains.
+		tr.ack(f.key, rs.expected-1)
+		return
+	}
+	if _, dup := rs.buf[f.seq]; dup {
+		return
+	}
+	rs.buf[f.seq] = env
+	for {
+		e, ok := rs.buf[rs.expected]
+		if !ok {
+			break
+		}
+		delete(rs.buf, rs.expected)
+		rs.expected++
+		dispatch(envelope{from: e.from, msg: e.msg.(frame).msg})
+	}
+	if rs.expected > 0 {
+		tr.ack(f.key, rs.expected-1)
+	}
+}

@@ -1,0 +1,226 @@
+package tbon
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dwst/internal/fault"
+)
+
+// The reliable-transport tests drive a real tree under an adversarial
+// fault plan and assert the delivery contract the tool protocols assume:
+// every tool message arrives exactly once, per-link FIFO order intact.
+
+// sendUpStream sends 0..n-1 up from node src and waits until the parent
+// recorder holds n child messages; returns them.
+func sendUpStream(t *testing.T, tr *Tree, recs map[*Node]*recorder, src, parent *Node, n int) []any {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		src.SendUp(i)
+	}
+	pr := recs[parent]
+	waitFor(t, func() bool {
+		pr.mu.Lock()
+		defer pr.mu.Unlock()
+		return len(pr.child) >= n
+	})
+	// Give duplicates a moment to surface, then snapshot.
+	time.Sleep(20 * time.Millisecond)
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return append([]any(nil), pr.child...)
+}
+
+func assertExactStream(t *testing.T, got []any, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want exactly %d", len(got), n)
+	}
+	for i, v := range got {
+		if v.(int) != i {
+			t.Fatalf("message %d arrived as %v: FIFO violated", i, v)
+		}
+	}
+}
+
+func TestTransportHealsDrops(t *testing.T) {
+	tr := New(Config{Leaves: 16, FanIn: 2, Fault: &fault.Plan{
+		Seed:  3,
+		Rules: []fault.Rule{{Link: fault.UpLink, Drop: 0.2}},
+	}})
+	recs := startRecording(tr)
+	defer tr.Stop()
+
+	src := tr.FirstLayer()[0]
+	got := sendUpStream(t, tr, recs, src, src.parent, 200)
+	assertExactStream(t, got, 200)
+	if tr.Retransmits() == 0 {
+		t.Fatal("a 20% drop rate over 200 messages must retransmit")
+	}
+	if tr.Abandoned() != 0 {
+		t.Fatalf("%d frames abandoned; retransmission should heal every drop", tr.Abandoned())
+	}
+}
+
+func TestTransportDedupsDuplicates(t *testing.T) {
+	tr := New(Config{Leaves: 16, FanIn: 2, Fault: &fault.Plan{
+		Seed:  4,
+		Rules: []fault.Rule{{Dup: 0.5}},
+	}})
+	recs := startRecording(tr)
+	defer tr.Stop()
+
+	src := tr.FirstLayer()[0]
+	got := sendUpStream(t, tr, recs, src, src.parent, 200)
+	assertExactStream(t, got, 200)
+}
+
+func TestTransportResequencesReorders(t *testing.T) {
+	tr := New(Config{Leaves: 16, FanIn: 2, Fault: &fault.Plan{
+		Seed:  5,
+		Rules: []fault.Rule{{Reorder: 0.3, JitterMax: 100 * time.Microsecond}},
+	}})
+	recs := startRecording(tr)
+	defer tr.Stop()
+
+	src := tr.FirstLayer()[0]
+	got := sendUpStream(t, tr, recs, src, src.parent, 200)
+	assertExactStream(t, got, 200)
+}
+
+func TestTransportCombinedFaultsBothDirections(t *testing.T) {
+	tr := New(Config{Leaves: 16, FanIn: 2, Fault: &fault.Plan{
+		Seed:  6,
+		Rules: []fault.Rule{{Drop: 0.1, Dup: 0.1, Reorder: 0.1}},
+	}})
+	recs := startRecording(tr)
+	defer tr.Stop()
+
+	src := tr.FirstLayer()[0]
+	got := sendUpStream(t, tr, recs, src, src.parent, 200)
+	assertExactStream(t, got, 200)
+
+	// Downward: the root broadcasts 100 messages; each of its direct
+	// children must see all of them, exactly once, in order. (Recorders do
+	// not cascade, so deeper layers see nothing — that path is exercised
+	// end to end by the chaos suite.)
+	for i := 0; i < 100; i++ {
+		tr.Root().Broadcast(i)
+	}
+	children := tr.layers[tr.Layers()-2]
+	for _, n := range children {
+		n := n
+		waitFor(t, func() bool {
+			recs[n].mu.Lock()
+			defer recs[n].mu.Unlock()
+			return len(recs[n].parent) >= 100
+		})
+	}
+	time.Sleep(20 * time.Millisecond)
+	for _, n := range children {
+		recs[n].mu.Lock()
+		assertExactStream(t, append([]any(nil), recs[n].parent...), 100)
+		recs[n].mu.Unlock()
+	}
+}
+
+func TestCrashReattachesChildrenToGrandparent(t *testing.T) {
+	var downMu sync.Mutex
+	var down []*Node
+	tr := New(Config{Leaves: 16, FanIn: 2, Fault: &fault.Plan{
+		Seed:      1,
+		Heartbeat: 2 * time.Millisecond,
+		// Wide enough that -race scheduler starvation cannot falsely reap
+		// a healthy node.
+		DeadAfter: 300 * time.Millisecond,
+		Crashes:   []fault.Crash{{Layer: 1, Index: 0, After: 5 * time.Millisecond}},
+	}, OnNodeDown: func(n *Node) {
+		downMu.Lock()
+		down = append(down, n)
+		downMu.Unlock()
+	}})
+	recs := startRecording(tr)
+	defer tr.Stop()
+
+	victim := tr.layers[1][0]
+	grand := tr.layers[2][0]
+	src := tr.FirstLayer()[0] // child of the victim
+
+	// Keep a message stream flowing across the crash: every message must
+	// survive, delivered to the old parent before the crash or replayed to
+	// the grandparent after it.
+	const n = 300
+	for i := 0; i < n; i++ {
+		src.SendUp(i)
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	waitFor(t, func() bool {
+		downMu.Lock()
+		defer downMu.Unlock()
+		return len(down) >= 1
+	})
+	downMu.Lock()
+	if down[0] != victim || len(down) != 1 {
+		downMu.Unlock()
+		t.Fatalf("supervisor reaped %d nodes, want only the victim", len(down))
+	}
+	downMu.Unlock()
+	tr.topo.Lock()
+	newParent := src.parent
+	spliced := true
+	for _, c := range grand.children {
+		if c == victim {
+			spliced = false
+		}
+	}
+	tr.topo.Unlock()
+	if newParent != grand {
+		t.Fatalf("orphan's parent is layer %d index %d, want the grandparent", newParent.Layer(), newParent.Index())
+	}
+	if !spliced {
+		t.Fatal("dead node still among the grandparent's children")
+	}
+
+	// Exactly-once across the splice: the union of messages seen by the
+	// victim (before death) and the grandparent (redirected) covers 0..n-1
+	// in order, with no message lost.
+	waitFor(t, func() bool {
+		recs[victim].mu.Lock()
+		recs[grand].mu.Lock()
+		total := len(recs[victim].child) + len(recs[grand].child)
+		recs[grand].mu.Unlock()
+		recs[victim].mu.Unlock()
+		return total >= n
+	})
+	time.Sleep(20 * time.Millisecond)
+	seen := map[int]bool{}
+	recs[victim].mu.Lock()
+	for _, v := range recs[victim].child {
+		seen[v.(int)] = true
+	}
+	recs[victim].mu.Unlock()
+	recs[grand].mu.Lock()
+	// A message delivered to the victim and then replayed to the
+	// grandparent is acceptable: delivery is at-least-once across a crash,
+	// and the tool's root-side idempotence absorbs it.
+	for _, v := range recs[grand].child {
+		seen[v.(int)] = true
+	}
+	before := len(recs[grand].child)
+	recs[grand].mu.Unlock()
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("message %d lost across the crash", i)
+		}
+	}
+
+	// Post-splice traffic flows on the new link.
+	src.SendUp(n)
+	waitFor(t, func() bool {
+		recs[grand].mu.Lock()
+		defer recs[grand].mu.Unlock()
+		return len(recs[grand].child) > before
+	})
+}

@@ -1,0 +1,35 @@
+// Package testseed runs seeded property tests as one subtest per seed, so
+// a failure names the seed that produced it and a single seed can be
+// replayed via the MUST_TEST_SEED environment variable:
+//
+//	MUST_TEST_SEED=137 go test ./internal/dws -run TestEquivalence
+package testseed
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// Env is the environment variable that overrides the seed range with a
+// single seed.
+const Env = "MUST_TEST_SEED"
+
+// Run invokes fn once per seed in [lo, hi), each as a subtest named
+// "seed=N". When MUST_TEST_SEED is set, only that seed runs (even outside
+// [lo, hi)), which turns any reported failure into a one-line repro.
+func Run(t *testing.T, lo, hi int64, fn func(t *testing.T, seed int64)) {
+	t.Helper()
+	if s := os.Getenv(Env); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("%s=%q: %v", Env, s, err)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { fn(t, seed) })
+		return
+	}
+	for seed := lo; seed < hi; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { fn(t, seed) })
+	}
+}

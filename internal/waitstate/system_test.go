@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dwst/internal/testseed"
 	"dwst/internal/trace"
 	"dwst/internal/tracegen"
 )
@@ -272,7 +273,7 @@ func TestWaveOfCountsPerCommunicator(t *testing.T) {
 // TestConfluenceRandomSchedules: for randomly generated (and randomly
 // corrupted) traces, every schedule reaches the same terminal state.
 func TestConfluenceRandomSchedules(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
+	testseed.Run(t, 0, 25, func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := tracegen.Default(2 + rng.Intn(6))
 		cfg.Events = 30 + rng.Intn(60)
@@ -294,14 +295,14 @@ func TestConfluenceRandomSchedules(t *testing.T) {
 				t.Fatalf("seed %d trial %d: terminal %v != reference %v", seed, trial, term, ref)
 			}
 		}
-	}
+	})
 }
 
 // TestGeneratedTracesDeadlockFree: the generator's aligned-frontier
 // construction guarantees deadlock freedom; the transition system must
 // confirm it.
 func TestGeneratedTracesDeadlockFree(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
+	testseed.Run(t, 0, 25, func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(1000 + seed))
 		mt := tracegen.Generate(tracegen.Default(2+rng.Intn(8)), rng)
 		sys := New(mt)
@@ -310,7 +311,7 @@ func TestGeneratedTracesDeadlockFree(t *testing.T) {
 			t.Fatalf("seed %d: generated trace deadlocks at %v; blocked=%v",
 				seed, term, sys.BlockedSet(term))
 		}
-	}
+	})
 }
 
 // TestMonotonicity (quick): if a rule advances process k in state S, it

@@ -27,9 +27,20 @@ import (
 	"dwst/internal/centralized"
 	"dwst/internal/core"
 	"dwst/internal/detect"
+	"dwst/internal/fault"
 	"dwst/internal/mpisim"
 	"dwst/mpi"
 )
+
+// FaultPlan re-exports fault.Plan so callers can describe link faults and
+// tool-node crashes without importing internal packages.
+type FaultPlan = fault.Plan
+
+// FaultRule re-exports fault.Rule.
+type FaultRule = fault.Rule
+
+// Crash re-exports fault.Crash.
+type Crash = fault.Crash
 
 // Mode selects the tool architecture.
 type Mode int
@@ -59,6 +70,14 @@ type Options struct {
 	// LinkDelay injects a per-message delay on tool-internal links
 	// (fault injection for robustness testing).
 	LinkDelay time.Duration
+	// Fault injects link faults (message drop / duplication / reordering /
+	// jitter / stalls) and tool-node crashes into the TBON; nil (the
+	// default) runs fault-free. Distributed mode only.
+	Fault *FaultPlan
+	// SnapshotDeadline bounds one consistent-state attempt before the root
+	// aborts and retries it under a fresh epoch (default 2s). Distributed
+	// mode only.
+	SnapshotDeadline time.Duration
 
 	// TrackCallSites records the application source line of every MPI call
 	// so wait-for conditions and reports point at code (one runtime.Caller
@@ -126,6 +145,22 @@ type Report struct {
 	// LostMessages counts sends that never matched any receive; meaningful
 	// when the application completed (AppAborted == false).
 	LostMessages int
+
+	// Partial marks a degraded report: tool nodes hosting UnknownRanks
+	// crashed, so those ranks' wait states are unknown (conservatively
+	// modeled as permanently blocked).
+	Partial      bool
+	UnknownRanks []int
+	// DroppedEvents counts application events lost because their hosting
+	// tool node crashed (degraded-mode observation gap).
+	DroppedEvents int
+	// SnapshotRetries counts consistent-state attempts that missed
+	// SnapshotDeadline and were retried under a fresh epoch.
+	SnapshotRetries int
+	// Retransmits and AbandonedFrames count reliable-transport activity on
+	// tool links (zero without a fault plan).
+	Retransmits     uint64
+	AbandonedFrames uint64
 
 	// Run statistics.
 	Elapsed         time.Duration
@@ -199,6 +234,8 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		EventBuf:                 opts.EventBuf,
 		PreferWaitState:          opts.PreferWaitState,
 		LinkDelay:                opts.LinkDelay,
+		Fault:                    opts.Fault,
+		SnapshotDeadline:         opts.SnapshotDeadline,
 		SendMode:                 mode,
 		BufferSlots:              opts.BufferSlots,
 		BufferedSendCost:         opts.BufferedSendCost,
@@ -215,6 +252,12 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		AppAborted:      res.AppErr != nil,
 		CallMismatches:  res.CallMismatches,
 		LostMessages:    res.LostMessages,
+		Partial:         res.Partial,
+		UnknownRanks:    res.UnknownRanks,
+		DroppedEvents:   res.DroppedEvents,
+		SnapshotRetries: res.SnapshotRetries,
+		Retransmits:     res.Retransmits,
+		AbandonedFrames: res.AbandonedFrames,
 		ToolMessages: ToolMessages{
 			PassSends:      res.MsgStats.PassSends,
 			RecvActives:    res.MsgStats.RecvActives,
