@@ -14,9 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,10 +49,26 @@ func main() {
 		crashNode  = flag.Int("fault-crash-node", -1, "crash this first-layer tool node (degraded-mode demo)")
 		crashAfter = flag.Duration("fault-crash-after", 20*time.Millisecond, "delay before the injected crash")
 		snapDeadl  = flag.Duration("snapshot-deadline", 0, "per-snapshot deadline before abort+retry (0 = default)")
+
+		rankCrash = flag.String("rank-crash", "", "crash application ranks: rank[:atCall],... (e.g. 2:5,7)")
+		rankStall = flag.String("rank-stall", "", "stall application ranks: rank:atCall:dur[:busy],... (dur 0 = forever)")
+		wdQuiet   = flag.Duration("watchdog-quiet", 0, "progress watchdog quiet period (0 = disabled)")
+		statsJSON = flag.String("stats-json", "", "write run statistics as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
 	prog, err := buildWorkload(*wl, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rankCrashes, err := parseRankCrashes(*rankCrash)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rankStalls, err := parseRankStalls(*rankStall)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -64,12 +82,14 @@ func main() {
 		TrackCallSites:   *sites,
 		LinkDelay:        *linkDelay,
 		SnapshotDeadline: *snapDeadl,
+		WatchdogQuiet:    *wdQuiet,
 	}
 	if *mode == "centralized" {
 		opts.Mode = must.Centralized
 	}
 
-	faultActive := *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 || *crashNode >= 0
+	faultActive := *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 || *crashNode >= 0 ||
+		len(rankCrashes) > 0 || len(rankStalls) > 0
 	if faultActive {
 		plan := &must.FaultPlan{Seed: *faultSeed}
 		if *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 {
@@ -82,6 +102,8 @@ func main() {
 		if *crashNode >= 0 {
 			plan.Crashes = []must.Crash{{Layer: 0, Index: *crashNode, After: *crashAfter}}
 		}
+		plan.RankCrashes = rankCrashes
+		plan.RankStalls = rankStalls
 		opts.Fault = plan
 	}
 
@@ -90,6 +112,14 @@ func main() {
 	fmt.Printf("workload=%s procs=%d mode=%s fanin=%d elapsed=%v tool-nodes=%d detections=%d\n",
 		*wl, *procs, *mode, *fanIn, rep.Elapsed.Round(time.Millisecond), rep.ToolNodes, rep.Detections)
 	switch {
+	case rep.Verdict == must.VerdictDeadlockByFailure:
+		fmt.Printf("DEADLOCK BY FAILURE — application rank(s) %s crashed\n", deadRankStr(rep))
+		if len(rep.FailureBlocked) > 0 {
+			fmt.Printf("  ranks transitively blocked on the failure: %v\n", rep.FailureBlocked)
+		}
+	case rep.Verdict == must.VerdictStalled:
+		fmt.Printf("STALLED — progress watchdog flagged ranks %v (no MPI calls past %v)\n",
+			rep.StalledRanks, *wdQuiet)
 	case rep.Deadlock && rep.PotentialOnly:
 		fmt.Printf("POTENTIAL DEADLOCK (did not manifest; strict blocking model, Sec. 3.3)\n")
 	case rep.Deadlock:
@@ -138,9 +168,158 @@ func main() {
 	}
 	writeIf(*htmlPath, rep.HTML)
 	writeIf(*dotPath, rep.DOT)
+	if *statsJSON != "" {
+		writeStats(*statsJSON, *wl, *procs, *mode, rep)
+	}
 	if rep.Deadlock {
 		os.Exit(1)
 	}
+	if rep.Verdict == must.VerdictStalled {
+		os.Exit(3)
+	}
+}
+
+// runStats is the -stats-json schema: one flat object per run so CI jobs
+// and the chaos suite can diff outcomes across seeds.
+type runStats struct {
+	Workload        string      `json:"workload"`
+	Procs           int         `json:"procs"`
+	Mode            string      `json:"mode"`
+	Verdict         string      `json:"verdict"`
+	Deadlock        bool        `json:"deadlock"`
+	PotentialOnly   bool        `json:"potential_only"`
+	Deadlocked      []int       `json:"deadlocked,omitempty"`
+	DeadRanks       []int       `json:"dead_ranks,omitempty"`
+	DeadLastCalls   map[int]int `json:"dead_last_calls,omitempty"`
+	FailureBlocked  []int       `json:"failure_blocked,omitempty"`
+	StalledRanks    []int       `json:"stalled_ranks,omitempty"`
+	WatchdogFires   int         `json:"watchdog_fires"`
+	Retransmits     uint64      `json:"retransmits"`
+	AbandonedFrames uint64      `json:"abandoned_frames"`
+	DroppedEvents   int         `json:"dropped_events"`
+	SnapshotRetries int         `json:"snapshot_retries"`
+	Partial         bool        `json:"partial"`
+	UnknownRanks    []int       `json:"unknown_ranks,omitempty"`
+	Detections      int         `json:"detections"`
+	ToolNodes       int         `json:"tool_nodes"`
+	LostMessages    int         `json:"lost_messages"`
+	ElapsedMS       int64       `json:"elapsed_ms"`
+}
+
+func writeStats(path, wl string, procs int, mode string, rep *must.Report) {
+	st := runStats{
+		Workload:        wl,
+		Procs:           procs,
+		Mode:            mode,
+		Verdict:         rep.Verdict.String(),
+		Deadlock:        rep.Deadlock,
+		PotentialOnly:   rep.PotentialOnly,
+		Deadlocked:      rep.Deadlocked,
+		DeadRanks:       rep.DeadRanks,
+		DeadLastCalls:   rep.DeadLastCalls,
+		FailureBlocked:  rep.FailureBlocked,
+		StalledRanks:    rep.StalledRanks,
+		WatchdogFires:   rep.WatchdogFires,
+		Retransmits:     rep.Retransmits,
+		AbandonedFrames: rep.AbandonedFrames,
+		DroppedEvents:   rep.DroppedEvents,
+		SnapshotRetries: rep.SnapshotRetries,
+		Partial:         rep.Partial,
+		UnknownRanks:    rep.UnknownRanks,
+		Detections:      rep.Detections,
+		ToolNodes:       rep.ToolNodes,
+		LostMessages:    rep.LostMessages,
+		ElapsedMS:       rep.Elapsed.Milliseconds(),
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats-json:", err)
+		return
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stats-json:", err)
+	}
+}
+
+func deadRankStr(rep *must.Report) string {
+	parts := make([]string, 0, len(rep.DeadRanks))
+	for _, r := range rep.DeadRanks {
+		if lc, ok := rep.DeadLastCalls[r]; ok {
+			parts = append(parts, fmt.Sprintf("%d (after %d calls)", r, lc))
+		} else {
+			parts = append(parts, strconv.Itoa(r))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// parseRankCrashes parses "rank[:atCall]" comma-separated specs.
+func parseRankCrashes(spec string) ([]must.RankCrash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []must.RankCrash
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("bad -rank-crash %q: want rank[:atCall]", part)
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad -rank-crash rank %q: %v", fields[0], err)
+		}
+		rc := must.RankCrash{Rank: rank, AtCall: 1}
+		if len(fields) == 2 {
+			if rc.AtCall, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("bad -rank-crash call %q: %v", fields[1], err)
+			}
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+// parseRankStalls parses "rank:atCall:dur[:busy]" comma-separated specs;
+// a zero duration stalls forever, "busy" spins instead of sleeping.
+func parseRankStalls(spec string) ([]must.RankStall, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []must.RankStall
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("bad -rank-stall %q: want rank:atCall:dur[:busy]", part)
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad -rank-stall rank %q: %v", fields[0], err)
+		}
+		atCall, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad -rank-stall call %q: %v", fields[1], err)
+		}
+		var dur time.Duration
+		if fields[2] != "0" {
+			if dur, err = time.ParseDuration(fields[2]); err != nil {
+				return nil, fmt.Errorf("bad -rank-stall duration %q: %v", fields[2], err)
+			}
+		}
+		rs := must.RankStall{Rank: rank, AtCall: atCall, For: dur}
+		if len(fields) == 4 {
+			if fields[3] != "busy" {
+				return nil, fmt.Errorf("bad -rank-stall modifier %q: only \"busy\"", fields[3])
+			}
+			rs.Busy = true
+		}
+		out = append(out, rs)
+	}
+	return out, nil
 }
 
 func buildWorkload(name string, iters int) (mpi.Program, error) {

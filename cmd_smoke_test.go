@@ -1,6 +1,7 @@
 package dwst_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -96,10 +97,63 @@ func TestCmdMustrunFaultFlags(t *testing.T) {
 	}
 }
 
+func TestCmdMustrunRankFaultFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	// A crashed rank must yield a deadlock-by-failure verdict naming it,
+	// and -stats-json must serialize the machine-readable outcome.
+	stats := filepath.Join(t.TempDir(), "stats.json")
+	out, code := goRun(t, "./cmd/mustrun", "-workload", "clean", "-procs", "4", "-iters", "5",
+		"-rank-crash", "2:3", "-stats-json", stats)
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"DEADLOCK BY FAILURE", "2 (after 2 calls)", "transitively blocked"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	b, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatalf("stats file: %v", err)
+	}
+	var st struct {
+		Verdict       string `json:"verdict"`
+		DeadRanks     []int  `json:"dead_ranks"`
+		WatchdogFires int    `json:"watchdog_fires"`
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("stats json: %v\n%s", err, b)
+	}
+	if st.Verdict != "deadlock-by-failure" || len(st.DeadRanks) != 1 || st.DeadRanks[0] != 2 {
+		t.Fatalf("stats = %+v\n%s", st, b)
+	}
+
+	// A stalled rank past the watchdog quiet period exits 3 with a
+	// STALLED verdict (go run reports the code as "exit status 3" and
+	// itself exits 1).
+	out, code = goRun(t, "./cmd/mustrun", "-workload", "clean", "-procs", "4", "-iters", "5",
+		"-rank-stall", "1:3:0", "-watchdog-quiet", "100ms")
+	if code == 0 || !strings.Contains(out, "exit status 3") {
+		t.Fatalf("stall exit = %d, want nonzero with status 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "STALLED") || !strings.Contains(out, "[1]") {
+		t.Fatalf("stall output:\n%s", out)
+	}
+}
+
 func TestCmdMustreplayRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("command smoke tests skipped in -short")
 	}
+	// Reference: the live tool's verdict on the same workload.
+	liveOut, liveCode := goRun(t, "./cmd/mustrun", "-workload", "fig2b", "-procs", "3")
+	if liveCode != 1 {
+		t.Fatalf("live run: exit=%d\n%s", liveCode, liveOut)
+	}
+	liveRanks := extractRanks(t, liveOut, "deadlocked ranks: [")
+
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	out, code := goRun(t, "./cmd/mustreplay", "-record", trace, "-workload", "fig2b", "-procs", "3")
 	if code != 0 {
@@ -109,6 +163,29 @@ func TestCmdMustreplayRoundTrip(t *testing.T) {
 	if code != 1 || !strings.Contains(out, "DEADLOCK") {
 		t.Fatalf("analyze: exit=%d\n%s", code, out)
 	}
+	// The offline replay must reach the live verdict: a deadlock of the
+	// exact same rank set.
+	replayRanks := extractRanks(t, out, "DEADLOCK: ranks [")
+	if replayRanks != liveRanks {
+		t.Fatalf("replay verdict diverged from live run: replay deadlocked [%s], live [%s]",
+			replayRanks, liveRanks)
+	}
+}
+
+// extractRanks returns the space-separated rank list following marker (up
+// to the closing bracket), e.g. "0 1 2".
+func extractRanks(t *testing.T, out, marker string) string {
+	t.Helper()
+	i := strings.Index(out, marker)
+	if i < 0 {
+		t.Fatalf("missing %q in:\n%s", marker, out)
+	}
+	rest := out[i+len(marker):]
+	j := strings.IndexByte(rest, ']')
+	if j < 0 {
+		t.Fatalf("unterminated rank list after %q in:\n%s", marker, out)
+	}
+	return rest[:j]
 }
 
 func TestCmdDetecttimeRow(t *testing.T) {

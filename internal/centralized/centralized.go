@@ -145,6 +145,10 @@ func (t *tool) process(ev event.Event) {
 	case event.Done:
 		// Rank returned; nothing to track centrally.
 		return
+	case event.Heartbeat, event.RankDown:
+		// Distributed-tool bookkeeping; replayed traces may carry them but
+		// the centralized baseline has no watchdog or failure model.
+		return
 	}
 	t.rescan()
 }

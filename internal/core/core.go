@@ -26,6 +26,11 @@ import (
 // deadlock.
 var ErrDeadlockDetected = errors.New("MUST-style tool: deadlock detected")
 
+// ErrStalled is the abort cause used when the progress watchdog flagged
+// stalled ranks (alive, no MPI calls past the quiet period) and no
+// wait-state deadlock explains the silence.
+var ErrStalled = errors.New("MUST-style tool: stalled ranks (progress watchdog)")
+
 // Config parameterizes a tool-attached run.
 type Config struct {
 	// Procs is the number of application ranks.
@@ -57,6 +62,13 @@ type Config struct {
 	// (Sec. 5's protocol is deadlock-free only when messages arrive, so
 	// unhealed loss must time out rather than wedge). Default 2s.
 	SnapshotDeadline time.Duration
+
+	// WatchdogQuiet enables the progress watchdog: the driver injects
+	// per-rank heartbeats carrying each rank's call counter, and a rank
+	// that is alive, not blocked in MPI, and issues no call for longer
+	// than this period is flagged Stalled. Zero (the default) disables
+	// the watchdog and keeps fault-free runs bit-identical to before.
+	WatchdogQuiet time.Duration
 
 	// Simulator options (passed through to mpisim).
 	SendMode                 mpisim.SendMode
@@ -110,6 +122,22 @@ type Result struct {
 	// (zero without a fault plan).
 	Retransmits     uint64
 	AbandonedFrames uint64
+
+	// Verdict classifies the outcome (true deadlock, deadlock-by-failure,
+	// stalled, none); the first non-none detection verdict wins.
+	Verdict detect.Verdict
+	// DeadRanks, DeadLastCalls and FailureBlocked mirror the detection's
+	// rank-failure findings: crashed ranks, their completed call counts,
+	// and the live ranks transitively blocked on them.
+	DeadRanks      []int
+	DeadLastCalls  map[int]int
+	FailureBlocked []int
+	// StalledRanks lists the ranks the progress watchdog flagged; when
+	// the driver aborted the run because of them, AppErr is ErrStalled.
+	StalledRanks []int
+	// WatchdogFires counts detections that flagged at least one stalled
+	// rank.
+	WatchdogFires int
 }
 
 // handler adapts one tbon node to its tool roles: first-layer wait-state
@@ -248,6 +276,11 @@ func (h *handler) applyDown(msg any) {
 			return // stale request of an aborted attempt
 		}
 		h.up(rep)
+	case dws.RankDown:
+		// Root rebroadcast of an application rank's death: every leaf
+		// tombstones the rank's matching state (idempotent — the hosting
+		// leaf already did when it processed the terminal event).
+		h.leaf.OnRankDown(m.Rank, m.LastCall)
 	default:
 		panic(fmt.Sprintf("core: unexpected downward message %T", msg))
 	}
@@ -271,6 +304,13 @@ func (h *handler) atRoot(msg any) {
 		}
 	case dws.WaitReport:
 		h.root.OnWaitReport(m) // result delivered via root.Results
+	case dws.RankDown:
+		// An application rank died: record it for verdict classification
+		// and rebroadcast once, so every first-layer node marks the rank
+		// crashed and drops its pending receives.
+		if h.root.OnRankDown(m) {
+			h.down(m)
+		}
 	default:
 		panic(fmt.Sprintf("core: unexpected upward message %T", msg))
 	}
@@ -316,6 +356,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		h := &handler{tn: n}
 		if n.IsFirstLayer() {
 			h.leaf = dws.NewNode(n.Index(), n.Tree().RanksOf(n.Index()), n.Tree().NodeFor, tbonOut{tn: n})
+			h.leaf.SetWatchdogQuiet(cfg.WatchdogQuiet)
 			leaves = append(leaves, h.leaf)
 		}
 		if n.Layer() > 0 {
@@ -327,6 +368,15 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		return h
 	})
 
+	// Application-plane faults ride on the same plan as the link faults;
+	// the simulator executes them, the tool only observes the fallout.
+	var rankCrashes []fault.RankCrash
+	var rankStalls []fault.RankStall
+	if cfg.Fault != nil {
+		rankCrashes = cfg.Fault.RankCrashes
+		rankStalls = cfg.Fault.RankStalls
+	}
+
 	var dropped atomic.Uint64
 	world := mpisim.NewWorld(mpisim.Config{
 		Procs:                    cfg.Procs,
@@ -336,6 +386,8 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		SsendEvery:               cfg.SsendEvery,
 		SynchronizingCollectives: cfg.SynchronizingCollectives,
 		TrackCallSites:           cfg.TrackCallSites,
+		RankCrashes:              rankCrashes,
+		RankStalls:               rankStalls,
 		Sink: event.Func(func(ev event.Event) {
 			rank := ev.Proc
 			if ev.Type == event.Enter {
@@ -354,6 +406,12 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	appDone := make(chan error, 1)
 	go func() { appDone <- world.Run(prog) }()
 
+	if cfg.WatchdogQuiet > 0 {
+		stopPump := make(chan struct{})
+		defer close(stopPump)
+		go heartbeatPump(tree, world, cfg.Procs, cfg.WatchdogQuiet, stopPump)
+	}
+
 	rootNode := tree.Root()
 	tick := cfg.Timeout / 4
 	if tick < time.Millisecond {
@@ -368,11 +426,30 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			res.Partial = true
 			res.UnknownRanks = r.UnknownRanks
 		}
+		if len(r.DeadRanks) > 0 {
+			res.DeadRanks = r.DeadRanks
+			res.DeadLastCalls = r.DeadLastCalls
+			res.FailureBlocked = r.FailureBlocked
+		}
+		if len(r.StalledRanks) > 0 {
+			res.StalledRanks = r.StalledRanks
+			res.WatchdogFires++
+		}
+		if r.Verdict != detect.VerdictNone &&
+			(res.Verdict == detect.VerdictNone || res.Verdict == detect.VerdictStalled) {
+			res.Verdict = r.Verdict
+		}
 		if r.Deadlock && res.Deadlock == nil {
 			res.Deadlock = r
 			if live {
 				world.Abort(ErrDeadlockDetected)
 			}
+			return
+		}
+		if live && r.Verdict == detect.VerdictStalled && res.Deadlock == nil {
+			// Stalled ranks will never quiesce into a wait-state deadlock;
+			// end the run so the report reaches the user.
+			world.Abort(ErrStalled)
 		}
 	}
 
@@ -444,6 +521,33 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 				tree.Control(rootNode, detect.TriggerDetection{})
 				inFlight = true
 				detectStart = time.Now()
+			}
+		}
+	}
+}
+
+// heartbeatPump periodically injects one Heartbeat event per live rank,
+// carrying the rank's MPI call counter, through the quiet path (no
+// Handled bump — heartbeats must not defer the quiescence trigger).
+func heartbeatPump(tree *tbon.Tree, world *mpisim.World, procs int, quiet time.Duration, stop <-chan struct{}) {
+	tick := quiet / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			for r := 0; r < procs; r++ {
+				if world.RankExited(r) {
+					continue
+				}
+				// Delivery failure (stopped tree, dead hosting node) only
+				// means no probe this round; the run is ending anyway.
+				_ = tree.InjectQuiet(r, event.Event{Type: event.Heartbeat, Proc: r, TS: world.Calls(r)})
 			}
 		}
 	}

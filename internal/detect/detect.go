@@ -8,6 +8,7 @@
 package detect
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -34,6 +35,38 @@ func (t Timings) Total() time.Duration {
 	return t.Synchronization + t.WFGGather + t.GraphBuild + t.DeadlockCheck + t.OutputGeneration
 }
 
+// Verdict classifies the outcome of one detection run.
+type Verdict int
+
+const (
+	// VerdictNone: no deadlock and no stalled rank was found.
+	VerdictNone Verdict = iota
+	// VerdictDeadlock is a true communication deadlock: a cycle/knot of
+	// ranks waiting on each other, all of them alive.
+	VerdictDeadlock
+	// VerdictDeadlockByFailure is a deadlock whose residue contains
+	// crashed ranks: the blocked ranks wait (transitively) on processes
+	// that died, not on each other's communication choices.
+	VerdictDeadlockByFailure
+	// VerdictStalled: no wait-state deadlock, but the progress watchdog
+	// flagged ranks that are alive yet issue no MPI calls past the quiet
+	// period — a hang class the pure wait-state analysis cannot see.
+	VerdictStalled
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDeadlock:
+		return "deadlock"
+	case VerdictDeadlockByFailure:
+		return "deadlock-by-failure"
+	case VerdictStalled:
+		return "stalled"
+	default:
+		return "none"
+	}
+}
+
 // Result is the outcome of one detection run.
 type Result struct {
 	// Epoch is the snapshot attempt this result was computed from.
@@ -46,6 +79,20 @@ type Result struct {
 	Partial bool
 	// UnknownRanks lists the ranks whose wait state is unknown (ascending).
 	UnknownRanks []int
+	// Verdict classifies the result (true deadlock vs deadlock-by-failure
+	// vs stalled vs none).
+	Verdict Verdict
+	// DeadRanks lists the application ranks that crashed (ascending), and
+	// DeadLastCalls maps each to the number of MPI calls it completed.
+	DeadRanks     []int
+	DeadLastCalls map[int]int
+	// FailureBlocked lists the live ranks transitively blocked on a
+	// crashed rank (subset of Deadlocked, ascending).
+	FailureBlocked []int
+	// StalledRanks lists the ranks the progress watchdog flagged
+	// (ascending). Stalled ranks may still resume, so they never enter
+	// the wait-for graph.
+	StalledRanks []int
 	// Deadlock reports whether a deadlock (cycle/knot residue) was found.
 	Deadlock bool
 	// Deadlocked lists the deadlocked ranks (ascending).
@@ -117,6 +164,10 @@ type Root struct {
 	// detection proceeds without them and flags results as partial.
 	deadNodes map[int][]int
 
+	// deadRanks maps crashed application ranks to their last completed
+	// call count (from RankDown messages).
+	deadRanks map[int]int
+
 	// Results delivers one Result per detection run (including runs that
 	// found no deadlock) to the driver.
 	Results chan *Result
@@ -140,8 +191,31 @@ func NewRoot(p, firstLayer int) *Root {
 		firstLayer: firstLayer,
 		coll:       collmatch.NewRoot(p, firstLayer),
 		deadNodes:  make(map[int][]int),
+		deadRanks:  make(map[int]int),
 		Results:    make(chan *Result, 4),
 	}
+}
+
+// OnRankDown records the death of an application rank. Returns true the
+// first time the rank is recorded, so the driver rebroadcasts the message
+// down once (duplicates from crash replay are absorbed here).
+func (r *Root) OnRankDown(m dws.RankDown) bool {
+	if _, ok := r.deadRanks[m.Rank]; ok {
+		return false
+	}
+	r.deadRanks[m.Rank] = m.LastCall
+	return true
+}
+
+// DeadRanks returns the crashed application ranks recorded so far
+// (ascending). Only read after the tool stopped.
+func (r *Root) DeadRanks() []int {
+	out := make([]int, 0, len(r.deadRanks))
+	for rk := range r.deadRanks {
+		out = append(out, rk)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Group exposes the communicator registry.
@@ -323,6 +397,8 @@ func (r *Root) analyze() *Result {
 	inWave := map[wave]map[int]bool{}
 	var all []dws.WaitEntry
 	var finished []int
+	crashedEntries := map[int]dws.WaitEntry{}
+	stalledEntries := map[int]dws.WaitEntry{}
 	for node, rep := range r.reports {
 		if _, dead := r.deadNodes[node]; dead {
 			continue
@@ -331,6 +407,14 @@ func (r *Root) analyze() *Result {
 		for _, e := range rep.Entries {
 			if e.State == dws.Finished {
 				finished = append(finished, e.Rank)
+				continue
+			}
+			if e.State == dws.Crashed {
+				crashedEntries[e.Rank] = e
+				continue
+			}
+			if e.State == dws.Stalled {
+				stalledEntries[e.Rank] = e
 				continue
 			}
 			if e.State != dws.Blocked {
@@ -351,6 +435,9 @@ func (r *Root) analyze() *Result {
 	for _, f := range finished {
 		g.SetFinished(f)
 	}
+	// expTargets records each blocked rank's fully expanded target list,
+	// for the failure-blocked reverse reachability below.
+	expTargets := map[int][]int{}
 	for _, e := range all {
 		res.Entries[e.Rank] = e
 		res.Blocked = append(res.Blocked, e.Rank)
@@ -391,14 +478,62 @@ func (r *Root) analyze() *Result {
 			sem = waitstate.OrWait
 		}
 		g.SetBlocked(e.Rank, sem, targets, e.Desc)
+		expTargets[e.Rank] = targets
 	}
+	// Crashed application ranks enter the graph as permanently blocked
+	// sinks with a *known* cause (unlike Unknown): an AND-wait on the rank
+	// itself is never satisfiable, so the dead rank stays in the deadlock
+	// residue and everything transitively waiting on it with it. The
+	// root's own RankDown record is merged with report entries, so the
+	// death survives even when the hosting tool node died afterwards.
+	dead := make(map[int]int, len(r.deadRanks))
+	for rk, lc := range r.deadRanks {
+		dead[rk] = lc
+	}
+	for rk, e := range crashedEntries {
+		if _, ok := dead[rk]; !ok {
+			dead[rk] = e.TS
+		}
+	}
+	res.DeadRanks = make([]int, 0, len(dead))
+	for rk := range dead {
+		res.DeadRanks = append(res.DeadRanks, rk)
+	}
+	sort.Ints(res.DeadRanks)
+	if len(dead) > 0 {
+		res.DeadLastCalls = dead
+	}
+	for _, rk := range res.DeadRanks {
+		e, ok := crashedEntries[rk]
+		if !ok {
+			e = dws.WaitEntry{
+				Rank: rk, State: dws.Crashed, TS: dead[rk],
+				Desc: fmt.Sprintf("rank %d crashed after %d MPI calls", rk, dead[rk]),
+			}
+		}
+		res.Entries[rk] = e
+		res.Blocked = append(res.Blocked, rk)
+		g.SetBlocked(rk, waitstate.AndWait, []int{rk}, e.Desc)
+		expTargets[rk] = []int{rk}
+	}
+	// Stalled ranks are reported but never enter the graph: they may
+	// resume, so treating them as blocked could fabricate a deadlock.
+	for rk := range stalledEntries {
+		res.StalledRanks = append(res.StalledRanks, rk)
+		res.Entries[rk] = stalledEntries[rk]
+	}
+	sort.Ints(res.StalledRanks)
 	// Unknown ranks enter the graph as permanently blocked sinks: an
 	// OR-wait over the empty set is never satisfiable, so they are never
 	// released and anything waiting on them stays deadlocked — the
 	// conservative reading of "we cannot observe this rank anymore". (An
 	// AND-wait over the empty set would be the opposite: released
-	// immediately.)
+	// immediately.) Ranks already modeled as Crashed keep that richer
+	// classification.
 	for _, u := range res.UnknownRanks {
+		if _, isDead := dead[u]; isDead {
+			continue
+		}
 		e := dws.WaitEntry{
 			Rank: u, State: dws.Unknown, Sem: dws.SemOr,
 			Desc: "wait state unknown (hosting tool node crashed)",
@@ -420,6 +555,29 @@ func (r *Root) analyze() *Result {
 	}
 	res.Timings.DeadlockCheck = time.Since(checkStart)
 
+	// Verdict classification: a deadlock residue containing crashed ranks
+	// is a failure-induced deadlock, not a communication deadlock.
+	switch {
+	case res.Deadlock:
+		res.Verdict = VerdictDeadlock
+		inDead := make(map[int]bool, len(res.Deadlocked))
+		for _, d := range res.Deadlocked {
+			inDead[d] = true
+		}
+		var seeds []int
+		for _, rk := range res.DeadRanks {
+			if inDead[rk] {
+				seeds = append(seeds, rk)
+			}
+		}
+		if len(seeds) > 0 {
+			res.Verdict = VerdictDeadlockByFailure
+			res.FailureBlocked = failureBlocked(seeds, inDead, expTargets)
+		}
+	case len(res.StalledRanks) > 0:
+		res.Verdict = VerdictStalled
+	}
+
 	if res.Deadlock {
 		outStart := time.Now()
 		res.UnexpectedMatches = findUnexpectedMatches(all)
@@ -439,10 +597,50 @@ func (r *Root) analyze() *Result {
 			Arcs:              res.Arcs,
 			Partial:           res.Partial,
 			UnknownRanks:      res.UnknownRanks,
+			DeadRanks:         res.DeadRanks,
+			DeadLastCalls:     res.DeadLastCalls,
+			FailureBlocked:    res.FailureBlocked,
+			StalledRanks:      res.StalledRanks,
 		})
 		res.Timings.OutputGeneration = time.Since(outStart)
 	}
 	return res
+}
+
+// failureBlocked computes the live ranks transitively blocked on a crashed
+// rank: reverse reachability from the dead seeds over the expanded target
+// lists, restricted to the deadlocked set (where every wait is known to be
+// permanently unsatisfiable).
+func failureBlocked(seeds []int, inDead map[int]bool, targets map[int][]int) []int {
+	deadSet := make(map[int]bool, len(seeds))
+	reached := make(map[int]bool, len(seeds))
+	for _, d := range seeds {
+		deadSet[d] = true
+		reached[d] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for rk, ts := range targets {
+			if !inDead[rk] || reached[rk] {
+				continue
+			}
+			for _, t := range ts {
+				if reached[t] {
+					reached[rk] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(reached))
+	for rk := range reached {
+		if !deadSet[rk] {
+			out = append(out, rk)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // groupOrWorld returns the registry group, falling back to the full world

@@ -93,6 +93,18 @@ type AbortSnapshot struct{ Epoch int }
 // never pong) and future snapshots skip it.
 type PeerDown struct{ Node int }
 
+// RankDown reports the death of an *application* rank. The hosting node
+// sends it upward when it processes the rank's terminal RankDown event;
+// the root records the death (for verdict classification) and rebroadcasts
+// the same message down, so every first-layer node marks the rank crashed
+// and tombstones its pending receives. Idempotent: duplicates (crash
+// replay across a tool-node death) are absorbed.
+type RankDown struct {
+	Rank     int
+	LastCall int // MPI calls the rank completed before dying
+	Node     int // first-layer node hosting the rank
+}
+
 // ProcState classifies a rank in a consistent state.
 type ProcState int
 
@@ -107,6 +119,14 @@ const (
 	// Unknown: the tool node hosting the rank crashed; its wait state is
 	// unavailable and reports including it are partial.
 	Unknown
+	// Crashed: the application rank itself died (injected rank crash). Its
+	// cause is *known*, unlike Unknown: the rank can never progress, so it
+	// is modeled as a permanently blocked sink in the WFG.
+	Crashed
+	// Stalled: the progress watchdog saw the rank alive but issuing no MPI
+	// calls past the configured quiet period. The rank may still resume,
+	// so it is reported but never entered into the WFG.
+	Stalled
 )
 
 // Sem mirrors waitstate semantics without importing it (AND = all targets,

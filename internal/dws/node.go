@@ -2,6 +2,7 @@ package dws
 
 import (
 	"fmt"
+	"time"
 
 	"dwst/internal/collmatch"
 	"dwst/internal/event"
@@ -55,6 +56,15 @@ type Node struct {
 	// swallowed by a dead interior node must reach the root again.
 	readySent   map[collKey][]collmatch.Ready
 	membersSent []collmatch.Member
+
+	// deadRanks are application ranks known to have crashed (hosted or
+	// not), from the local terminal event or the root's rebroadcast.
+	deadRanks map[int]bool
+
+	// quiet is the progress-watchdog quiet period: a hosted rank that is
+	// alive, not blocked in a call, and issued no MPI call for longer than
+	// quiet is reported Stalled. Zero disables the watchdog.
+	quiet time.Duration
 
 	// dirty tracks peers this node sent wait-state messages to since the
 	// last snapshot. The consistent-state ping-pong must cover them all: an
@@ -110,6 +120,20 @@ type rankState struct {
 	collSeq map[trace.CommID]int
 	done    bool // returned from the program (Done event)
 	lastTS  int  // highest timestamp received
+
+	// crashed/lastCall record the rank's death (RankDown event).
+	crashed  bool
+	lastCall int
+
+	// Progress-watchdog bookkeeping: enters counts processed Enter events,
+	// beatCalls is the rank's call counter carried by the latest heartbeat,
+	// lastProgress the arrival time of the rank's latest event. A rank is
+	// Stalled when it is between calls, its event stream is drained
+	// (beatCalls <= enters), and lastProgress is older than the quiet
+	// period.
+	enters       int
+	beatCalls    int
+	lastProgress time.Time
 }
 
 // reqRec survives its operation's window entry: once the communication
@@ -157,19 +181,26 @@ func NewNode(id int, hosted []int, nodeFor func(int) int, out Out) *Node {
 		ackedEarly: make(map[collKey]bool),
 		dirty:      make(map[int]bool),
 		deadPeers:  make(map[int]bool),
+		deadRanks:  make(map[int]bool),
 		readySent:  make(map[collKey][]collmatch.Ready),
 	}
+	now := time.Now()
 	for _, r := range hosted {
 		n.ranks[r] = &rankState{
-			rank:    r,
-			ops:     make(map[int]*opState),
-			reqs:    make(map[trace.ReqID]*reqRec),
-			collSeq: make(map[trace.CommID]int),
-			lastTS:  -1,
+			rank:         r,
+			ops:          make(map[int]*opState),
+			reqs:         make(map[trace.ReqID]*reqRec),
+			collSeq:      make(map[trace.CommID]int),
+			lastTS:       -1,
+			lastProgress: now,
 		}
 	}
 	return n
 }
+
+// SetWatchdogQuiet configures the progress watchdog's quiet period (zero
+// disables stall detection).
+func (n *Node) SetWatchdogQuiet(d time.Duration) { n.quiet = d }
 
 // ID returns the node's first-layer index.
 func (n *Node) ID() int { return n.id }
@@ -227,6 +258,14 @@ func (n *Node) rank(r int) *rankState {
 // could be reported mutually blocked before their handshake ran — a false
 // deadlock.
 func (n *Node) OnEvent(ev event.Event) {
+	if ev.Type == event.Heartbeat {
+		// Pure watchdog bookkeeping: no transition-system state is touched,
+		// so heartbeats are safe to absorb even while frozen (deferring them
+		// would let a snapshot hide a stall).
+		rs := n.rank(ev.Proc)
+		rs.beatCalls = ev.TS
+		return
+	}
 	if n.frozen {
 		n.deferred = append(n.deferred, ev)
 		return
@@ -245,13 +284,42 @@ func (n *Node) processEvent(ev event.Event) {
 	case event.Done:
 		rs := n.rank(ev.Proc)
 		rs.done = true
+		rs.lastProgress = time.Now()
+	case event.RankDown:
+		if first := n.OnRankDown(ev.Proc, ev.TS); first {
+			n.out.Up(RankDown{Rank: ev.Proc, LastCall: ev.TS, Node: n.id})
+		}
 	}
+}
+
+// OnRankDown marks an application rank as crashed: its pending receives
+// are tombstoned in the matching engine (mirroring the simulator's
+// mailbox tombstone — the dead rank consumes nothing further, while its
+// already-sent messages stay matchable) and, when hosted here, its window
+// entries are dropped. Called for the local terminal event and for the
+// root's rebroadcast; returns true the first time the rank is marked.
+func (n *Node) OnRankDown(rank, lastCall int) bool {
+	if n.deadRanks[rank] {
+		return false
+	}
+	n.deadRanks[rank] = true
+	n.match.DropRank(rank)
+	if rs := n.ranks[rank]; rs != nil {
+		rs.crashed = true
+		rs.lastCall = lastCall
+		for ts := range rs.ops {
+			n.dropOp(rs, ts)
+		}
+	}
+	return true
 }
 
 // newOp is Figure 7's newOp handler.
 func (n *Node) newOp(op trace.Op) {
 	rs := n.rank(op.Proc)
 	rs.lastTS = op.TS
+	rs.enters++
+	rs.lastProgress = time.Now()
 	o := &opState{op: op, peerProc: -1, resolvedGr: -1}
 	rs.ops[op.TS] = o
 	n.curWindow++
@@ -327,6 +395,7 @@ func (n *Node) newOp(op trace.Op) {
 // received from group rank src.
 func (n *Node) onStatus(proc, ts, src int) {
 	rs := n.rank(proc)
+	rs.lastProgress = time.Now()
 	if o := rs.ops[ts]; o != nil {
 		o.resolved = true
 		o.resolvedGr = src

@@ -2,6 +2,7 @@ package dws
 
 import (
 	"fmt"
+	"time"
 
 	"dwst/internal/trace"
 )
@@ -161,10 +162,27 @@ func (n *Node) resume(clearDirty bool) {
 // knowledge carry markers the root expands.
 func (n *Node) entryFor(rs *rankState) WaitEntry {
 	e := WaitEntry{Rank: rs.rank, State: Running, MatchedSendProc: -1}
+	if rs.crashed {
+		e.State = Crashed
+		e.TS = rs.lastCall
+		e.Desc = fmt.Sprintf("rank %d crashed after %d MPI calls", rs.rank, rs.lastCall)
+		return e
+	}
 	o := rs.ops[rs.l]
 	if o == nil {
 		if rs.done {
 			e.State = Finished
+			return e
+		}
+		// Progress watchdog: the rank is between calls. When its event
+		// stream is drained (the latest heartbeat's call counter does not
+		// exceed the Enter events processed) and it has been quiet past the
+		// configured period, flag it Stalled — alive, not blocked in MPI,
+		// but making no progress (sleep, livelock, compute spin).
+		if n.quiet > 0 && rs.beatCalls <= rs.enters && time.Since(rs.lastProgress) > n.quiet {
+			e.State = Stalled
+			e.Desc = fmt.Sprintf("rank %d issued no MPI call for over %v (%d calls completed)",
+				rs.rank, n.quiet, rs.enters)
 		}
 		return e // between calls (or events still in flight): not blocked
 	}

@@ -67,7 +67,7 @@ func verdictOf(rep *must.Report) verdict {
 // drop+dup+reorder+jitter on every tool link, the retransmitting transport
 // must deliver the exact fault-free verdict, never a partial report.
 func TestChaosLinkFaultsPreserveVerdict(t *testing.T) {
-	lo, hi := int64(0), int64(60)
+	lo, hi := int64(0), testseed.ChaosRuns(60)
 	if testing.Short() {
 		hi = 6
 	}
@@ -107,7 +107,7 @@ func TestChaosLinkFaultsPreserveVerdict(t *testing.T) {
 // TestChaosHeavierFaultsStillConverge pushes per-class rates higher on one
 // workload as a stress margin (fewer seeds — each run retransmits a lot).
 func TestChaosHeavierFaultsStillConverge(t *testing.T) {
-	hi := int64(10)
+	hi := testseed.ChaosRuns(10)
 	if testing.Short() {
 		hi = 2
 	}

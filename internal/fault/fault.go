@@ -83,6 +83,33 @@ type Crash struct {
 	After        time.Duration
 }
 
+// RankCrash schedules the death of one *application* rank: immediately
+// before issuing its AtCall-th MPI call (1-based), the rank's goroutine
+// emits a RankDown event and exits. Its posted receives are tombstoned
+// (the dead rank consumes nothing further), while messages it already
+// sent stay matchable — mirroring an MPI process that was killed between
+// two calls. Executed by mpisim, not by the link Injector.
+type RankCrash struct {
+	Rank int
+	// AtCall is the 1-based index of the MPI call the crash preempts
+	// (1 = the rank dies before its first call).
+	AtCall int
+}
+
+// RankStall schedules a progress fault on one application rank:
+// immediately before issuing its AtCall-th MPI call (1-based), the rank
+// stops making MPI calls For the given duration — sleeping when Busy is
+// false, livelocked in a compute spin when Busy is true. For == 0 means
+// stall forever (the rank never issues another call and never exits).
+// The rank is alive the whole time; only the progress watchdog can see
+// this fault. Executed by mpisim, not by the link Injector.
+type RankStall struct {
+	Rank   int
+	AtCall int
+	For    time.Duration
+	Busy   bool
+}
+
 // Plan is a complete, seeded fault scenario plus the knobs of the
 // self-healing machinery that defends against it.
 type Plan struct {
@@ -92,6 +119,14 @@ type Plan struct {
 	Rules []Rule
 	// Crashes are the scheduled tool-node deaths.
 	Crashes []Crash
+
+	// RankCrashes and RankStalls are the application-plane faults:
+	// scheduled deaths and progress stalls of MPI ranks. They are
+	// executed by the MPI simulator, not the link Injector — the tool
+	// observes them only through the event stream (RankDown, missing
+	// heartbeat progress), exactly as a real tool would.
+	RankCrashes []RankCrash
+	RankStalls  []RankStall
 
 	// DisableRetransmit turns the reliable link layer off, so injected
 	// link faults become permanent. Used by tests that exercise the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dwst/internal/event"
+	"dwst/internal/fault"
 	"dwst/internal/trace"
 )
 
@@ -25,6 +26,16 @@ type Proc struct {
 	// eagerCounter tracks outstanding eager (buffered) envelopes of this
 	// sender; receivers decrement it when they consume one.
 	eagerCounter atomic.Int32
+
+	// calls counts issued MPI calls; the driver's progress watchdog
+	// samples it from outside the rank's goroutine.
+	calls atomic.Int64
+
+	// crashAt (1-based call index, 0 = none) and stall are the scheduled
+	// application-plane faults; stalled latches after the stall ran once.
+	crashAt int
+	stall   *fault.RankStall
+	stalled bool
 
 	mbox mailbox
 }
@@ -52,6 +63,7 @@ func (p *Proc) World() *World { return p.w }
 // tracking).
 func (p *Proc) enter(op trace.Op) int {
 	p.w.checkAbort(p.rank)
+	p.maybeFault()
 	op.Proc = p.rank
 	op.TS = p.nextTS
 	p.nextTS++
@@ -85,7 +97,56 @@ func (p *Proc) enter(op trace.Op) int {
 		}
 	}
 	p.w.sink.Emit(event.Event{Type: event.Enter, Op: op})
+	p.calls.Add(1)
 	return op.TS
+}
+
+// maybeFault executes a scheduled application-plane fault at a call
+// boundary: faults fire immediately before the rank's AtCall-th MPI call,
+// never inside a blocking call.
+func (p *Proc) maybeFault() {
+	call := int(p.calls.Load()) + 1 // the call about to be issued, 1-based
+	if p.crashAt > 0 && call >= p.crashAt {
+		p.crash()
+	}
+	if p.stall != nil && !p.stalled && call >= p.stall.AtCall {
+		p.stalled = true
+		p.runStall()
+	}
+}
+
+// crash kills the rank between two MPI calls: tombstone its posted
+// receives (a dead rank consumes nothing further; envelopes it already
+// sent stay matchable), emit the terminal RankDown event, and unwind the
+// goroutine with a rank-local panic the runner recovers.
+func (p *Proc) crash() {
+	p.mbox.mu.Lock()
+	p.mbox.posted = nil
+	p.mbox.mu.Unlock()
+	p.w.crashed[p.rank].Store(true)
+	p.w.sink.Emit(event.Event{Type: event.RankDown, Proc: p.rank, TS: int(p.calls.Load())})
+	panic(rankCrashError{rank: p.rank})
+}
+
+// runStall suspends the rank's progress without killing it: no MPI calls,
+// no exit. For <= 0 stalls forever (until the world aborts); Busy burns
+// CPU in a livelock spin instead of sleeping.
+func (p *Proc) runStall() {
+	s := p.stall
+	forever := s.For <= 0
+	deadline := time.Now().Add(s.For)
+	for forever || time.Now().Before(deadline) {
+		p.w.checkAbort(p.rank)
+		if s.Busy {
+			spin(4096)
+		} else {
+			select {
+			case <-time.After(time.Millisecond):
+			case <-p.w.abortCh:
+				panic(AbortError{Rank: p.rank, Cause: p.w.abortErr})
+			}
+		}
+	}
 }
 
 // status emits a wildcard-resolution Status event.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dwst/internal/event"
+	"dwst/internal/fault"
 	"dwst/internal/trace"
 )
 
@@ -70,6 +71,14 @@ type Config struct {
 	// code. Costs one runtime.Caller lookup per call.
 	TrackCallSites bool
 
+	// RankCrashes and RankStalls are scheduled application-plane faults:
+	// a crash kills the rank's goroutine immediately before its AtCall-th
+	// MPI call (the rank emits a final RankDown event, its posted receives
+	// are tombstoned, and the rest of the world keeps running); a stall
+	// suspends the rank's progress without killing it. See package fault.
+	RankCrashes []fault.RankCrash
+	RankStalls  []fault.RankStall
+
 	// Sink observes all MPI calls. Nil means no tool is attached.
 	Sink event.Sink
 
@@ -96,6 +105,12 @@ func (e AbortError) Error() string {
 	return fmt.Sprintf("rank %d aborted: %v", e.Rank, e.Cause)
 }
 
+// rankCrashError is the panic value that unwinds a single rank's goroutine
+// when an injected RankCrash fires. Unlike AbortError it is rank-local:
+// Run's runner recovers it and the rest of the world keeps running, exactly
+// like an MPI job whose process died while its siblings continue.
+type rankCrashError struct{ rank int }
+
 // World is one simulated MPI job.
 type World struct {
 	cfg  Config
@@ -116,6 +131,9 @@ type World struct {
 	progress atomic.Uint64
 
 	finished atomic.Int32 // ranks that returned from the program
+
+	// crashed[rank] is set when an injected RankCrash killed the rank.
+	crashed []atomic.Bool
 }
 
 // NewWorld creates a world with cfg.Procs ranks.
@@ -146,7 +164,39 @@ func NewWorld(cfg Config) *World {
 	for i := range w.procs {
 		w.procs[i] = newProc(w, i)
 	}
+	w.crashed = make([]atomic.Bool, cfg.Procs)
+	for _, rc := range cfg.RankCrashes {
+		if rc.Rank < 0 || rc.Rank >= cfg.Procs {
+			continue
+		}
+		at := rc.AtCall
+		if at <= 0 {
+			at = 1
+		}
+		w.procs[rc.Rank].crashAt = at
+	}
+	for _, rs := range cfg.RankStalls {
+		if rs.Rank < 0 || rs.Rank >= cfg.Procs {
+			continue
+		}
+		if rs.AtCall <= 0 {
+			rs.AtCall = 1
+		}
+		s := rs
+		w.procs[rs.Rank].stall = &s
+	}
 	return w
+}
+
+// Calls returns the number of MPI calls the rank has issued so far. Safe
+// to call from any goroutine; the driver's progress watchdog samples it.
+func (w *World) Calls(rank int) int {
+	return int(w.procs[rank].calls.Load())
+}
+
+// RankExited reports whether an injected RankCrash has killed the rank.
+func (w *World) RankExited(rank int) bool {
+	return w.crashed[rank].Load()
 }
 
 // NumProcs returns the number of ranks.
@@ -190,6 +240,9 @@ func (w *World) Run(prog Program) error {
 				if r := recover(); r != nil {
 					if _, ok := r.(AbortError); ok {
 						return // rank unwound due to abort
+					}
+					if _, ok := r.(rankCrashError); ok {
+						return // injected rank crash; siblings keep running
 					}
 					panic(r)
 				}

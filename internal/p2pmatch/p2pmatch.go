@@ -126,6 +126,20 @@ func (e *Engine) Resolve(proc, ts, src int) []Match {
 	return nil
 }
 
+// DropRank tombstones a crashed receiving rank: its pending receives and
+// unresolved wildcards are discarded (a dead rank consumes nothing
+// further), mirroring the simulator's mailbox tombstone. Sends destined
+// to the rank are kept — they are permanently unmatchable and surface as
+// unmatched sends in the failure report. Dropping the wildcards may
+// release sends they were holding for *other* pending ops, but with the
+// rank's receives gone no further matches can involve it, so drain is not
+// needed here.
+func (e *Engine) DropRank(rank int) {
+	st := e.rank(rank)
+	st.recvs = nil
+	st.wild = nil
+}
+
 // PendingRecvs returns the number of unmatched receives of a rank.
 func (e *Engine) PendingRecvs(rank int) int { return len(e.rank(rank).recvs) }
 

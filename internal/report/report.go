@@ -34,6 +34,14 @@ type Data struct {
 	// conservatively modeled as permanently blocked.
 	Partial      bool
 	UnknownRanks []int
+	// DeadRanks are crashed application ranks, DeadLastCalls their
+	// completed call counts, and FailureBlocked the live ranks
+	// transitively blocked on them (a deadlock-by-failure report).
+	DeadRanks      []int
+	DeadLastCalls  map[int]int
+	FailureBlocked []int
+	// StalledRanks are the ranks the progress watchdog flagged.
+	StalledRanks []int
 }
 
 // DOT renders the wait-for graph of the given processes.
@@ -63,6 +71,14 @@ td, th { border: 1px solid #999; padding: 4px 8px; }
 treated as permanently blocked. Conclusions about these ranks (and
 processes waiting on them) reflect tool degradation, not necessarily
 application state.</p>{{end}}
+{{if .DeadRanks}}<p class="err">DEADLOCK BY FAILURE: application
+{{if eq (len .DeadRanks) 1}}rank{{else}}ranks{{end}} {{.DeadStr}} crashed.
+{{if .FailureBlockedStr}}Ranks {{.FailureBlockedStr}} are transitively
+blocked on the failure.{{end}} The remaining waits are unsatisfiable
+because of the process failure, not a communication cycle.</p>{{end}}
+{{if .StalledStr}}<p class="err">The progress watchdog flagged ranks
+{{.StalledStr}} as stalled: alive, not blocked in MPI, but issuing no
+calls past the quiet period.</p>{{end}}
 {{if .Cycle}}<p>Dependency cycle: {{.CycleStr}}</p>{{end}}
 <h2>Wait-for conditions</h2>
 <table>
@@ -99,8 +115,11 @@ func HTML(d *Data) string {
 			sem = "OR"
 		}
 		op := fmt.Sprintf("%v (timestamp %d)", e.Kind, e.TS)
-		if e.State == dws.Unknown {
+		switch e.State {
+		case dws.Unknown:
 			op = "unknown (tool node crashed)"
+		case dws.Crashed:
+			op = fmt.Sprintf("crashed (after %d MPI calls)", e.TS)
 		}
 		rows = append(rows, row{
 			Rank: r,
@@ -123,17 +142,29 @@ func HTML(d *Data) string {
 	for _, u := range d.UnknownRanks {
 		unk = append(unk, fmt.Sprintf("%d", u))
 	}
+	deadRanks := make([]string, 0, len(d.DeadRanks))
+	for _, rk := range d.DeadRanks {
+		if lc, ok := d.DeadLastCalls[rk]; ok {
+			deadRanks = append(deadRanks, fmt.Sprintf("%d (after %d calls)", rk, lc))
+		} else {
+			deadRanks = append(deadRanks, fmt.Sprintf("%d", rk))
+		}
+	}
 	var sb strings.Builder
 	err := htmlTmpl.Execute(&sb, map[string]any{
-		"Procs":      d.Procs,
-		"NumDead":    len(d.Deadlocked),
-		"Arcs":       d.Arcs,
-		"Cycle":      d.Cycle,
-		"CycleStr":   strings.Join(cyc, " → ") + " → " + firstCycle(cyc),
-		"Rows":       rows,
-		"Unexpected": ums,
-		"Partial":    d.Partial,
-		"UnknownStr": strings.Join(unk, ", "),
+		"Procs":             d.Procs,
+		"NumDead":           len(d.Deadlocked),
+		"Arcs":              d.Arcs,
+		"Cycle":             d.Cycle,
+		"CycleStr":          strings.Join(cyc, " → ") + " → " + firstCycle(cyc),
+		"Rows":              rows,
+		"Unexpected":        ums,
+		"Partial":           d.Partial,
+		"UnknownStr":        strings.Join(unk, ", "),
+		"DeadRanks":         d.DeadRanks,
+		"DeadStr":           strings.Join(deadRanks, ", "),
+		"FailureBlockedStr": joinInts(d.FailureBlocked),
+		"StalledStr":        joinInts(d.StalledRanks),
 	})
 	if err != nil {
 		return fmt.Sprintf("<html><body>report generation failed: %v</body></html>", err)
@@ -146,6 +177,14 @@ func firstCycle(cyc []string) string {
 		return ""
 	}
 	return cyc[0]
+}
+
+func joinInts(xs []int) string {
+	ss := make([]string, 0, len(xs))
+	for _, x := range xs {
+		ss = append(ss, fmt.Sprintf("%d", x))
+	}
+	return strings.Join(ss, ", ")
 }
 
 // HTMLFromWaitInfo renders a deadlock report from reference wait-state

@@ -103,6 +103,10 @@ type Handler interface {
 type envelope struct {
 	from int
 	msg  any
+	// quiet excludes the delivery from the handled counter, so periodic
+	// bookkeeping traffic (watchdog heartbeats) cannot keep deferring the
+	// driver's quiescence-based detection trigger.
+	quiet bool
 }
 
 // timed is a queued message with its earliest delivery time.
@@ -409,6 +413,23 @@ func (t *Tree) Inject(rank int, ev any) error {
 	}
 }
 
+// InjectQuiet delivers an application event like Inject but without
+// counting it: the delivery bumps neither Injected nor Handled, so
+// periodic probes (watchdog heartbeats) do not look like tool activity to
+// the quiescence detector. FIFO order with regular events is preserved —
+// both travel the same per-rank link.
+func (t *Tree) InjectQuiet(rank int, ev any) error {
+	n := t.leafNode[rank]
+	select {
+	case n.events <- envelope{from: rank, msg: ev, quiet: true}:
+		return nil
+	case <-n.dead:
+		return ErrNodeDown
+	case <-t.quit:
+		return ErrStopped
+	}
+}
+
 // Injected returns the number of injected application events.
 func (t *Tree) Injected() uint64 { return t.injected.Load() }
 
@@ -609,7 +630,9 @@ func (n *Node) loop() {
 			case env := <-n.fromBelow.out:
 				n.dispatchChild(env)
 			case env := <-n.events:
-				n.tree.handled.Add(1)
+				if !env.quiet {
+					n.tree.handled.Add(1)
+				}
 				n.handler.FromRank(env.from, env.msg)
 			case <-hbC:
 			case <-n.dead:

@@ -125,6 +125,105 @@ func TestTransportCombinedFaultsBothDirections(t *testing.T) {
 	}
 }
 
+// TestCrashOfRootChildReattachesToRoot crashes a direct child of the root
+// (Leaves:8 FanIn:2 → layers 4/2/1, so a layer-1 victim's grandparent IS
+// the root): its orphans must be spliced onto the root itself, with frame
+// migration preserving at-least-once delivery across the splice.
+func TestCrashOfRootChildReattachesToRoot(t *testing.T) {
+	var downMu sync.Mutex
+	var down []*Node
+	tr := New(Config{Leaves: 8, FanIn: 2, Fault: &fault.Plan{
+		Seed:      2,
+		Heartbeat: 2 * time.Millisecond,
+		DeadAfter: 300 * time.Millisecond,
+		Crashes:   []fault.Crash{{Layer: 1, Index: 0, After: 5 * time.Millisecond}},
+	}, OnNodeDown: func(n *Node) {
+		downMu.Lock()
+		down = append(down, n)
+		downMu.Unlock()
+	}})
+	recs := startRecording(tr)
+	defer tr.Stop()
+
+	victim := tr.layers[1][0]
+	root := tr.Root()
+	if victim.parent != root {
+		t.Fatalf("topology: victim's parent is layer %d, want the root", victim.parent.Layer())
+	}
+	src := tr.FirstLayer()[0] // child of the victim
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		src.SendUp(i)
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	waitFor(t, func() bool {
+		downMu.Lock()
+		defer downMu.Unlock()
+		return len(down) >= 1
+	})
+	downMu.Lock()
+	if down[0] != victim || len(down) != 1 {
+		downMu.Unlock()
+		t.Fatalf("supervisor reaped %d nodes, want only the victim", len(down))
+	}
+	downMu.Unlock()
+	tr.topo.Lock()
+	newParent := src.parent
+	spliced := true
+	for _, c := range root.children {
+		if c == victim {
+			spliced = false
+		}
+	}
+	tr.topo.Unlock()
+	if newParent != root {
+		t.Fatalf("orphan reattached to layer %d index %d, want the root itself",
+			newParent.Layer(), newParent.Index())
+	}
+	if !spliced {
+		t.Fatal("dead node still among the root's children")
+	}
+
+	// At-least-once across the splice: messages reached the victim before
+	// the crash or were replayed straight to the root after it.
+	waitFor(t, func() bool {
+		recs[victim].mu.Lock()
+		recs[root].mu.Lock()
+		total := len(recs[victim].child) + len(recs[root].child)
+		recs[root].mu.Unlock()
+		recs[victim].mu.Unlock()
+		return total >= n
+	})
+	time.Sleep(20 * time.Millisecond)
+	seen := map[int]bool{}
+	recs[victim].mu.Lock()
+	for _, v := range recs[victim].child {
+		seen[v.(int)] = true
+	}
+	recs[victim].mu.Unlock()
+	recs[root].mu.Lock()
+	for _, v := range recs[root].child {
+		seen[v.(int)] = true
+	}
+	before := len(recs[root].child)
+	recs[root].mu.Unlock()
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("message %d lost across the crash", i)
+		}
+	}
+
+	// Post-splice traffic flows leaf → root directly.
+	src.SendUp(n)
+	waitFor(t, func() bool {
+		recs[root].mu.Lock()
+		defer recs[root].mu.Unlock()
+		return len(recs[root].child) > before
+	})
+}
+
 func TestCrashReattachesChildrenToGrandparent(t *testing.T) {
 	var downMu sync.Mutex
 	var down []*Node

@@ -16,6 +16,22 @@ import (
 // single seed.
 const Env = "MUST_TEST_SEED"
 
+// RunsEnv scales the seed ranges of the chaos suite: when set to N, seeded
+// chaos tests run N seeds instead of their in-repo default. CI's nightly
+// profile sets MUST_CHAOS_RUNS=500; the short PR shard leaves it unset.
+const RunsEnv = "MUST_CHAOS_RUNS"
+
+// ChaosRuns returns the number of seeds a chaos test should run: the
+// MUST_CHAOS_RUNS override when set and positive, def otherwise.
+func ChaosRuns(def int64) int64 {
+	if s := os.Getenv(RunsEnv); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
 // Run invokes fn once per seed in [lo, hi), each as a subtest named
 // "seed=N". When MUST_TEST_SEED is set, only that seed runs (even outside
 // [lo, hi)), which turns any reported failure into a one-line repro.

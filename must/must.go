@@ -42,6 +42,24 @@ type FaultRule = fault.Rule
 // Crash re-exports fault.Crash.
 type Crash = fault.Crash
 
+// RankCrash re-exports fault.RankCrash (application rank dies mid-run).
+type RankCrash = fault.RankCrash
+
+// RankStall re-exports fault.RankStall (application rank stops issuing
+// MPI calls without blocking — sleep or livelock).
+type RankStall = fault.RankStall
+
+// Verdict re-exports detect.Verdict, the run classification.
+type Verdict = detect.Verdict
+
+// Verdict values.
+const (
+	VerdictNone              = detect.VerdictNone
+	VerdictDeadlock          = detect.VerdictDeadlock
+	VerdictDeadlockByFailure = detect.VerdictDeadlockByFailure
+	VerdictStalled           = detect.VerdictStalled
+)
+
 // Mode selects the tool architecture.
 type Mode int
 
@@ -78,6 +96,11 @@ type Options struct {
 	// aborts and retries it under a fresh epoch (default 2s). Distributed
 	// mode only.
 	SnapshotDeadline time.Duration
+	// WatchdogQuiet enables the progress watchdog: a rank that is alive,
+	// not blocked in MPI, and issues no call for longer than this period is
+	// flagged Stalled. Zero (the default) disables the watchdog and its
+	// heartbeat traffic entirely. Distributed mode only.
+	WatchdogQuiet time.Duration
 
 	// TrackCallSites records the application source line of every MPI call
 	// so wait-for conditions and reports point at code (one runtime.Caller
@@ -145,6 +168,21 @@ type Report struct {
 	// LostMessages counts sends that never matched any receive; meaningful
 	// when the application completed (AppAborted == false).
 	LostMessages int
+
+	// Verdict classifies the run: none, deadlock (a communication cycle),
+	// deadlock-by-failure (waits unsatisfiable because ranks crashed), or
+	// stalled (progress watchdog fired without a deadlock).
+	Verdict Verdict
+	// DeadRanks lists crashed application ranks; DeadLastCalls maps each to
+	// its completed MPI call count; FailureBlocked lists the live ranks
+	// transitively blocked on the failure.
+	DeadRanks      []int
+	DeadLastCalls  map[int]int
+	FailureBlocked []int
+	// StalledRanks lists ranks the progress watchdog flagged; WatchdogFires
+	// counts detections that reported at least one stalled rank.
+	StalledRanks  []int
+	WatchdogFires int
 
 	// Partial marks a degraded report: tool nodes hosting UnknownRanks
 	// crashed, so those ranks' wait states are unknown (conservatively
@@ -236,6 +274,7 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		LinkDelay:                opts.LinkDelay,
 		Fault:                    opts.Fault,
 		SnapshotDeadline:         opts.SnapshotDeadline,
+		WatchdogQuiet:            opts.WatchdogQuiet,
 		SendMode:                 mode,
 		BufferSlots:              opts.BufferSlots,
 		BufferedSendCost:         opts.BufferedSendCost,
@@ -250,6 +289,12 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		ToolNodes:       res.ToolNodes,
 		WindowHighWater: res.WindowHighWater,
 		AppAborted:      res.AppErr != nil,
+		Verdict:         res.Verdict,
+		DeadRanks:       res.DeadRanks,
+		DeadLastCalls:   res.DeadLastCalls,
+		FailureBlocked:  res.FailureBlocked,
+		StalledRanks:    res.StalledRanks,
+		WatchdogFires:   res.WatchdogFires,
 		CallMismatches:  res.CallMismatches,
 		LostMessages:    res.LostMessages,
 		Partial:         res.Partial,
