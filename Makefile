@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos short ci
+.PHONY: all build vet test race chaos short fuzz ci
 
 all: build vet test
 
@@ -24,5 +24,11 @@ chaos:
 # Short shard: unit tests plus a small chaos slice; skips `go run` smoke tests.
 short:
 	$(GO) test -short -race ./...
+
+# Native Go fuzzing of the reliable-transport resequencer (30s by default;
+# override with FUZZTIME=5m etc.).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzResequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/tbon/
 
 ci: vet build race

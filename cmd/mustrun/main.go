@@ -54,8 +54,16 @@ func main() {
 		rankStall = flag.String("rank-stall", "", "stall application ranks: rank:atCall:dur[:busy],... (dur 0 = forever)")
 		wdQuiet   = flag.Duration("watchdog-quiet", 0, "progress watchdog quiet period (0 = disabled)")
 		statsJSON = flag.String("stats-json", "", "write run statistics as JSON to this file (- for stdout)")
+
+		recoverNodes = flag.Bool("recover", true, "exact recovery of crashed first-layer tool nodes (journal replay); active when a fault plan is configured")
+		journalCap   = flag.Int("journal-cap", 0, "recovery journal suffix cap forcing a checkpoint (0 = default 512)")
 	)
 	flag.Parse()
+
+	if err := validateFaultFlags(*faultDrop, *faultDup, *faultReord, *journalCap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	prog, err := buildWorkload(*wl, *iters)
 	if err != nil {
@@ -104,6 +112,8 @@ func main() {
 		}
 		plan.RankCrashes = rankCrashes
 		plan.RankStalls = rankStalls
+		plan.Recover = *recoverNodes
+		plan.JournalCap = *journalCap
 		opts.Fault = plan
 	}
 
@@ -134,6 +144,10 @@ func main() {
 	if faultActive {
 		fmt.Printf("fault-plane: seed=%d retransmits=%d abandoned=%d dropped-events=%d snapshot-retries=%d\n",
 			*faultSeed, rep.Retransmits, rep.AbandonedFrames, rep.DroppedEvents, rep.SnapshotRetries)
+		if rep.Recoveries > 0 {
+			fmt.Printf("recovery: %d first-layer node(s) rebuilt exactly — %d journal entries replayed in %v (journal high water %d)\n",
+				rep.Recoveries, rep.ReplayedMsgs, rep.ReplayTime.Round(time.Microsecond), rep.JournalHighWater)
+		}
 	}
 	for _, m := range rep.CallMismatches {
 		fmt.Println("ERROR:", m)
@@ -182,54 +196,62 @@ func main() {
 // runStats is the -stats-json schema: one flat object per run so CI jobs
 // and the chaos suite can diff outcomes across seeds.
 type runStats struct {
-	Workload        string      `json:"workload"`
-	Procs           int         `json:"procs"`
-	Mode            string      `json:"mode"`
-	Verdict         string      `json:"verdict"`
-	Deadlock        bool        `json:"deadlock"`
-	PotentialOnly   bool        `json:"potential_only"`
-	Deadlocked      []int       `json:"deadlocked,omitempty"`
-	DeadRanks       []int       `json:"dead_ranks,omitempty"`
-	DeadLastCalls   map[int]int `json:"dead_last_calls,omitempty"`
-	FailureBlocked  []int       `json:"failure_blocked,omitempty"`
-	StalledRanks    []int       `json:"stalled_ranks,omitempty"`
-	WatchdogFires   int         `json:"watchdog_fires"`
-	Retransmits     uint64      `json:"retransmits"`
-	AbandonedFrames uint64      `json:"abandoned_frames"`
-	DroppedEvents   int         `json:"dropped_events"`
-	SnapshotRetries int         `json:"snapshot_retries"`
-	Partial         bool        `json:"partial"`
-	UnknownRanks    []int       `json:"unknown_ranks,omitempty"`
-	Detections      int         `json:"detections"`
-	ToolNodes       int         `json:"tool_nodes"`
-	LostMessages    int         `json:"lost_messages"`
-	ElapsedMS       int64       `json:"elapsed_ms"`
+	Workload         string      `json:"workload"`
+	Procs            int         `json:"procs"`
+	Mode             string      `json:"mode"`
+	Verdict          string      `json:"verdict"`
+	Deadlock         bool        `json:"deadlock"`
+	PotentialOnly    bool        `json:"potential_only"`
+	Deadlocked       []int       `json:"deadlocked,omitempty"`
+	DeadRanks        []int       `json:"dead_ranks,omitempty"`
+	DeadLastCalls    map[int]int `json:"dead_last_calls,omitempty"`
+	FailureBlocked   []int       `json:"failure_blocked,omitempty"`
+	StalledRanks     []int       `json:"stalled_ranks,omitempty"`
+	WatchdogFires    int         `json:"watchdog_fires"`
+	Retransmits      uint64      `json:"retransmits"`
+	AbandonedFrames  uint64      `json:"abandoned_frames"`
+	DroppedEvents    int         `json:"dropped_events"`
+	SnapshotRetries  int         `json:"snapshot_retries"`
+	Partial          bool        `json:"partial"`
+	UnknownRanks     []int       `json:"unknown_ranks,omitempty"`
+	Recoveries       int         `json:"recoveries"`
+	JournalHighWater int         `json:"journal_high_water"`
+	ReplayedMsgs     int         `json:"replayed_msgs"`
+	ReplayMS         int64       `json:"replay_ms"`
+	Detections       int         `json:"detections"`
+	ToolNodes        int         `json:"tool_nodes"`
+	LostMessages     int         `json:"lost_messages"`
+	ElapsedMS        int64       `json:"elapsed_ms"`
 }
 
 func writeStats(path, wl string, procs int, mode string, rep *must.Report) {
 	st := runStats{
-		Workload:        wl,
-		Procs:           procs,
-		Mode:            mode,
-		Verdict:         rep.Verdict.String(),
-		Deadlock:        rep.Deadlock,
-		PotentialOnly:   rep.PotentialOnly,
-		Deadlocked:      rep.Deadlocked,
-		DeadRanks:       rep.DeadRanks,
-		DeadLastCalls:   rep.DeadLastCalls,
-		FailureBlocked:  rep.FailureBlocked,
-		StalledRanks:    rep.StalledRanks,
-		WatchdogFires:   rep.WatchdogFires,
-		Retransmits:     rep.Retransmits,
-		AbandonedFrames: rep.AbandonedFrames,
-		DroppedEvents:   rep.DroppedEvents,
-		SnapshotRetries: rep.SnapshotRetries,
-		Partial:         rep.Partial,
-		UnknownRanks:    rep.UnknownRanks,
-		Detections:      rep.Detections,
-		ToolNodes:       rep.ToolNodes,
-		LostMessages:    rep.LostMessages,
-		ElapsedMS:       rep.Elapsed.Milliseconds(),
+		Workload:         wl,
+		Procs:            procs,
+		Mode:             mode,
+		Verdict:          rep.Verdict.String(),
+		Deadlock:         rep.Deadlock,
+		PotentialOnly:    rep.PotentialOnly,
+		Deadlocked:       rep.Deadlocked,
+		DeadRanks:        rep.DeadRanks,
+		DeadLastCalls:    rep.DeadLastCalls,
+		FailureBlocked:   rep.FailureBlocked,
+		StalledRanks:     rep.StalledRanks,
+		WatchdogFires:    rep.WatchdogFires,
+		Retransmits:      rep.Retransmits,
+		AbandonedFrames:  rep.AbandonedFrames,
+		DroppedEvents:    rep.DroppedEvents,
+		SnapshotRetries:  rep.SnapshotRetries,
+		Partial:          rep.Partial,
+		UnknownRanks:     rep.UnknownRanks,
+		Recoveries:       rep.Recoveries,
+		JournalHighWater: rep.JournalHighWater,
+		ReplayedMsgs:     rep.ReplayedMsgs,
+		ReplayMS:         rep.ReplayTime.Milliseconds(),
+		Detections:       rep.Detections,
+		ToolNodes:        rep.ToolNodes,
+		LostMessages:     rep.LostMessages,
+		ElapsedMS:        rep.Elapsed.Milliseconds(),
 	}
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
@@ -256,6 +278,24 @@ func deadRankStr(rep *must.Report) string {
 		}
 	}
 	return strings.Join(parts, ", ")
+}
+
+// validateFaultFlags rejects out-of-range fault and recovery flag values
+// before any work starts: a bad probability or cap silently clamped would
+// make chaos-run results lie about what was injected.
+func validateFaultFlags(drop, dup, reorder float64, journalCap int) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"-fault-drop", drop}, {"-fault-dup", dup}, {"-fault-reorder", reorder}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("bad %s %v: want a probability in [0, 1]", p.name, p.v)
+		}
+	}
+	if journalCap < 0 {
+		return fmt.Errorf("bad -journal-cap %d: want >= 0 (0 = default)", journalCap)
+	}
+	return nil
 }
 
 // parseRankCrashes parses "rank[:atCall]" comma-separated specs.

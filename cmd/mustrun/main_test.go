@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestValidateFaultFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		drop, dup  float64
+		reorder    float64
+		journalCap int
+		wantErr    bool
+	}{
+		{"all zero", 0, 0, 0, 0, false},
+		{"valid rates", 0.5, 1, 0.01, 512, false},
+		{"negative drop", -0.1, 0, 0, 0, true},
+		{"drop above one", 1.1, 0, 0, 0, true},
+		{"negative dup", 0, -1, 0, 0, true},
+		{"negative reorder", 0, 0, -0.5, 0, true},
+		{"negative journal cap", 0, 0, 0, -1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFaultFlags(c.drop, c.dup, c.reorder, c.journalCap)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateFaultFlags(%v, %v, %v, %d) error = %v, wantErr %v",
+					c.drop, c.dup, c.reorder, c.journalCap, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRankCrashesRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{"x", "1:2:3", "1:", ":5", "1,,2"} {
+		if _, err := parseRankCrashes(spec); err == nil {
+			t.Errorf("parseRankCrashes(%q) accepted malformed spec", spec)
+		}
+	}
+	out, err := parseRankCrashes("2:5,7")
+	if err != nil || len(out) != 2 || out[0].Rank != 2 || out[0].AtCall != 5 || out[1].Rank != 7 || out[1].AtCall != 1 {
+		t.Fatalf("parseRankCrashes(\"2:5,7\") = %v, %v", out, err)
+	}
+}
+
+func TestParseRankStallsRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{"1", "1:2", "a:2:5ms", "1:b:5ms", "1:2:zz", "1:2:5ms:spin"} {
+		if _, err := parseRankStalls(spec); err == nil {
+			t.Errorf("parseRankStalls(%q) accepted malformed spec", spec)
+		}
+	}
+	out, err := parseRankStalls("3:4:0:busy")
+	if err != nil || len(out) != 1 || out[0].Rank != 3 || out[0].AtCall != 4 || out[0].For != 0 || !out[0].Busy {
+		t.Fatalf("parseRankStalls(\"3:4:0:busy\") = %v, %v", out, err)
+	}
+}

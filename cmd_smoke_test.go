@@ -84,9 +84,26 @@ func TestCmdMustrunFaultFlags(t *testing.T) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
 	}
-	// First-layer crash: degraded mode, report flagged partial.
+	// First-layer crash with the default -recover: the node is rebuilt by
+	// journal replay and the report is NOT partial.
 	out, code = goRun(t, "./cmd/mustrun", "-workload", "recvrecv", "-procs", "8",
 		"-fanin", "2", "-fault-crash-node", "1", "-fault-crash-after", "15ms")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"DEADLOCK", "recovery: 1 first-layer node(s) rebuilt exactly",
+		"deadlocked ranks: [0 1 2 3 4 5 6 7]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PARTIAL REPORT") {
+		t.Fatalf("recovered run still flagged partial:\n%s", out)
+	}
+	// Same crash with -recover=false: degraded mode, report flagged partial.
+	out, code = goRun(t, "./cmd/mustrun", "-workload", "recvrecv", "-procs", "8",
+		"-fanin", "2", "-fault-crash-node", "1", "-fault-crash-after", "15ms",
+		"-recover=false")
 	if code != 1 {
 		t.Fatalf("exit = %d\n%s", code, out)
 	}
@@ -94,6 +111,13 @@ func TestCmdMustrunFaultFlags(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
+	}
+	// Malformed fault flags must be rejected at startup (exit 2; `go run`
+	// reports the child's code as "exit status 2" text and exits 1 itself).
+	out, code = goRun(t, "./cmd/mustrun", "-workload", "recvrecv", "-fault-drop", "1.5")
+	if code == 0 || !strings.Contains(out, "exit status 2") ||
+		!strings.Contains(out, "bad -fault-drop") {
+		t.Fatalf("bad -fault-drop not rejected with exit 2 (code %d):\n%s", code, out)
 	}
 }
 

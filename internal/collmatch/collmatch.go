@@ -149,6 +149,16 @@ func (l *Leaf) Activate(comm trace.CommID, wave int, world bool, kind trace.Kind
 	return Ready{}, false, mism
 }
 
+// Clone returns a deep copy of the leaf tracker for checkpointing.
+func (l *Leaf) Clone() *Leaf {
+	cl := &Leaf{id: l.id, hosted: l.hosted, active: make(map[waveKey]*leafWave, len(l.active))}
+	for k, lw := range l.active {
+		cp := *lw
+		cl.active[k] = &cp
+	}
+	return cl
+}
+
 // Aggregator merges Ready messages at an internal node.
 type Aggregator struct {
 	children    int

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"dwst/internal/dws"
 	"dwst/internal/event"
 	"dwst/internal/fault"
+	"dwst/internal/journal"
 	"dwst/internal/mpisim"
 	"dwst/internal/tbon"
 )
@@ -138,6 +140,18 @@ type Result struct {
 	// WatchdogFires counts detections that flagged at least one stalled
 	// rank.
 	WatchdogFires int
+
+	// Recoveries counts crashed first-layer nodes rebuilt exactly by
+	// respawn + journal replay (fault plan with Recover).
+	Recoveries int
+	// JournalHighWater is the largest live journal suffix observed across
+	// first-layer slots — the bounded-memory witness: with watermark GC it
+	// tracks outstanding work, not total events.
+	JournalHighWater int
+	// ReplayedMsgs counts journal entries re-applied during recoveries,
+	// and ReplayTime the total wall clock spent replaying.
+	ReplayedMsgs int
+	ReplayTime   time.Duration
 }
 
 // handler adapts one tbon node to its tool roles: first-layer wait-state
@@ -147,6 +161,100 @@ type handler struct {
 	leaf *dws.Node
 	agg  *collmatch.Aggregator
 	root *detect.Root
+	jr   *journalRec // first-layer write-ahead journal (nil = recovery off)
+}
+
+// Journal entry kinds: which dws entry point replays the payload.
+const (
+	kindRankEvent = iota // event.Event → OnEvent
+	kindPeer             // peerMsg → OnPeer
+	kindCollAck          // collmatch.Ack → OnCollAck
+	kindRankDown         // dws.RankDown → OnRankDown
+	kindPeerDown         // dws.PeerDown → OnPeerDown
+)
+
+// Journal origin namespaces. Rank events use the rank id itself (>= 0);
+// peer messages from slot p use originPeer0 - p; all downward root/parent
+// messages share one FIFO link and one origin.
+const (
+	originDown  = -1
+	originPeer0 = -2
+)
+
+// peerMsg is the journal payload for an intralayer wait-state message.
+type peerMsg struct {
+	From int
+	Msg  any
+}
+
+// journalRec is one handler incarnation's view of its slot journal: the
+// fenced incarnation token, per-origin sequence counters (continuing the
+// numbering of previous incarnations), and the checkpoint policy state.
+type journalRec struct {
+	j           *journal.Journal
+	inc         uint64
+	cap         int // suffix length forcing a checkpoint
+	lastRetired int // leaf.RetiredOps() at the last checkpoint
+	seqs        map[int]uint64
+}
+
+func (jr *journalRec) append(origin, kind int, payload any) {
+	seq, ok := jr.seqs[origin]
+	if !ok {
+		seq = jr.j.NextSeq(origin)
+	}
+	jr.seqs[origin] = seq + 1
+	jr.j.Append(jr.inc, journal.Entry{Origin: origin, Seq: seq, Kind: kind, Payload: payload})
+}
+
+// maybeCheckpoint applies the checkpoint policy after a journaled input:
+// cut when enough operations retired since the last cut (the journal then
+// holds mostly dead history) or when the suffix hit the hard cap.
+func (h *handler) maybeCheckpoint() {
+	const retireEvery = 64
+	jr := h.jr
+	if jr == nil {
+		return
+	}
+	if jr.j.Len() < jr.cap && h.leaf.RetiredOps()-jr.lastRetired < retireEvery {
+		return
+	}
+	h.checkpointNow()
+}
+
+// checkpointNow cuts a checkpoint immediately (no-op while a snapshot is
+// in flight — dws.Checkpoint refuses and the next input retries).
+func (h *handler) checkpointNow() {
+	jr := h.jr
+	if jr == nil {
+		return
+	}
+	if m := h.leaf.Checkpoint(); m != nil {
+		if jr.j.Checkpoint(jr.inc, m) {
+			jr.lastRetired = h.leaf.RetiredOps()
+		}
+	}
+}
+
+// replayEntry re-applies one journal entry to a restored leaf. The leaf's
+// out surface is dws.Discard during replay: everything a replayed input
+// would emit was already emitted by the crashed incarnation and lives on in
+// the reliable transport's migrated outboxes.
+func replayEntry(leaf *dws.Node, e journal.Entry) {
+	switch e.Kind {
+	case kindRankEvent:
+		leaf.OnEvent(e.Payload.(event.Event))
+	case kindPeer:
+		p := e.Payload.(peerMsg)
+		leaf.OnPeer(p.From, p.Msg)
+	case kindCollAck:
+		leaf.OnCollAck(e.Payload.(collmatch.Ack))
+	case kindRankDown:
+		m := e.Payload.(dws.RankDown)
+		leaf.OnRankDown(m.Rank, m.LastCall)
+	case kindPeerDown:
+		leaf.OnPeerDown(e.Payload.(dws.PeerDown).Node)
+	}
 }
 
 // tbonOut adapts a tbon node to the dws.Out interface.
@@ -156,11 +264,28 @@ func (o tbonOut) Peer(node int, msg any) { o.tn.SendPeer(node, msg) }
 func (o tbonOut) Up(msg any)             { o.tn.SendUp(msg) }
 
 func (h *handler) FromRank(rank int, ev any) {
-	h.leaf.OnEvent(ev.(event.Event))
+	e := ev.(event.Event)
+	if h.jr != nil && e.Type != event.Heartbeat {
+		// Write-ahead: journal before the state transition, so a crash
+		// between the two replays the input instead of losing it.
+		// Heartbeats only feed the watchdog clock, which Restore resets.
+		h.jr.append(rank, kindRankEvent, e)
+	}
+	h.leaf.OnEvent(e)
+	h.maybeCheckpoint()
 }
 
 func (h *handler) FromPeer(peer int, msg any) {
+	if h.jr != nil {
+		switch msg.(type) {
+		case dws.PassSend, dws.RecvActive, dws.RecvActiveAck:
+			// Only the wait-state messages mutate recoverable state;
+			// snapshot ping-pong belongs to an epoch that a crash aborts.
+			h.jr.append(originPeer0-peer, kindPeer, peerMsg{From: peer, Msg: msg})
+		}
+	}
 	h.leaf.OnPeer(peer, msg)
+	h.maybeCheckpoint()
 }
 
 // FromChild receives upward tool traffic: on interior nodes collectiveReady
@@ -228,6 +353,18 @@ func (h *handler) Control(msg any) {
 			h.down(dws.AbortSnapshot{Epoch: ep})
 		}
 	case detect.NodeDown:
+		if m.Recovered {
+			// Exact recovery: the replacement rebuilt the dead incarnation's
+			// state from its journal and the unacked frames migrated with the
+			// links, so nothing was lost and nobody degrades. The only stale
+			// thing is an in-flight snapshot epoch the dead incarnation never
+			// acknowledged — abort it; the driver's deadline retry (or the
+			// next quiescence) starts a fresh one against the replacement.
+			if ep := h.root.Abort(); ep != 0 {
+				h.down(dws.AbortSnapshot{Epoch: ep})
+			}
+			return
+		}
 		// The dead node may have held partially aggregated collective waves
 		// and unacked leaf state; flush the root's own aggregator and make
 		// every survivor resynchronize.
@@ -261,7 +398,11 @@ func (h *handler) down(msg any) {
 func (h *handler) applyDown(msg any) {
 	switch m := msg.(type) {
 	case collmatch.Ack:
+		if h.jr != nil {
+			h.jr.append(originDown, kindCollAck, m)
+		}
 		h.leaf.OnCollAck(m)
+		h.maybeCheckpoint()
 	case collmatch.Resync:
 		h.leaf.ResendReady()
 	case dws.RequestConsistentState:
@@ -269,17 +410,26 @@ func (h *handler) applyDown(msg any) {
 	case dws.AbortSnapshot:
 		h.leaf.Abort(m.Epoch)
 	case dws.PeerDown:
+		if h.jr != nil {
+			h.jr.append(originDown, kindPeerDown, m)
+		}
 		h.leaf.OnPeerDown(m.Node)
 	case dws.RequestWaits:
 		rep, ok := h.leaf.BuildReports(m.Epoch)
 		if !ok {
 			return // stale request of an aborted attempt
 		}
+		// Epoch commit: the leaf just thawed and drained its deferred
+		// events — the canonical moment to advance the journal watermark.
+		h.checkpointNow()
 		h.up(rep)
 	case dws.RankDown:
 		// Root rebroadcast of an application rank's death: every leaf
 		// tombstones the rank's matching state (idempotent — the hosting
 		// leaf already did when it processed the terminal event).
+		if h.jr != nil {
+			h.jr.append(originDown, kindRankDown, m)
+		}
 		h.leaf.OnRankDown(m.Rank, m.LastCall)
 	default:
 		panic(fmt.Sprintf("core: unexpected downward message %T", msg))
@@ -329,6 +479,9 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		cfg.SnapshotDeadline = 2 * time.Second
 	}
 
+	journaling := cfg.Fault != nil && cfg.Fault.Recover && !cfg.Fault.DisableRetransmit
+	var replayedMsgs, replayNanos atomic.Int64
+
 	var tree *tbon.Tree
 	tree = tbon.New(tbon.Config{
 		Leaves:          cfg.Procs,
@@ -346,18 +499,68 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			}
 			tree.Control(tree.Root(), nd)
 		},
+		OnNodeRecovered: func(n *tbon.Node) {
+			// The replacement already replayed its journal inside mkHandler;
+			// tell the root nothing was lost, but abort any snapshot epoch
+			// the dead incarnation left hanging.
+			tree.Control(tree.Root(), detect.NodeDown{
+				Node: n.Index(), Ranks: tree.RanksOf(n.Index()), Recovered: true,
+			})
+		},
 	})
 	defer tree.Stop()
 
 	root := detect.NewRoot(cfg.Procs, len(tree.FirstLayer()))
-	var leaves []*dws.Node
+
+	// One journal per first-layer slot, shared by every incarnation of the
+	// node hosted there; slotLeaf tracks the current incarnation's dws node
+	// (a replacement's stats continue its predecessor's via the memento).
+	journals := make([]*journal.Journal, len(tree.FirstLayer()))
+	if journaling {
+		for i := range journals {
+			journals[i] = journal.New()
+		}
+	}
+	jcap := 512
+	if cfg.Fault != nil && cfg.Fault.JournalCap > 0 {
+		jcap = cfg.Fault.JournalCap
+	}
+	var leafMu sync.Mutex
+	slotLeaf := make(map[int]*dws.Node)
 
 	tree.Start(func(n *tbon.Node) tbon.Handler {
 		h := &handler{tn: n}
 		if n.IsFirstLayer() {
-			h.leaf = dws.NewNode(n.Index(), n.Tree().RanksOf(n.Index()), n.Tree().NodeFor, tbonOut{tn: n})
+			idx := n.Index()
+			h.leaf = dws.NewNode(idx, n.Tree().RanksOf(idx), n.Tree().NodeFor, tbonOut{tn: n})
 			h.leaf.SetWatchdogQuiet(cfg.WatchdogQuiet)
-			leaves = append(leaves, h.leaf)
+			if journaling {
+				j := journals[idx]
+				h.jr = &journalRec{j: j, inc: j.Fence(), cap: jcap, seqs: make(map[int]uint64)}
+				base, suffix := j.Snapshot()
+				if base != nil || len(suffix) > 0 {
+					// Respawn of a crashed slot: rebuild the dead
+					// incarnation's exact state — restore the checkpoint,
+					// replay the suffix with sends discarded (the originals
+					// live on in the migrated transport outboxes), then cut
+					// a fresh checkpoint so repeated crashes replay little.
+					begin := time.Now()
+					h.leaf.SetOut(dws.Discard)
+					if base != nil {
+						h.leaf.Restore(base.(*dws.Memento))
+					}
+					for _, e := range suffix {
+						replayEntry(h.leaf, e)
+					}
+					h.leaf.SetOut(tbonOut{tn: n})
+					replayedMsgs.Add(int64(len(suffix)))
+					replayNanos.Add(int64(time.Since(begin)))
+					h.checkpointNow()
+				}
+			}
+			leafMu.Lock()
+			slotLeaf[idx] = h.leaf
+			leafMu.Unlock()
 		}
 		if n.Layer() > 0 {
 			h.agg = collmatch.NewAggregator(len(n.Children()))
@@ -476,10 +679,28 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			}
 			res.AppErr = appErr
 			res.SnapshotRetries = root.Aborted()
+			tree.Stop() // idempotent; quiesces node loops and the supervisor
+			leafMu.Lock()
+			leaves := make([]*dws.Node, 0, len(slotLeaf))
+			for _, l := range slotLeaf {
+				leaves = append(leaves, l)
+			}
+			leafMu.Unlock()
 			res.WindowHighWater = windowHighWater(tree, leaves)
 			res.DroppedEvents = int(dropped.Load())
 			res.Retransmits = tree.Retransmits()
 			res.AbandonedFrames = tree.Abandoned()
+			res.Recoveries = int(tree.Recoveries())
+			for _, j := range journals {
+				if j == nil {
+					continue
+				}
+				if hw := j.HighWater(); hw > res.JournalHighWater {
+					res.JournalHighWater = hw
+				}
+			}
+			res.ReplayedMsgs = int(replayedMsgs.Load())
+			res.ReplayTime = time.Duration(replayNanos.Load())
 			// Safe after the tree stopped: node goroutines are quiescent.
 			for _, l := range leaves {
 				res.MsgStats.Add(l.Stats())

@@ -138,9 +138,14 @@ type AbortDetection struct{}
 // NodeDown is the control message the driver injects after the TBON
 // supervisor declared a tool node dead. Ranks is non-nil for first-layer
 // nodes: the application ranks whose wait state is now unknown.
+// Recovered means the node was respawned and rebuilt exactly (journal
+// replay): no state was lost and the ranks stay known — the root must NOT
+// mark the node dead, only abort a snapshot epoch the dead incarnation may
+// have left unacknowledged.
 type NodeDown struct {
-	Node  int
-	Ranks []int
+	Node      int
+	Ranks     []int
+	Recovered bool
 }
 
 // Root is the root node's tool state: collective matching completion, the

@@ -61,6 +61,16 @@ type Node struct {
 	// not), from the local terminal event or the root's rebroadcast.
 	deadRanks map[int]bool
 
+	// passSeen[sender] is the highest send timestamp already registered
+	// with matching, per sending world rank. PassSends from one rank
+	// arrive in timestamp order (per-link FIFO, and crash-recovery frame
+	// migration preserves order on both the old and the new link), so a
+	// lower-or-equal timestamp is a duplicate delivered across an
+	// incarnation boundary and must not be registered twice — the matching
+	// engine is the one peer-protocol receiver that is not naturally
+	// idempotent.
+	passSeen map[int]int
+
 	// quiet is the progress-watchdog quiet period: a hosted rank that is
 	// alive, not blocked in a call, and issued no MPI call for longer than
 	// quiet is reported Stalled. Zero disables the watchdog.
@@ -77,6 +87,10 @@ type Node struct {
 	// window statistics (Sec. 4.2 memory discussion).
 	curWindow int
 	maxWindow int
+
+	// retiredOps counts operations advanced past, the recovery plane's
+	// checkpoint trigger (journal watermark advances on op retirement).
+	retiredOps int
 
 	stats Stats
 }
@@ -182,6 +196,7 @@ func NewNode(id int, hosted []int, nodeFor func(int) int, out Out) *Node {
 		dirty:      make(map[int]bool),
 		deadPeers:  make(map[int]bool),
 		deadRanks:  make(map[int]bool),
+		passSeen:   make(map[int]int),
 		readySent:  make(map[collKey][]collmatch.Ready),
 	}
 	now := time.Now()
@@ -440,6 +455,10 @@ func (n *Node) OnPeer(from int, msg any) {
 // point matching; any produced match updates the receive and may trigger
 // recvActive.
 func (n *Node) handlePassSend(m PassSend) {
+	if last, ok := n.passSeen[m.SendProc]; ok && m.SendTS <= last {
+		return // duplicate across a crash-recovery incarnation boundary
+	}
+	n.passSeen[m.SendProc] = m.SendTS
 	n.applyMatches(n.match.AddSend(p2pmatch.SendInfo{
 		Proc: m.SendProc, TS: m.SendTS, Src: m.SrcGroup,
 		Dest: m.Dest, Tag: m.Tag, Comm: m.Comm, Kind: m.Kind,
@@ -680,6 +699,7 @@ func (n *Node) tryAdvance(rs *rankState) {
 // when nothing can still arrive for it.
 func (n *Node) retire(rs *rankState, o *opState) {
 	o.retired = true
+	n.retiredOps++
 	kind := o.op.Kind
 	switch {
 	case kind.IsNonBlockingP2P():

@@ -133,6 +133,20 @@ type Plan struct {
 	// higher-level defenses (snapshot epoch retry) in isolation.
 	DisableRetransmit bool
 
+	// Recover enables exact recovery of crashed first-layer tool nodes:
+	// instead of degrading the report (Unknown ranks), the supervisor
+	// respawns a replacement and the tool rebuilds its state by journal
+	// replay. Requires the reliable link layer (ignored when
+	// DisableRetransmit is set). Off by default so existing degradation
+	// behaviour — and the tests asserting it — are unchanged; the mustrun
+	// CLI turns it on whenever a fault plan is configured.
+	Recover bool
+
+	// JournalCap bounds the per-node journal suffix: when the live suffix
+	// exceeds the cap, the owner takes a checkpoint regardless of the
+	// retirement policy (0 = default, see internal/core).
+	JournalCap int
+
 	// Heartbeat is the node liveness beacon interval (default 5ms);
 	// DeadAfter is the silence after which the supervisor declares a
 	// node dead (default 10 heartbeats).

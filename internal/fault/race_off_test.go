@@ -1,0 +1,5 @@
+//go:build !race
+
+package fault_test
+
+const raceDetector = false

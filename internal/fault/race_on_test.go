@@ -1,0 +1,8 @@
+//go:build race
+
+package fault_test
+
+// raceDetector reports whether the suite runs under -race, whose scheduler
+// stretches snapshot freezes (journal checkpoints are refused while a leaf
+// is frozen) and so inflates timing-dependent bounds.
+const raceDetector = true

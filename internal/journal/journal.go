@@ -1,0 +1,174 @@
+// Package journal provides a bounded, append-only per-node journal of the
+// inputs that shape first-layer tool-node state: injected rank events,
+// intralayer peer messages, and downward collective acks. A crashed node's
+// replacement rebuilds exact state by restoring the latest checkpoint base
+// and deterministically replaying the suffix recorded after it.
+//
+// The journal is deliberately dependency-free: payloads are opaque `any`
+// values and the checkpoint base is whatever memento the owner stores
+// (internal/core stores a dws.Node deep copy). Three properties matter:
+//
+//   - Dedup: entries are identified by (origin, seq). Each origin issues
+//     monotonically increasing sequence numbers and the reliable transport
+//     delivers per-origin traffic in order, so an entry with seq <= the
+//     highest already accepted from that origin is a duplicate (a
+//     retransmission or a replay-induced resend) and is dropped.
+//   - Watermark GC: Checkpoint folds the current suffix into a new base and
+//     advances the watermark past it, so live memory is proportional to
+//     work recorded since the last checkpoint (outstanding ops), not to
+//     run length. The owner checkpoints on op-retirement thresholds and
+//     snapshot-epoch commits.
+//   - Fencing: every append carries an incarnation token. Fence() bumps the
+//     incarnation when a replacement node takes over, so a zombie writer —
+//     a node declared dead by the supervisor but still limping through its
+//     last dispatch — cannot corrupt the journal mid-replay.
+package journal
+
+import "sync"
+
+// Entry is one recorded input. Kind and Payload are owner-defined; the
+// journal itself only interprets Origin and Seq (for dedup).
+type Entry struct {
+	Origin  int
+	Seq     uint64
+	Kind    int
+	Payload any
+}
+
+// Journal records the inputs of one first-layer node slot. It survives the
+// node it describes: the slot's journal persists across respawns, with the
+// incarnation fence distinguishing writers.
+type Journal struct {
+	mu          sync.Mutex
+	incarnation uint64
+	base        any            // latest checkpoint memento (nil until first Checkpoint)
+	watermark   uint64         // total entries folded into base so far
+	suffix      []Entry        // entries accepted after the last checkpoint
+	lastSeq     map[int]uint64 // per-origin highest accepted seq
+	seenOrigin  map[int]bool   // origins with at least one accepted entry
+	highWater   int            // max live suffix length ever observed
+	appended    uint64
+	duplicates  uint64
+}
+
+// New returns an empty journal at incarnation 1.
+func New() *Journal {
+	return &Journal{
+		incarnation: 1,
+		lastSeq:     make(map[int]uint64),
+		seenOrigin:  make(map[int]bool),
+	}
+}
+
+// Incarnation returns the current fence token. Appends carrying any other
+// value are rejected.
+func (j *Journal) Incarnation() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.incarnation
+}
+
+// Fence invalidates the current incarnation and returns the new one. Called
+// when a replacement node takes over the slot, before replay begins.
+func (j *Journal) Fence() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.incarnation++
+	return j.incarnation
+}
+
+// Append records an entry. It returns (accepted, fenced): accepted is false
+// for (origin, seq) duplicates, fenced is true when inc is stale — a fenced
+// append is never recorded.
+func (j *Journal) Append(inc uint64, e Entry) (accepted, fenced bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if inc != j.incarnation {
+		return false, true
+	}
+	if j.seenOrigin[e.Origin] && e.Seq <= j.lastSeq[e.Origin] {
+		j.duplicates++
+		return false, false
+	}
+	j.seenOrigin[e.Origin] = true
+	j.lastSeq[e.Origin] = e.Seq
+	j.suffix = append(j.suffix, e)
+	j.appended++
+	if len(j.suffix) > j.highWater {
+		j.highWater = len(j.suffix)
+	}
+	return true, false
+}
+
+// NextSeq returns the next unused sequence number for an origin. A new
+// incarnation's writer seeds its per-origin counters from this, continuing
+// the dead incarnation's numbering so dedup keeps working across respawns.
+func (j *Journal) NextSeq(origin int) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seenOrigin[origin] {
+		return j.lastSeq[origin] + 1
+	}
+	return 0
+}
+
+// Checkpoint replaces the base memento with a fresh one and retires the
+// suffix it subsumes, advancing the watermark. The caller must pass a
+// memento capturing node state after every currently journaled entry.
+func (j *Journal) Checkpoint(inc uint64, base any) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if inc != j.incarnation {
+		return false
+	}
+	j.base = base
+	j.watermark += uint64(len(j.suffix))
+	j.suffix = j.suffix[:0]
+	return true
+}
+
+// Snapshot returns the checkpoint base and a copy of the suffix for replay.
+func (j *Journal) Snapshot() (base any, suffix []Entry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	suffix = append([]Entry(nil), j.suffix...)
+	return j.base, suffix
+}
+
+// Len is the current live suffix length (entries not yet folded into the
+// base). Owners use it against a cap to trigger checkpoints.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.suffix)
+}
+
+// HighWater is the maximum live suffix length ever observed — the bounded-
+// memory witness: under watermark GC it tracks outstanding work, not total
+// events appended.
+func (j *Journal) HighWater() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.highWater
+}
+
+// Watermark is the total number of entries folded into checkpoint bases.
+func (j *Journal) Watermark() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.watermark
+}
+
+// Appended is the total number of entries ever accepted.
+func (j *Journal) Appended() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Duplicates is the number of (origin, seq) duplicates dropped.
+func (j *Journal) Duplicates() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.duplicates
+}

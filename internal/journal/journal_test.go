@@ -1,0 +1,97 @@
+package journal
+
+import "testing"
+
+func TestAppendDedupByOriginSeq(t *testing.T) {
+	j := New()
+	inc := j.Incarnation()
+	if ok, _ := j.Append(inc, Entry{Origin: 7, Seq: 1, Payload: "a"}); !ok {
+		t.Fatal("first append rejected")
+	}
+	if ok, _ := j.Append(inc, Entry{Origin: 7, Seq: 1, Payload: "a"}); ok {
+		t.Fatal("duplicate (origin,seq) accepted")
+	}
+	if ok, _ := j.Append(inc, Entry{Origin: 7, Seq: 0, Payload: "stale"}); ok {
+		t.Fatal("stale seq accepted")
+	}
+	// Same seq from a different origin is a distinct entry.
+	if ok, _ := j.Append(inc, Entry{Origin: 8, Seq: 1, Payload: "b"}); !ok {
+		t.Fatal("distinct origin rejected")
+	}
+	if got := j.Len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	if got := j.Duplicates(); got != 2 {
+		t.Fatalf("duplicates = %d, want 2", got)
+	}
+}
+
+func TestSeqZeroAccepted(t *testing.T) {
+	j := New()
+	inc := j.Incarnation()
+	if ok, _ := j.Append(inc, Entry{Origin: 3, Seq: 0}); !ok {
+		t.Fatal("seq 0 from a fresh origin must be accepted")
+	}
+	if ok, _ := j.Append(inc, Entry{Origin: 3, Seq: 0}); ok {
+		t.Fatal("seq 0 duplicate accepted")
+	}
+}
+
+func TestFenceRejectsStaleWriter(t *testing.T) {
+	j := New()
+	old := j.Incarnation()
+	neu := j.Fence()
+	if neu == old {
+		t.Fatal("fence did not change incarnation")
+	}
+	if ok, fenced := j.Append(old, Entry{Origin: 1, Seq: 1}); ok || !fenced {
+		t.Fatalf("stale-incarnation append: accepted=%v fenced=%v, want false/true", ok, fenced)
+	}
+	if ok, fenced := j.Append(neu, Entry{Origin: 1, Seq: 1}); !ok || fenced {
+		t.Fatalf("current-incarnation append: accepted=%v fenced=%v, want true/false", ok, fenced)
+	}
+	if j.Checkpoint(old, "stale") {
+		t.Fatal("stale-incarnation checkpoint accepted")
+	}
+}
+
+func TestCheckpointAdvancesWatermarkAndBoundsSuffix(t *testing.T) {
+	j := New()
+	inc := j.Incarnation()
+	for s := uint64(1); s <= 100; s++ {
+		j.Append(inc, Entry{Origin: 1, Seq: s})
+		if j.Len() >= 10 {
+			if !j.Checkpoint(inc, int(s)) {
+				t.Fatal("checkpoint rejected")
+			}
+		}
+	}
+	if hw := j.HighWater(); hw > 10 {
+		t.Fatalf("high water %d: watermark GC failed to bound the suffix", hw)
+	}
+	if wm := j.Watermark(); wm != 100 {
+		t.Fatalf("watermark %d, want 100 (all entries folded)", wm)
+	}
+	base, suffix := j.Snapshot()
+	if base != 100 {
+		t.Fatalf("base %v, want 100", base)
+	}
+	if len(suffix) != 0 {
+		t.Fatalf("suffix len %d, want 0", len(suffix))
+	}
+	if j.Appended() != 100 {
+		t.Fatalf("appended %d, want 100", j.Appended())
+	}
+}
+
+func TestSnapshotCopiesSuffix(t *testing.T) {
+	j := New()
+	inc := j.Incarnation()
+	j.Append(inc, Entry{Origin: 1, Seq: 1, Payload: "x"})
+	_, suf := j.Snapshot()
+	suf[0].Payload = "mutated"
+	_, suf2 := j.Snapshot()
+	if suf2[0].Payload != "x" {
+		t.Fatal("Snapshot returned an aliased suffix")
+	}
+}

@@ -89,6 +89,37 @@ func (e *Engine) rank(r int) *rankState {
 // Emitted returns the number of matches produced so far.
 func (e *Engine) Emitted() int { return e.emitted }
 
+// Clone returns a deep copy of the engine for checkpointing. The wild list
+// holds the same *RecvInfo pointers as recvs (Resolve mutates w.Src through
+// the shared pointer), so the copy maps old pointers to new ones to keep
+// that aliasing intact.
+func (e *Engine) Clone() *Engine {
+	cl := &Engine{ranks: make(map[int]*rankState, len(e.ranks)), emitted: e.emitted}
+	for r, st := range e.ranks {
+		nst := &rankState{}
+		recvMap := make(map[*RecvInfo]*RecvInfo, len(st.recvs))
+		for _, rc := range st.recvs {
+			cp := *rc
+			recvMap[rc] = &cp
+			nst.recvs = append(nst.recvs, &cp)
+		}
+		for _, w := range st.wild {
+			nw := recvMap[w]
+			if nw == nil { // defensive: wild should always alias recvs
+				cp := *w
+				nw = &cp
+			}
+			nst.wild = append(nst.wild, nw)
+		}
+		for _, s := range st.sends {
+			cp := *s
+			nst.sends = append(nst.sends, &cp)
+		}
+		cl.ranks[r] = nst
+	}
+	return cl
+}
+
 // AddSend registers an observed send. It returns the matches it produces
 // (possibly several: probes plus the consuming receive).
 func (e *Engine) AddSend(s SendInfo) []Match {

@@ -68,14 +68,20 @@ func (t *Tree) supervise() {
 		case <-ticker.C:
 		}
 		now := time.Now().UnixNano()
+		// Snapshot the node set under topo: recovery swaps first-layer
+		// slots at runtime.
+		t.topo.Lock()
+		var nodes []*Node
 		for _, layer := range t.layers {
-			for _, n := range layer {
-				if n.IsRoot() || n.reaped.Load() {
-					continue
-				}
-				if now-n.lastBeat.Load() > int64(deadAfter) {
-					t.reap(n)
-				}
+			nodes = append(nodes, layer...)
+		}
+		t.topo.Unlock()
+		for _, n := range nodes {
+			if n.IsRoot() || n.reaped.Load() {
+				continue
+			}
+			if now-n.lastBeat.Load() > int64(deadAfter) {
+				t.reap(n)
 			}
 		}
 	}
@@ -88,6 +94,15 @@ func (t *Tree) reap(n *Node) {
 		return
 	}
 	n.Kill() // ensure the loop is really stopped (heartbeat loss ⇒ crash)
+
+	// First-layer nodes are respawned exactly when recovery is enabled;
+	// on success the slot keeps working and nothing below runs. A failed
+	// respawn (wedged loop) falls through to honest degradation, waking
+	// any injector blocked on the slot's fate first.
+	if n.layer == 0 && t.recoveryEnabled() && t.respawn(n) {
+		return
+	}
+	close(n.respawned)
 
 	t.topo.Lock()
 	parent := n.parent

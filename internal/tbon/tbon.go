@@ -81,6 +81,11 @@ type Config struct {
 	// crashed node was detected and its children reattached. The tool
 	// uses it to resynchronize aggregation or degrade explicitly.
 	OnNodeDown func(n *Node)
+	// OnNodeRecovered is invoked (from the supervisor goroutine) after a
+	// crashed first-layer node was respawned and its state rebuilt by
+	// journal replay (fault plan with Recover). The argument is the
+	// replacement node; OnNodeDown is NOT called for recovered nodes.
+	OnNodeRecovered func(n *Node)
 }
 
 // Handler is the per-node tool logic. All methods run on the node's
@@ -253,6 +258,15 @@ type Node struct {
 	deadOnce sync.Once
 	// reaped marks that the supervisor already handled this death.
 	reaped atomic.Bool
+
+	// loopDone is closed when the node's loop goroutine exits; recovery
+	// waits on it so journal replay never races a limping zombie.
+	loopDone chan struct{}
+	// respawned is closed once the slot's fate after a crash is settled:
+	// either a replacement took over the topology maps (Inject retries
+	// against it) or recovery failed and the slot degraded (Inject gives
+	// up with ErrNodeDown).
+	respawned chan struct{}
 }
 
 // Tree is the whole overlay.
@@ -267,6 +281,13 @@ type Tree struct {
 
 	injector  *fault.Injector
 	transport *transport // nil unless the reliable link layer is active
+
+	// nextGid hands out fresh global ids to respawned replacement nodes
+	// (guarded by topo); mkHandler is retained from Start so a replacement
+	// can rebuild its tool layer. recoveries counts successful respawns.
+	nextGid    int
+	mkHandler  func(n *Node) Handler
+	recoveries atomic.Uint64
 
 	injected atomic.Uint64
 	handled  atomic.Uint64
@@ -296,15 +317,6 @@ func New(cfg Config) *Tree {
 			t.transport = newTransport(t, cfg.Fault)
 		}
 	}
-	// link returns the fault decider for one receiving (node, class) link
-	// bundle, or nil when no fault plan is active.
-	link := func(gid int, class fault.Class) *fault.Link {
-		if t.injector == nil {
-			return nil
-		}
-		return t.injector.Link(gid, class)
-	}
-
 	gid := 0
 	width := (cfg.Leaves + cfg.FanIn - 1) / cfg.FanIn
 	prevWidth := 0
@@ -313,20 +325,22 @@ func New(cfg Config) *Tree {
 		nodes := make([]*Node, width)
 		for i := range nodes {
 			n := &Node{
-				tree:    t,
-				layer:   layer,
-				index:   i,
-				gid:     gid,
-				control: make(chan envelope, 16),
-				dead:    make(chan struct{}),
-				rsq:     make(map[linkKey]*reseq),
+				tree:      t,
+				layer:     layer,
+				index:     i,
+				gid:       gid,
+				control:   make(chan envelope, 16),
+				dead:      make(chan struct{}),
+				rsq:       make(map[linkKey]*reseq),
+				loopDone:  make(chan struct{}),
+				respawned: make(chan struct{}),
 			}
-			n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, link(gid, fault.UpLink))
-			n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, link(gid, fault.DownLink))
+			n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink))
+			n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink))
 			gid++
 			if layer == 0 {
 				n.events = make(chan envelope, cfg.EventBuf)
-				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, link(n.gid, fault.PeerLink))
+				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink))
 			} else {
 				lo := i * cfg.FanIn
 				hi := lo + cfg.FanIn
@@ -353,6 +367,8 @@ func New(cfg Config) *Tree {
 		layer++
 	}
 
+	t.nextGid = gid
+
 	t.leafNode = make([]*Node, cfg.Leaves)
 	for r := 0; r < cfg.Leaves; r++ {
 		t.leafNode[r] = t.layers[0][r/cfg.FanIn]
@@ -365,6 +381,7 @@ func New(cfg Config) *Tree {
 // mkHandler constructs the handler for each node before any message flows.
 func (t *Tree) Start(mkHandler func(n *Node) Handler) {
 	t.startOnce.Do(func() {
+		t.mkHandler = mkHandler
 		for _, layer := range t.layers {
 			for _, n := range layer {
 				n.handler = mkHandler(n)
@@ -401,16 +418,7 @@ func (t *Tree) Stop() {
 // returns ErrStopped after the tree stopped and ErrNodeDown when the
 // hosting node crashed; in both cases the event was not delivered.
 func (t *Tree) Inject(rank int, ev any) error {
-	n := t.leafNode[rank]
-	select {
-	case n.events <- envelope{from: rank, msg: ev}:
-		t.injected.Add(1)
-		return nil
-	case <-n.dead:
-		return ErrNodeDown
-	case <-t.quit:
-		return ErrStopped
-	}
+	return t.inject(rank, ev, false)
 }
 
 // InjectQuiet delivers an application event like Inject but without
@@ -419,14 +427,45 @@ func (t *Tree) Inject(rank int, ev any) error {
 // the quiescence detector. FIFO order with regular events is preserved —
 // both travel the same per-rank link.
 func (t *Tree) InjectQuiet(rank int, ev any) error {
-	n := t.leafNode[rank]
-	select {
-	case n.events <- envelope{from: rank, msg: ev, quiet: true}:
-		return nil
-	case <-n.dead:
-		return ErrNodeDown
-	case <-t.quit:
-		return ErrStopped
+	return t.inject(rank, ev, true)
+}
+
+// inject implements Inject/InjectQuiet. The leafNode read is topology-
+// guarded because crash recovery swaps the hosting node at runtime. When
+// the hosting node is dead and the tree can recover it, the injector waits
+// for the slot's fate instead of dropping the event: the replacement
+// adopts the slot's mailbox, so a successful respawn preserves per-rank
+// FIFO with zero dropped events.
+func (t *Tree) inject(rank int, ev any, quiet bool) error {
+	for {
+		t.topo.Lock()
+		n := t.leafNode[rank]
+		t.topo.Unlock()
+		select {
+		case n.events <- envelope{from: rank, msg: ev, quiet: quiet}:
+			if !quiet {
+				t.injected.Add(1)
+			}
+			return nil
+		case <-n.dead:
+			if !t.recoveryEnabled() {
+				return ErrNodeDown
+			}
+			select {
+			case <-n.respawned:
+			case <-t.quit:
+				return ErrStopped
+			}
+			t.topo.Lock()
+			cur := t.leafNode[rank]
+			t.topo.Unlock()
+			if cur == n {
+				return ErrNodeDown // recovery failed: slot degraded
+			}
+			// A replacement took over: retry against it.
+		case <-t.quit:
+			return ErrStopped
+		}
 	}
 }
 
@@ -454,6 +493,10 @@ func (t *Tree) Abandoned() uint64 {
 	}
 	return t.transport.abandoned.Load()
 }
+
+// Recoveries returns the number of first-layer nodes successfully
+// respawned after a crash.
+func (t *Tree) Recoveries() uint64 { return t.recoveries.Load() }
 
 // FirstLayer returns the first tool layer.
 func (t *Tree) FirstLayer() []*Node { return t.layers[0] }
@@ -579,19 +622,24 @@ func (n *Node) SendPeer(peer int, msg any) {
 		panic(fmt.Sprintf("tbon: intralayer send from layer %d", n.layer))
 	}
 	t := n.tree
+	// The target read shares the topo critical section with the transport
+	// wrap: crash recovery swaps first-layer slots at runtime, and the
+	// frame must be sequenced on the link of whichever incarnation the
+	// send resolves to (migration re-keys it atomically otherwise).
+	t.topo.Lock()
 	target := t.layers[0][peer]
 	env := envelope{from: n.index, msg: msg}
 	if t.transport != nil {
-		t.topo.Lock()
 		env = t.transport.wrap(n, target, fault.PeerLink, env)
-		t.topo.Unlock()
 	}
+	t.topo.Unlock()
 	target.fromPeer.send(env, t.quit)
 }
 
 // loop is the node's message pump.
 func (n *Node) loop() {
 	defer n.tree.wg.Done()
+	defer close(n.loopDone)
 	quit := n.tree.quit
 	var hbC <-chan time.Time
 	supervised := n.tree.cfg.Fault != nil && n.tree.cfg.Fault.Supervised()

@@ -167,6 +167,73 @@ func (tr *transport) redirect(child, oldParent, newParent *Node) {
 	delete(tr.links, oldKey)
 }
 
+// migrateTo moves every unacknowledged frame addressed to or sent by a
+// dead first-layer node onto the corresponding link of its replacement
+// (fresh gid ⇒ fresh links), preserving per-link sequence order. The
+// caller holds Tree.topo and has already swapped the topology, so no new
+// frame can target the old links concurrently.
+//
+// Inbound frames (to == old): acknowledgements are synchronous with
+// dispatch, so the pending set is exactly what the dead incarnation never
+// processed — the replacement receives each exactly once, on its own
+// queues. Outbound frames (from == old): copies may already sit in live
+// receivers' pump queues, so receivers can see a frame on both the old and
+// the new link (at-least-once); both links deliver in the original order,
+// and the protocol layers deduplicate.
+func (tr *transport) migrateTo(old, neu *Node) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	now := time.Now()
+	for key, lo := range tr.links {
+		if key.from != old.gid && key.to != old.gid {
+			continue
+		}
+		delete(tr.links, key)
+		if len(lo.pend) == 0 {
+			continue
+		}
+		newKey := key
+		if newKey.from == old.gid {
+			newKey.from = neu.gid
+		}
+		if newKey.to == old.gid {
+			newKey.to = neu.gid
+		}
+		nl := tr.links[newKey]
+		if nl == nil {
+			nl = &linkOut{pend: make(map[uint64]*pending)}
+			tr.links[newKey] = nl
+		}
+		seqs := make([]uint64, 0, len(lo.pend))
+		for s := range lo.pend {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			p := lo.pend[s]
+			f := p.env.msg.(frame)
+			q := p.q
+			if key.to == old.gid {
+				switch key.class {
+				case fault.UpLink:
+					q = neu.fromBelow
+				case fault.DownLink:
+					q = neu.fromAbove
+				default:
+					q = neu.fromPeer
+				}
+			}
+			seq := nl.nextSeq
+			nl.nextSeq++
+			nl.pend[seq] = &pending{
+				env: envelope{from: p.env.from, msg: frame{key: newKey, seq: seq, msg: f.msg}},
+				q:   q,
+				due: now, // resend promptly on the new link
+			}
+		}
+	}
+}
+
 // dropLinksTo discards outbox state for links into a dead node (frames
 // that can never be acknowledged and need no retransmission).
 func (tr *transport) dropLinksTo(gid int) {

@@ -200,6 +200,19 @@ type Report struct {
 	Retransmits     uint64
 	AbandonedFrames uint64
 
+	// Recoveries counts crashed first-layer tool nodes that were respawned
+	// and rebuilt exactly by journal replay (FaultPlan.Recover). A recovered
+	// crash does NOT set Partial.
+	Recoveries int
+	// JournalHighWater is the largest live journal suffix observed on any
+	// first-layer slot — bounded-memory evidence: with watermark GC it
+	// tracks outstanding work, not run length.
+	JournalHighWater int
+	// ReplayedMsgs counts journal entries re-applied during recoveries;
+	// ReplayTime is the total wall clock spent replaying.
+	ReplayedMsgs int
+	ReplayTime   time.Duration
+
 	// Run statistics.
 	Elapsed         time.Duration
 	Detections      int
@@ -284,25 +297,29 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 	}, simProg)
 
 	rep := &Report{
-		Elapsed:         res.Elapsed,
-		Detections:      res.Detections,
-		ToolNodes:       res.ToolNodes,
-		WindowHighWater: res.WindowHighWater,
-		AppAborted:      res.AppErr != nil,
-		Verdict:         res.Verdict,
-		DeadRanks:       res.DeadRanks,
-		DeadLastCalls:   res.DeadLastCalls,
-		FailureBlocked:  res.FailureBlocked,
-		StalledRanks:    res.StalledRanks,
-		WatchdogFires:   res.WatchdogFires,
-		CallMismatches:  res.CallMismatches,
-		LostMessages:    res.LostMessages,
-		Partial:         res.Partial,
-		UnknownRanks:    res.UnknownRanks,
-		DroppedEvents:   res.DroppedEvents,
-		SnapshotRetries: res.SnapshotRetries,
-		Retransmits:     res.Retransmits,
-		AbandonedFrames: res.AbandonedFrames,
+		Elapsed:          res.Elapsed,
+		Detections:       res.Detections,
+		ToolNodes:        res.ToolNodes,
+		WindowHighWater:  res.WindowHighWater,
+		AppAborted:       res.AppErr != nil,
+		Verdict:          res.Verdict,
+		DeadRanks:        res.DeadRanks,
+		DeadLastCalls:    res.DeadLastCalls,
+		FailureBlocked:   res.FailureBlocked,
+		StalledRanks:     res.StalledRanks,
+		WatchdogFires:    res.WatchdogFires,
+		CallMismatches:   res.CallMismatches,
+		LostMessages:     res.LostMessages,
+		Partial:          res.Partial,
+		UnknownRanks:     res.UnknownRanks,
+		DroppedEvents:    res.DroppedEvents,
+		SnapshotRetries:  res.SnapshotRetries,
+		Retransmits:      res.Retransmits,
+		AbandonedFrames:  res.AbandonedFrames,
+		Recoveries:       res.Recoveries,
+		JournalHighWater: res.JournalHighWater,
+		ReplayedMsgs:     res.ReplayedMsgs,
+		ReplayTime:       res.ReplayTime,
 		ToolMessages: ToolMessages{
 			PassSends:      res.MsgStats.PassSends,
 			RecvActives:    res.MsgStats.RecvActives,
