@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos short fuzz ci
+.PHONY: all build vet test race chaos short fuzz ci bench-json bench-check
 
 all: build vet test
 
@@ -30,5 +30,15 @@ short:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzResequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/tbon/
+
+# Regenerate the committed benchmark baseline (BENCH_pr4.json).
+BENCH_BASELINE ?= BENCH_pr4.json
+bench-json:
+	$(GO) run ./cmd/benchjson -out $(BENCH_BASELINE)
+
+# Run the benchmark families and fail on a >25% slowdown regression
+# against the committed baseline (what the nightly bench job runs).
+bench-check:
+	$(GO) run ./cmd/benchjson -out /dev/null -against $(BENCH_BASELINE)
 
 ci: vet build race

@@ -34,21 +34,32 @@ const (
 	benchTimeout = 200 * time.Millisecond
 )
 
-// refTime measures a reference run (no tool attached).
+// refTime measures a reference run (no tool attached). The caller's
+// options are respected; HangTimeout only gets a defensive default when
+// unset (a hung reference would otherwise wedge the benchmark binary).
+//
+// testing.Benchmark cannot be nested inside a running benchmark (it
+// deadlocks on the global benchmark lock), so the same discipline is
+// applied by hand: grow the iteration count until the measured total is
+// long enough to trust, then report the mean — not a best-of-2 wall-clock
+// sample.
 func refTime(b *testing.B, procs int, prog mpi.Program, opts mpi.Options) time.Duration {
 	b.Helper()
-	opts.HangTimeout = 60 * time.Second
-	best := time.Duration(0)
-	for i := 0; i < 2; i++ {
+	if opts.HangTimeout == 0 {
+		opts.HangTimeout = 60 * time.Second
+	}
+	const minTotal = 50 * time.Millisecond
+	for n := 1; ; n *= 2 {
 		start := time.Now()
-		if err := mpi.Run(procs, prog, opts); err != nil {
-			b.Fatalf("reference run: %v", err)
+		for i := 0; i < n; i++ {
+			if err := mpi.Run(procs, prog, opts); err != nil {
+				b.Fatalf("reference run: %v", err)
+			}
 		}
-		if d := time.Since(start); best == 0 || d < best {
-			best = d
+		if total := time.Since(start); total >= minTotal || n >= 64 {
+			return total / time.Duration(n)
 		}
 	}
-	return best
 }
 
 // --- Figure 9: stress-test slowdown ---------------------------------------
@@ -56,20 +67,25 @@ func refTime(b *testing.B, procs int, prog mpi.Program, opts mpi.Options) time.D
 func BenchmarkFig9StressDistributed(b *testing.B) {
 	for _, procs := range []int{16, 64, 256} {
 		for _, fanIn := range []int{2, 4, 8} {
-			b.Run(fmt.Sprintf("procs=%d/fanin=%d", procs, fanIn), func(b *testing.B) {
-				prog := workload.Stress(stressIters)
-				ref := refTime(b, procs, prog, mpi.Options{})
-				b.ResetTimer()
-				var total time.Duration
-				for i := 0; i < b.N; i++ {
-					rep := must.Run(procs, prog, must.Options{FanIn: fanIn, Timeout: benchTimeout})
-					if rep.Deadlock {
-						b.Fatal("stress must not deadlock")
+			for _, batch := range []must.Batching{must.BatchOn, must.BatchOff} {
+				b.Run(fmt.Sprintf("procs=%d/fanin=%d/batch=%s", procs, fanIn, batch), func(b *testing.B) {
+					prog := workload.Stress(stressIters)
+					ref := refTime(b, procs, prog, mpi.Options{})
+					b.ReportAllocs()
+					b.ResetTimer()
+					var total time.Duration
+					for i := 0; i < b.N; i++ {
+						rep := must.Run(procs, prog, must.Options{
+							FanIn: fanIn, Timeout: benchTimeout, Batch: batch,
+						})
+						if rep.Deadlock {
+							b.Fatal("stress must not deadlock")
+						}
+						total += rep.Elapsed
 					}
-					total += rep.Elapsed
-				}
-				b.ReportMetric(float64(total)/float64(b.N)/float64(ref), "slowdown")
-			})
+					b.ReportMetric(float64(total)/float64(b.N)/float64(ref), "slowdown")
+				})
+			}
 		}
 	}
 }
@@ -116,14 +132,17 @@ func reportDetection(b *testing.B, rep *must.Report) {
 
 func BenchmarkFig10WildcardDetection(b *testing.B) {
 	for _, procs := range []int{16, 64, 256, 1024} {
-		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
-			var last *must.Report
-			for i := 0; i < b.N; i++ {
-				last = must.Run(procs, workload.WildcardDeadlock(),
-					must.Options{FanIn: 4, Timeout: 50 * time.Millisecond})
-			}
-			reportDetection(b, last)
-		})
+		for _, batch := range []must.Batching{must.BatchOn, must.BatchOff} {
+			b.Run(fmt.Sprintf("procs=%d/batch=%s", procs, batch), func(b *testing.B) {
+				b.ReportAllocs()
+				var last *must.Report
+				for i := 0; i < b.N; i++ {
+					last = must.Run(procs, workload.WildcardDeadlock(),
+						must.Options{FanIn: 4, Timeout: 50 * time.Millisecond, Batch: batch})
+				}
+				reportDetection(b, last)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,212 @@
+// Command benchjson runs the machine-readable benchmark families behind
+// Figures 9/10/11 and emits one JSON document per invocation, so CI can
+// commit a baseline and fail on regressions without parsing `go test
+// -bench` text output.
+//
+// Families (each run with batching on and off):
+//
+//	fig9_stress    — stress workload through the distributed tool; the
+//	                 "slowdown" field is tool time / reference time, the
+//	                 machine-independent number the regression gate uses
+//	fig10_wildcard — wildcard-storm deadlock detection end to end
+//	fig11_lammps   — 126.lammps-style send-send deadlock detection
+//
+// Usage:
+//
+//	benchjson -out BENCH_pr4.json             # write a fresh baseline
+//	benchjson -against BENCH_pr4.json         # run and gate (exit 1 on
+//	                                          # >25% slowdown regression)
+//
+// The gate compares only the slowdown ratio: ns/op and allocs/op are
+// recorded for inspection but differ across machines, while tool-vs-
+// reference slowdown on the same host is comparable to a baseline taken
+// on a different one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dwst/internal/workload"
+	"dwst/mpi"
+	"dwst/must"
+)
+
+// Schema identifies the BENCH_*.json layout; bump on breaking changes.
+const Schema = "dwst-bench/1"
+
+type benchCase struct {
+	Family      string `json:"family"`
+	Name        string `json:"name"`
+	Batch       bool   `json:"batch"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Slowdown is tool time / reference time (0 for detection families,
+	// which have no meaningful reference run).
+	Slowdown float64 `json:"slowdown"`
+}
+
+type benchDoc struct {
+	Schema    string      `json:"schema"`
+	GoVersion string      `json:"go_version"`
+	Cases     []benchCase `json:"cases"`
+}
+
+const (
+	stressIters  = 30
+	benchTimeout = 200 * time.Millisecond
+	// maxRegression is the gate: a case fails when its slowdown exceeds
+	// the baseline's by more than this factor.
+	maxRegression = 1.25
+)
+
+func main() {
+	out := flag.String("out", "", "write the benchmark JSON to this file (- or empty for stdout)")
+	against := flag.String("against", "", "baseline BENCH_*.json to gate against (exit 1 on regression)")
+	flag.Parse()
+
+	doc := benchDoc{Schema: Schema, GoVersion: runtime.Version()}
+	// One shared reference measurement: both batch modes divide by the same
+	// denominator, so their slowdown ratios are directly comparable.
+	stressRef := stressReference()
+	for _, batch := range []must.Batching{must.BatchOn, must.BatchOff} {
+		doc.Cases = append(doc.Cases, runStress(batch, stressRef), runWildcard(batch), runLammps(batch))
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	b = append(b, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+
+	if *against != "" {
+		if !gate(doc, *against) {
+			os.Exit(1)
+		}
+	}
+}
+
+// bench wraps testing.Benchmark with the b.N loop boilerplate and folds
+// the result into a benchCase.
+func bench(family string, batch must.Batching, slowRef time.Duration, body func()) benchCase {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body()
+		}
+	})
+	c := benchCase{
+		Family:      family,
+		Name:        fmt.Sprintf("%s/batch=%s", family, batch),
+		Batch:       batch == must.BatchOn,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if slowRef > 0 {
+		c.Slowdown = float64(res.NsPerOp()) / float64(slowRef)
+	}
+	return c
+}
+
+const stressProcs = 32
+
+// stressReference times the stress workload without the tool attached —
+// the denominator of the Fig. 9 slowdown ratio.
+func stressReference() time.Duration {
+	prog := workload.Stress(stressIters)
+	ref := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := mpi.Run(stressProcs, prog, mpi.Options{HangTimeout: 60 * time.Second}); err != nil {
+				panic(fmt.Sprintf("benchjson: reference run: %v", err))
+			}
+		}
+	})
+	return time.Duration(ref.NsPerOp())
+}
+
+func runStress(batch must.Batching, ref time.Duration) benchCase {
+	const procs = stressProcs
+	prog := workload.Stress(stressIters)
+	return bench("fig9_stress", batch, ref, func() {
+		rep := must.Run(procs, prog, must.Options{FanIn: 4, Timeout: benchTimeout, Batch: batch})
+		if rep.Deadlock {
+			panic("benchjson: stress must not deadlock")
+		}
+	})
+}
+
+func runWildcard(batch must.Batching) benchCase {
+	const procs = 16
+	prog := workload.WildcardDeadlock()
+	return bench("fig10_wildcard", batch, 0, func() {
+		rep := must.Run(procs, prog, must.Options{FanIn: 4, Timeout: 50 * time.Millisecond, Batch: batch})
+		if !rep.Deadlock {
+			panic("benchjson: wildcard deadlock not detected")
+		}
+	})
+}
+
+func runLammps(batch must.Batching) benchCase {
+	const procs = 16
+	prog := workload.SpecApps("126.lammps").Build(3, 0)
+	return bench("fig11_lammps", batch, 0, func() {
+		rep := must.Run(procs, prog, must.Options{
+			FanIn: 4, Timeout: 50 * time.Millisecond, Rendezvous: true, Batch: batch,
+		})
+		if !rep.Deadlock {
+			panic("benchjson: lammps deadlock not detected")
+		}
+	})
+}
+
+// gate compares the current run against the committed baseline. Only the
+// slowdown ratio is gated; cases without one (detection families) and
+// cases absent from the baseline are reported but pass.
+func gate(cur benchDoc, path string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	byName := make(map[string]benchCase, len(base.Cases))
+	for _, c := range base.Cases {
+		byName[c.Name] = c
+	}
+	ok := true
+	for _, c := range cur.Cases {
+		b, found := byName[c.Name]
+		switch {
+		case !found:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline (pass)\n", c.Name)
+		case b.Slowdown <= 0 || c.Slowdown <= 0:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no slowdown metric (pass)\n", c.Name)
+		case c.Slowdown > b.Slowdown*maxRegression:
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: slowdown %.3f vs baseline %.3f (limit %.3f)\n",
+				c.Name, c.Slowdown, b.Slowdown, b.Slowdown*maxRegression)
+			ok = false
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: slowdown %.3f vs baseline %.3f (ok)\n",
+				c.Name, c.Slowdown, b.Slowdown)
+		}
+	}
+	return ok
+}

@@ -37,6 +37,7 @@ func main() {
 		iters      = flag.Int("iters", 50, "iterations (stress/spec workloads)")
 		rendezvous = flag.Bool("rendezvous", false, "force synchronous standard sends")
 		prefer     = flag.Bool("prefer-waitstate", false, "prioritize wait-state messages on tool nodes")
+		batch      = flag.Bool("batch", true, "hot-path batching on the TBON (slab delivery + wait-state coalescing); -batch=false runs the unbatched path")
 		htmlPath   = flag.String("html", "", "write the HTML report to this file")
 		dotPath    = flag.String("dot", "", "write the DOT wait-for graph to this file")
 		sites      = flag.Bool("sites", false, "record call sites (reports point at source lines)")
@@ -91,6 +92,9 @@ func main() {
 		LinkDelay:        *linkDelay,
 		SnapshotDeadline: *snapDeadl,
 		WatchdogQuiet:    *wdQuiet,
+	}
+	if !*batch {
+		opts.Batch = must.BatchOff
 	}
 	if *mode == "centralized" {
 		opts.Mode = must.Centralized
@@ -183,7 +187,9 @@ func main() {
 	writeIf(*htmlPath, rep.HTML)
 	writeIf(*dotPath, rep.DOT)
 	if *statsJSON != "" {
-		writeStats(*statsJSON, *wl, *procs, *mode, rep)
+		// Must stay the last stdout write: with `-stats-json -`, consumers
+		// parse the trailing JSON object off the human-readable output.
+		writeStats(*statsJSON, *wl, *procs, *mode, *batch, rep)
 	}
 	if rep.Deadlock {
 		os.Exit(1)
@@ -199,6 +205,7 @@ type runStats struct {
 	Workload         string      `json:"workload"`
 	Procs            int         `json:"procs"`
 	Mode             string      `json:"mode"`
+	Batch            bool        `json:"batch"`
 	Verdict          string      `json:"verdict"`
 	Deadlock         bool        `json:"deadlock"`
 	PotentialOnly    bool        `json:"potential_only"`
@@ -224,11 +231,12 @@ type runStats struct {
 	ElapsedMS        int64       `json:"elapsed_ms"`
 }
 
-func writeStats(path, wl string, procs int, mode string, rep *must.Report) {
+func writeStats(path, wl string, procs int, mode string, batch bool, rep *must.Report) {
 	st := runStats{
 		Workload:         wl,
 		Procs:            procs,
 		Mode:             mode,
+		Batch:            batch,
 		Verdict:          rep.Verdict.String(),
 		Deadlock:         rep.Deadlock,
 		PotentialOnly:    rep.PotentialOnly,

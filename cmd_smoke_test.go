@@ -167,6 +167,57 @@ func TestCmdMustrunRankFaultFlags(t *testing.T) {
 	}
 }
 
+// goRunStdout is goRun with the streams kept apart: stdout only, so tests
+// can assert the machine-readable layout of `-stats-json -` without go
+// run's own stderr chatter interleaved.
+func goRunStdout(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.Output()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out), code
+}
+
+func TestCmdMustrunStatsJSONStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	// `-stats-json -` contract: stdout ends with exactly one JSON object,
+	// newline-terminated, after the human-readable report — so shell
+	// pipelines can `tail` it off without guessing at offsets.
+	out, code := goRunStdout(t, "./cmd/mustrun", "-workload", "recvrecv", "-procs", "4",
+		"-batch=false", "-stats-json", "-")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("stdout does not end with newline-terminated JSON:\n%q", out[max(0, len(out)-80):])
+	}
+	i := strings.LastIndex(out, "\n{")
+	if i < 0 {
+		t.Fatalf("no trailing JSON object on stdout:\n%s", out)
+	}
+	var st struct {
+		Workload string `json:"workload"`
+		Procs    int    `json:"procs"`
+		Batch    bool   `json:"batch"`
+		Verdict  string `json:"verdict"`
+		Deadlock bool   `json:"deadlock"`
+	}
+	if err := json.Unmarshal([]byte(out[i+1:]), &st); err != nil {
+		t.Fatalf("trailing JSON does not parse: %v\n%s", err, out[i+1:])
+	}
+	if st.Workload != "recvrecv" || st.Procs != 4 || st.Batch || !st.Deadlock {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestCmdMustreplayRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("command smoke tests skipped in -short")

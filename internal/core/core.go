@@ -53,6 +53,11 @@ type Config struct {
 	// TrackCallSites records application source locations in events so
 	// reports can point at code.
 	TrackCallSites bool
+	// NoBatch disables hot-path batching: no slab delivery on tool queues,
+	// no per-destination coalescing of wait-state messages, no slab-level
+	// acknowledgements. Batching is on by default; the off switch exists for
+	// equivalence testing and bisection (see must.Options.Batch).
+	NoBatch bool
 
 	// Fault optionally injects link faults and tool-node crashes (see
 	// fault.Plan). The reliable transport (sequence numbers, acks,
@@ -264,7 +269,12 @@ func (o tbonOut) Peer(node int, msg any) { o.tn.SendPeer(node, msg) }
 func (o tbonOut) Up(msg any)             { o.tn.SendUp(msg) }
 
 func (h *handler) FromRank(rank int, ev any) {
-	e := ev.(event.Event)
+	h.FromRankEvent(rank, ev.(event.Event))
+}
+
+// FromRankEvent implements tbon.RankEventHandler: the typed intake the
+// batched hot path uses to deliver application events without boxing.
+func (h *handler) FromRankEvent(rank int, e event.Event) {
 	if h.jr != nil && e.Type != event.Heartbeat {
 		// Write-ahead: journal before the state transition, so a crash
 		// between the two replays the input instead of losing it.
@@ -277,15 +287,46 @@ func (h *handler) FromRank(rank int, ev any) {
 
 func (h *handler) FromPeer(peer int, msg any) {
 	if h.jr != nil {
-		switch msg.(type) {
+		switch m := msg.(type) {
 		case dws.PassSend, dws.RecvActive, dws.RecvActiveAck:
 			// Only the wait-state messages mutate recoverable state;
 			// snapshot ping-pong belongs to an epoch that a crash aborts.
 			h.jr.append(originPeer0-peer, kindPeer, peerMsg{From: peer, Msg: msg})
+		case dws.Batch:
+			// Journal the wait-state subset of a coalesced batch as ONE
+			// entry, preserving intra-batch order; interleaved ping-pong is
+			// filtered out for the same reason as above. An all-ping-pong
+			// batch journals nothing.
+			if kept := filterWaitState(m); len(kept) > 0 {
+				h.jr.append(originPeer0-peer, kindPeer,
+					peerMsg{From: peer, Msg: dws.Batch{FromNode: m.FromNode, Msgs: kept}})
+			}
 		}
 	}
 	h.leaf.OnPeer(peer, msg)
 	h.maybeCheckpoint()
+}
+
+// filterWaitState extracts the recoverable (wait-state) messages of one
+// coalesced peer batch for journaling.
+func filterWaitState(b dws.Batch) []any {
+	kept := make([]any, 0, len(b.Msgs))
+	for _, m := range b.Msgs {
+		switch m.(type) {
+		case dws.PassSend, dws.RecvActive, dws.RecvActiveAck:
+			kept = append(kept, m)
+		}
+	}
+	return kept
+}
+
+// Flush implements tbon.Flusher: at the end of every delivery cycle the
+// substrate flushes the leaf's coalesced intralayer traffic. Interior and
+// root nodes have nothing pending.
+func (h *handler) Flush() {
+	if h.leaf != nil {
+		h.leaf.FlushPeers()
+	}
 }
 
 // FromChild receives upward tool traffic: on interior nodes collectiveReady
@@ -489,6 +530,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		EventBuf:        cfg.EventBuf,
 		PreferWaitState: cfg.PreferWaitState,
 		LinkDelay:       cfg.LinkDelay,
+		Batch:           !cfg.NoBatch,
 		Fault:           cfg.Fault,
 		OnNodeDown: func(n *tbon.Node) {
 			// Runs on the supervisor goroutine; Control is safe from any
@@ -533,6 +575,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		if n.IsFirstLayer() {
 			idx := n.Index()
 			h.leaf = dws.NewNode(idx, n.Tree().RanksOf(idx), n.Tree().NodeFor, tbonOut{tn: n})
+			h.leaf.SetBatch(!cfg.NoBatch)
 			h.leaf.SetWatchdogQuiet(cfg.WatchdogQuiet)
 			if journaling {
 				j := journals[idx]
@@ -596,7 +639,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			if ev.Type == event.Enter {
 				rank = ev.Op.Proc
 			}
-			if err := tree.Inject(rank, ev); err != nil {
+			if err := tree.InjectEvent(rank, ev); err != nil {
 				// Crashed hosting node or stopped tree: the application keeps
 				// running unobserved (degraded mode); count the loss.
 				dropped.Add(1)
@@ -768,7 +811,7 @@ func heartbeatPump(tree *tbon.Tree, world *mpisim.World, procs int, quiet time.D
 				}
 				// Delivery failure (stopped tree, dead hosting node) only
 				// means no probe this round; the run is ending anyway.
-				_ = tree.InjectQuiet(r, event.Event{Type: event.Heartbeat, Proc: r, TS: world.Calls(r)})
+				_ = tree.InjectEventQuiet(r, event.Event{Type: event.Heartbeat, Proc: r, TS: world.Calls(r)})
 			}
 		}
 	}

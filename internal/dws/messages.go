@@ -47,6 +47,18 @@ type RecvActiveAck struct {
 	RecvTS   int
 }
 
+// Batch coalesces the intralayer messages one node sent to one destination
+// within a single delivery cycle (passSend / recvActive / recvActiveAck,
+// plus any snapshot ping-pong interleaved with them — the per-link FIFO
+// order between wait-state and Ping/Pong traffic is load-bearing for the
+// consistent-state protocol, so every peer message rides the same buffer).
+// Receivers unpack in order in OnPeer; senders emit it from FlushPeers when
+// batching is on.
+type Batch struct {
+	FromNode int
+	Msgs     []any
+}
+
 // Ping and Pong implement the double ping-pong synchronization of the
 // consistent-state protocol (Figure 8). Round is 1 for the first exchange
 // and 2 for the second. Epoch tags the snapshot attempt the exchange

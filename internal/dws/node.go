@@ -92,6 +92,15 @@ type Node struct {
 	// checkpoint trigger (journal watermark advances on op retirement).
 	retiredOps int
 
+	// batch, when set, coalesces intralayer traffic per destination: sendPeer
+	// buffers into pendPeer and FlushPeers (driven by the substrate at the
+	// end of each delivery cycle) ships one Batch per destination. pendDest
+	// keeps the destinations in first-touch order so the flush is
+	// deterministic and allocation-free.
+	batch    bool
+	pendPeer map[int][]any
+	pendDest []int
+
 	stats Stats
 }
 
@@ -242,7 +251,61 @@ func (n *Node) peer(node int, msg any) {
 	case RecvActiveAck:
 		n.stats.RecvActiveAcks++
 	}
-	n.out.Peer(node, msg)
+	n.sendPeer(node, msg)
+}
+
+// sendPeer routes one intralayer message through the per-destination
+// coalescing buffer, or straight out when batching is off. ALL peer traffic
+// — wait-state messages and the snapshot Ping/Pong alike — must take this
+// path: the consistent-state protocol's drain argument rests on per-link
+// FIFO between them, which a Ping bypassing a buffered PassSend would break
+// (the ping-pong would "prove" a message consumed that is still sitting in
+// this node's buffer — a false-deadlock hazard).
+func (n *Node) sendPeer(node int, msg any) {
+	if !n.batch {
+		n.out.Peer(node, msg)
+		return
+	}
+	// Dedup by buffered length, not map presence: FlushPeers retains each
+	// destination's (emptied) slice for reuse, so the key stays in the map
+	// across cycles.
+	msgs := n.pendPeer[node]
+	if len(msgs) == 0 {
+		n.pendDest = append(n.pendDest, node)
+	}
+	n.pendPeer[node] = append(msgs, msg)
+}
+
+// SetBatch switches per-destination coalescing on or off. Call before any
+// traffic flows (or right after construction on a recovery respawn).
+func (n *Node) SetBatch(on bool) {
+	n.batch = on
+	if on && n.pendPeer == nil {
+		n.pendPeer = make(map[int][]any)
+	}
+}
+
+// FlushPeers ships everything coalesced in the current delivery cycle: the
+// bare message when a destination accumulated exactly one (so the unbatched
+// message shapes stay on the wire for singleton traffic), one Batch
+// otherwise. The substrate calls it at the end of every cycle; recovery
+// calls it before swapping output surfaces. No-op when nothing is pending.
+func (n *Node) FlushPeers() {
+	if len(n.pendDest) == 0 {
+		return
+	}
+	for _, dest := range n.pendDest {
+		msgs := n.pendPeer[dest]
+		if len(msgs) == 1 {
+			n.out.Peer(dest, msgs[0])
+		} else {
+			n.out.Peer(dest, Batch{FromNode: n.id, Msgs: append([]any(nil), msgs...)})
+		}
+		// Keep the per-destination slice for reuse; the stale references are
+		// overwritten by the next cycle's appends.
+		n.pendPeer[dest] = msgs[:0]
+	}
+	n.pendDest = n.pendDest[:0]
 }
 
 // Stats returns the node's tool-message counters.
@@ -433,7 +496,8 @@ func (n *Node) onCommInfo(proc, ts int, newComm trace.CommID) {
 	n.out.Up(m)
 }
 
-// OnPeer dispatches an intralayer message.
+// OnPeer dispatches an intralayer message. Batches unpack in send order —
+// receivers understand them regardless of their own batch setting.
 func (n *Node) OnPeer(from int, msg any) {
 	switch m := msg.(type) {
 	case PassSend:
@@ -443,9 +507,13 @@ func (n *Node) OnPeer(from int, msg any) {
 	case RecvActiveAck:
 		n.handleRecvActiveAck(m)
 	case Ping:
-		n.out.Peer(m.FromNode, Pong{Round: m.Round, Epoch: m.Epoch, FromNode: n.id})
+		n.sendPeer(m.FromNode, Pong{Round: m.Round, Epoch: m.Epoch, FromNode: n.id})
 	case Pong:
 		n.handlePong(m)
+	case Batch:
+		for _, sub := range m.Msgs {
+			n.OnPeer(from, sub)
+		}
 	default:
 		panic(fmt.Sprintf("dws: unexpected intralayer message %T", msg))
 	}

@@ -109,8 +109,14 @@ func (n *Node) Restore(m *Memento) {
 }
 
 // SetOut swaps the node's communication surface. Recovery replays with
-// Discard, then restores the real surface.
-func (n *Node) SetOut(o Out) { n.out = o }
+// Discard, then restores the real surface. Coalesced traffic still pending
+// belongs to the surface that was active when it was produced — flushing it
+// first means replay output buffered under Discard is dropped there instead
+// of leaking through the real surface after the swap.
+func (n *Node) SetOut(o Out) {
+	n.FlushPeers()
+	n.out = o
+}
 
 // RetiredOps counts operations retired (advanced past) since the node was
 // created — the recovery plane's checkpoint-policy signal: the journal

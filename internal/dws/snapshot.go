@@ -50,7 +50,7 @@ func (n *Node) BeginSnapshot(epoch int) {
 		}
 		if _, ok := n.snap.outstanding[peer]; !ok {
 			n.snap.outstanding[peer] = 1
-			n.out.Peer(peer, Ping{Round: 1, Epoch: epoch, FromNode: n.id})
+			n.sendPeer(peer, Ping{Round: 1, Epoch: epoch, FromNode: n.id})
 		}
 	}
 	for peer := range n.dirty {
@@ -78,7 +78,7 @@ func (n *Node) handlePong(m Pong) {
 	}
 	if m.Round == 1 {
 		n.snap.outstanding[m.FromNode] = 2
-		n.out.Peer(m.FromNode, Ping{Round: 2, Epoch: m.Epoch, FromNode: n.id})
+		n.sendPeer(m.FromNode, Ping{Round: 2, Epoch: m.Epoch, FromNode: n.id})
 		return
 	}
 	delete(n.snap.outstanding, m.FromNode)

@@ -1,0 +1,175 @@
+package fault_test
+
+// Batch-equivalence suite: hot-path batching (slab delivery on tool
+// queues, per-destination coalescing of wait-state messages, slab-level
+// transport acknowledgements) is a pure transport optimization — it must
+// never change what the tool concludes. Every test here runs the same
+// seeded scenario twice, batch on and batch off, and requires identical
+// verdicts; fault legs additionally require batching not to degrade the
+// report where the unbatched path does not.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dwst/internal/testseed"
+	"dwst/internal/workload"
+	"dwst/must"
+)
+
+// batchPairOpts runs one scenario under both batching modes and returns
+// the two reports (batch-on first).
+func batchPairOpts(t *testing.T, c chaosCase, opts must.Options) (on, off *must.Report) {
+	t.Helper()
+	opts.FanIn = c.fanIn
+	opts.Batch = must.BatchOn
+	on = runBounded(t, c.procs, c.prog, opts)
+	opts.Batch = must.BatchOff
+	off = runBounded(t, c.procs, c.prog, opts)
+	return on, off
+}
+
+// TestBatchEquivalenceFaultFree is the base property: on fault-free runs
+// the two modes agree on the verdict AND on the wait-state message census
+// — coalescing packs messages into fewer envelopes but must neither drop
+// nor invent any.
+func TestBatchEquivalenceFaultFree(t *testing.T) {
+	for _, c := range chaosCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			on, off := batchPairOpts(t, c, must.Options{Timeout: 20 * time.Millisecond})
+			if got, want := verdictOf(on), verdictOf(off); !reflect.DeepEqual(got, want) {
+				t.Fatalf("verdict diverged:\n batch-on  %+v\n batch-off %+v", got, want)
+			}
+			if on.ToolMessages != off.ToolMessages {
+				t.Fatalf("message census diverged:\n batch-on  %+v\n batch-off %+v",
+					on.ToolMessages, off.ToolMessages)
+			}
+		})
+	}
+}
+
+// TestBatchEquivalenceLinkFaults drives both modes through the standard
+// link-fault cocktail (drop+dup+reorder, retransmitting transport) across
+// seeds: the verdicts must match each other and the fault-free reference,
+// with no partial reports. The census is not compared — retransmission
+// timing differs between modes, so handshake message counts legitimately
+// vary; what may not vary is the conclusion.
+func TestBatchEquivalenceLinkFaults(t *testing.T) {
+	lo, hi := int64(0), testseed.ChaosRuns(20)
+	if testing.Short() {
+		hi = 3
+	}
+	for _, c := range chaosCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ref := verdictOf(runBounded(t, c.procs, c.prog,
+				must.Options{FanIn: c.fanIn, Timeout: 20 * time.Millisecond}))
+			testseed.Run(t, lo, hi, func(t *testing.T, seed int64) {
+				t.Parallel()
+				opts := must.Options{
+					Timeout: 20 * time.Millisecond,
+					Fault: &must.FaultPlan{
+						Seed: seed,
+						Rules: []must.FaultRule{{
+							Drop:      0.01,
+							Dup:       0.01,
+							Reorder:   0.01,
+							JitterMax: 100 * time.Microsecond,
+						}},
+					},
+				}
+				on, off := batchPairOpts(t, c, opts)
+				if on.Partial || off.Partial {
+					t.Fatalf("link faults degraded a report (batch-on partial=%v, batch-off partial=%v)",
+						on.Partial, off.Partial)
+				}
+				if got, want := verdictOf(on), verdictOf(off); !reflect.DeepEqual(got, want) {
+					t.Fatalf("verdict diverged under link faults:\n batch-on  %+v\n batch-off %+v", got, want)
+				}
+				if got := verdictOf(on); !reflect.DeepEqual(got, ref) {
+					t.Fatalf("verdict diverged from fault-free reference:\n got  %+v\n want %+v", got, ref)
+				}
+			})
+		})
+	}
+}
+
+// TestBatchEquivalenceRankCrashes exercises the application-plane fault
+// path: a crashed rank must yield the same deadlock-by-failure verdict
+// and dead-rank set in both modes.
+func TestBatchEquivalenceRankCrashes(t *testing.T) {
+	cases := []struct {
+		name   string
+		procs  int
+		fanIn  int
+		rank   int
+		atCall int
+	}{
+		{"clean/rank2", 8, 2, 2, 3},
+		{"clean/rank7", 8, 4, 7, 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cc := chaosCase{c.name, c.procs, c.fanIn, workload.Stress(6)}
+			opts := must.Options{
+				Timeout: 20 * time.Millisecond,
+				Fault: &must.FaultPlan{
+					Seed:        1,
+					RankCrashes: []must.RankCrash{{Rank: c.rank, AtCall: c.atCall}},
+				},
+			}
+			on, off := batchPairOpts(t, cc, opts)
+			for _, rep := range []*must.Report{on, off} {
+				if rep.Verdict != must.VerdictDeadlockByFailure {
+					t.Fatalf("verdict = %v, want deadlock-by-failure", rep.Verdict)
+				}
+			}
+			if !reflect.DeepEqual(on.DeadRanks, off.DeadRanks) {
+				t.Fatalf("dead ranks diverged: batch-on %v, batch-off %v", on.DeadRanks, off.DeadRanks)
+			}
+			if got, want := verdictOf(on), verdictOf(off); !reflect.DeepEqual(got, want) {
+				t.Fatalf("verdict diverged:\n batch-on  %+v\n batch-off %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestBatchEquivalenceRecoveryReplay crashes a first-layer tool node with
+// Recover set in both modes: journal replay must rebuild the node exactly
+// under batching too (batched peer traffic is journaled as one filtered
+// entry; replay runs under the Discard surface), yielding the identical
+// non-partial verdict across seeds.
+func TestBatchEquivalenceRecoveryReplay(t *testing.T) {
+	lo, hi := int64(0), testseed.ChaosRuns(15)
+	if testing.Short() {
+		hi = 3
+	}
+	for _, c := range chaosCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			firstLayer := (c.procs + c.fanIn - 1) / c.fanIn
+			testseed.Run(t, lo, hi, func(t *testing.T, seed int64) {
+				t.Parallel()
+				node := int(seed) % firstLayer
+				after := time.Duration(5+seed%10) * time.Millisecond
+				opts := must.Options{
+					Timeout:          20 * time.Millisecond,
+					SnapshotDeadline: 500 * time.Millisecond,
+					Fault:            recoverPlan(seed, node, after),
+				}
+				on, off := batchPairOpts(t, c, opts)
+				for name, rep := range map[string]*must.Report{"batch-on": on, "batch-off": off} {
+					if rep.Partial || len(rep.UnknownRanks) != 0 {
+						t.Fatalf("%s: recovered crash degraded the report (unknown %v)", name, rep.UnknownRanks)
+					}
+				}
+				if got, want := verdictOf(on), verdictOf(off); !reflect.DeepEqual(got, want) {
+					t.Fatalf("verdict diverged after recovery:\n batch-on  %+v\n batch-off %+v", got, want)
+				}
+			})
+		})
+	}
+}

@@ -82,9 +82,9 @@ func (t *Tree) respawn(old *Node) bool {
 		loopDone:  make(chan struct{}),
 		respawned: make(chan struct{}),
 	}
-	neu.fromBelow = newQueue(t.quit, &t.wg, t.cfg.LinkDelay, t.faultLink(gid, fault.UpLink))
-	neu.fromAbove = newQueue(t.quit, &t.wg, t.cfg.LinkDelay, t.faultLink(gid, fault.DownLink))
-	neu.fromPeer = newQueue(t.quit, &t.wg, t.cfg.LinkDelay, t.faultLink(gid, fault.PeerLink))
+	neu.fromBelow = newQueue(t.quit, &t.wg, t.cfg.LinkDelay, t.faultLink(gid, fault.UpLink), t.slabCap())
+	neu.fromAbove = newQueue(t.quit, &t.wg, t.cfg.LinkDelay, t.faultLink(gid, fault.DownLink), t.slabCap())
+	neu.fromPeer = newQueue(t.quit, &t.wg, t.cfg.LinkDelay, t.faultLink(gid, fault.PeerLink), t.slabCap())
 	// Arm the liveness clock before the supervisor can see the node, or it
 	// would be declared dead while still replaying.
 	neu.lastBeat.Store(time.Now().UnixNano())
@@ -110,6 +110,7 @@ func (t *Tree) respawn(old *Node) bool {
 	// interleave with replayed ones. Messages arriving meanwhile buffer in
 	// the fresh queues.
 	neu.handler = t.mkHandler(neu)
+	t.arm(neu)
 	neu.lastBeat.Store(time.Now().UnixNano())
 	t.wg.Add(1)
 	go neu.loop()

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dwst/internal/event"
 	"dwst/internal/fault"
 )
 
@@ -73,6 +74,14 @@ type Config struct {
 	// tool nodes). Per-link FIFO order is preserved; messages on one link
 	// are serialized delay apart.
 	LinkDelay time.Duration
+	// Batch enables hot-path batching: queue pumps deliver a slab of all
+	// due messages per wakeup instead of one envelope per channel op, node
+	// loops drain already-queued rank events opportunistically, and the
+	// reliable transport acknowledges once per slab instead of once per
+	// frame. Handlers implementing Flusher are flushed at the end of every
+	// delivery cycle. Off by default: direct tbon users get the one-message-
+	// per-op behavior; the tool layer turns it on (see core.Config.NoBatch).
+	Batch bool
 	// Fault, when non-nil, activates the fault plane: link faults per the
 	// plan's rules, scheduled node crashes, heartbeat supervision, and —
 	// unless the plan disables it — the reliable link layer.
@@ -105,6 +114,27 @@ type Handler interface {
 	Control(msg any)
 }
 
+// RankEventHandler is an optional Handler extension for first-layer
+// handlers: when it is implemented and batching is on, typed injections
+// (InjectEvent) are delivered through FromRankEvent without boxing the
+// event into an interface — the dominant per-event allocation on the hot
+// path. Without it, or with batching off, typed injections fall back to
+// FromRank with the historical boxed payload.
+type RankEventHandler interface {
+	FromRankEvent(rank int, ev event.Event)
+}
+
+// Flusher is an optional Handler extension. When the handler implements it,
+// Flush runs on the node goroutine at the end of every delivery cycle —
+// after a whole slab, event batch, or single message was dispatched, and
+// before the loop can observe quit or a crash. Handlers that coalesce
+// outgoing traffic (see internal/dws) emit it here; the ordering guarantee
+// means a crashed node has always emitted the output of every input it
+// processed, which the journal-replay recovery contract relies on.
+type Flusher interface {
+	Flush()
+}
+
 type envelope struct {
 	from int
 	msg  any
@@ -114,23 +144,67 @@ type envelope struct {
 	quiet bool
 }
 
+// rankEnvelope is one application-event delivery on the rank → first-layer
+// link. Typed injections (InjectEvent) travel unboxed in ev; Inject's
+// arbitrary payloads ride msg. Keeping both on one channel preserves
+// per-rank FIFO between the two entry points.
+type rankEnvelope struct {
+	from  int
+	ev    event.Event
+	msg   any
+	typed bool
+	quiet bool
+}
+
 // timed is a queued message with its earliest delivery time.
 type timed struct {
 	env envelope
 	due time.Time
 }
 
+// maxSlab bounds how many envelopes one slab (and one opportunistic event
+// drain) may carry: large enough to amortize the channel op and select
+// rebuild, small enough to keep a node responsive to its other inputs.
+const maxSlab = 128
+
+// slab is one pump wakeup's worth of envelopes, delivered to the node in a
+// single channel operation and returned to the pool after dispatch.
+type slab struct {
+	envs []envelope
+}
+
+var slabPool = sync.Pool{
+	// Pool *slab, not []envelope: a slice value would be boxed into a fresh
+	// interface allocation on every Put, defeating the pool.
+	New: func() any { return &slab{envs: make([]envelope, 0, 16)} },
+}
+
+func getSlab() *slab { return slabPool.Get().(*slab) }
+
+func putSlab(s *slab) {
+	for i := range s.envs {
+		s.envs[i] = envelope{} // release payload references before pooling
+	}
+	s.envs = s.envs[:0]
+	slabPool.Put(s)
+}
+
 // queue is an unbounded FIFO link: senders enqueue without ever blocking
 // permanently; a pump goroutine feeds the consumer channel in order. The
 // pump drains the intake eagerly — fault delays and stalls gate delivery,
-// never admission, so a stalled link cannot block its senders.
+// never admission, so a stalled link cannot block its senders. Delivery is
+// in slabs of up to maxBatch due messages per channel op (maxBatch 1
+// reproduces the one-envelope-per-op behavior exactly).
 type queue struct {
 	in  chan envelope
-	out chan envelope
+	out chan *slab
 }
 
-func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl *fault.Link) *queue {
-	q := &queue{in: make(chan envelope, 64), out: make(chan envelope, 64)}
+func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl *fault.Link, maxBatch int) *queue {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	q := &queue{in: make(chan envelope, 64), out: make(chan *slab, 16)}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -186,15 +260,35 @@ func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl 
 				buf[first-1].env, buf[first].env = buf[first].env, buf[first-1].env
 			}
 		}
+		// ready is the slab prebuilt from the current due prefix of buf;
+		// stale forces a rebuild after any admission (which may reorder or
+		// extend the prefix). Rebuilding only when the prefix changed keeps
+		// the steady state allocation- and copy-free across failed selects.
+		var ready *slab
+		nready := 0
+		stale := true
 		for {
-			var outCh chan envelope
+			var outCh chan *slab
 			var timerCh <-chan time.Time
-			var head envelope
 			if len(buf) > 0 {
 				now := time.Now()
-				if !buf[0].due.After(now) {
+				due := 0
+				for due < len(buf) && due < maxBatch && !buf[due].due.After(now) {
+					due++
+				}
+				if due > 0 {
+					if stale || due != nready {
+						if ready == nil {
+							ready = getSlab()
+						}
+						ready.envs = ready.envs[:0]
+						for i := 0; i < due; i++ {
+							ready.envs = append(ready.envs, buf[i].env)
+						}
+						nready = due
+						stale = false
+					}
 					outCh = q.out
-					head = buf[0].env
 				} else {
 					if timerArmed && !timer.Stop() {
 						<-timer.C
@@ -207,8 +301,29 @@ func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl 
 			select {
 			case e := <-q.in:
 				admit(e)
-			case outCh <- head:
-				buf = buf[1:]
+				// Drain the intake opportunistically: senders that raced the
+				// wakeup land in the same slab instead of costing one select
+				// round-trip each.
+			drain:
+				for i := 1; i < maxSlab; i++ {
+					select {
+					case e := <-q.in:
+						admit(e)
+					default:
+						break drain
+					}
+				}
+				stale = true
+			case outCh <- ready:
+				// Compact instead of reslicing: buf[nready:] would abandon
+				// the array prefix, so every slab consumed forces the next
+				// appends into a fresh allocation. Moving the (typically
+				// tiny) tail down reuses one backing array forever.
+				rest := copy(buf, buf[nready:])
+				buf = buf[:rest]
+				ready = nil
+				nready = 0
+				stale = true
 			case <-timerCh:
 				timerArmed = false
 			case <-quit:
@@ -238,17 +353,30 @@ type Node struct {
 	parent   *Node
 	children []*Node
 
-	events    chan envelope // app events (layer 0; bounded)
-	fromBelow *queue        // tool messages from children / self
-	fromAbove *queue        // broadcasts from parent
-	fromPeer  *queue        // intralayer (layer 0)
+	events    chan rankEnvelope // app events (layer 0; bounded)
+	fromBelow *queue            // tool messages from children / self
+	fromAbove *queue            // broadcasts from parent
+	fromPeer  *queue            // intralayer (layer 0)
 	control   chan envelope
 
 	handler Handler
+	// flusher and rankHandler cache the handler's optional extensions (set
+	// alongside handler, before the loop starts). rankHandler is non-nil
+	// only with batching on: off reproduces the boxed legacy delivery.
+	flusher     Flusher
+	rankHandler RankEventHandler
 
 	// rsq resequences reliable frames per incoming directed link; it is
 	// touched only by the node goroutine.
 	rsq map[linkKey]*reseq
+
+	// ackPend accumulates the per-link cumulative acknowledgements of one
+	// delivery cycle, flushed in one transport pass at cycle end (batching
+	// with reliable transport only; nil means every frame acks immediately).
+	// ackKeys mirrors the map keys so the flush allocates nothing. Both are
+	// touched only by the node goroutine.
+	ackPend map[linkKey]uint64
+	ackKeys []linkKey
 
 	// lastBeat is the liveness clock (UnixNano), updated by the node loop
 	// and read by the supervisor.
@@ -335,12 +463,12 @@ func New(cfg Config) *Tree {
 				loopDone:  make(chan struct{}),
 				respawned: make(chan struct{}),
 			}
-			n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink))
-			n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink))
+			n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink), t.slabCap())
+			n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink), t.slabCap())
 			gid++
 			if layer == 0 {
-				n.events = make(chan envelope, cfg.EventBuf)
-				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink))
+				n.events = make(chan rankEnvelope, cfg.EventBuf)
+				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink), t.slabCap())
 			} else {
 				lo := i * cfg.FanIn
 				hi := lo + cfg.FanIn
@@ -376,6 +504,29 @@ func New(cfg Config) *Tree {
 	return t
 }
 
+// slabCap is the per-wakeup delivery batch for the tree's queues: maxSlab
+// with batching, 1 (one envelope per channel op, the historical behavior)
+// without.
+func (t *Tree) slabCap() int {
+	if t.cfg.Batch {
+		return maxSlab
+	}
+	return 1
+}
+
+// arm finishes a node's handler wiring before its loop starts: the cached
+// Flusher and, when batching rides the reliable transport, the per-cycle
+// acknowledgement accumulator.
+func (t *Tree) arm(n *Node) {
+	n.flusher, _ = n.handler.(Flusher)
+	if t.cfg.Batch {
+		n.rankHandler, _ = n.handler.(RankEventHandler)
+	}
+	if t.cfg.Batch && t.transport != nil {
+		n.ackPend = make(map[linkKey]uint64)
+	}
+}
+
 // Start launches one goroutine per node (plus, with a fault plan, the
 // retransmission scanner, crash timers and the heartbeat supervisor).
 // mkHandler constructs the handler for each node before any message flows.
@@ -385,6 +536,7 @@ func (t *Tree) Start(mkHandler func(n *Node) Handler) {
 		for _, layer := range t.layers {
 			for _, n := range layer {
 				n.handler = mkHandler(n)
+				t.arm(n)
 			}
 		}
 		for _, layer := range t.layers {
@@ -418,7 +570,7 @@ func (t *Tree) Stop() {
 // returns ErrStopped after the tree stopped and ErrNodeDown when the
 // hosting node crashed; in both cases the event was not delivered.
 func (t *Tree) Inject(rank int, ev any) error {
-	return t.inject(rank, ev, false)
+	return t.inject(rank, rankEnvelope{msg: ev})
 }
 
 // InjectQuiet delivers an application event like Inject but without
@@ -427,7 +579,21 @@ func (t *Tree) Inject(rank int, ev any) error {
 // the quiescence detector. FIFO order with regular events is preserved —
 // both travel the same per-rank link.
 func (t *Tree) InjectQuiet(rank int, ev any) error {
-	return t.inject(rank, ev, true)
+	return t.inject(rank, rankEnvelope{msg: ev, quiet: true})
+}
+
+// InjectEvent delivers an application event like Inject, but typed: the
+// event reaches a RankEventHandler without ever being boxed into an
+// interface, making the batched intake allocation-free per event. With
+// batching off (or a plain Handler) the event is delivered boxed through
+// FromRank, byte-identical to the legacy path.
+func (t *Tree) InjectEvent(rank int, ev event.Event) error {
+	return t.inject(rank, rankEnvelope{ev: ev, typed: true})
+}
+
+// InjectEventQuiet is InjectEvent without counting (see InjectQuiet).
+func (t *Tree) InjectEventQuiet(rank int, ev event.Event) error {
+	return t.inject(rank, rankEnvelope{ev: ev, typed: true, quiet: true})
 }
 
 // inject implements Inject/InjectQuiet. The leafNode read is topology-
@@ -436,14 +602,15 @@ func (t *Tree) InjectQuiet(rank int, ev any) error {
 // for the slot's fate instead of dropping the event: the replacement
 // adopts the slot's mailbox, so a successful respawn preserves per-rank
 // FIFO with zero dropped events.
-func (t *Tree) inject(rank int, ev any, quiet bool) error {
+func (t *Tree) inject(rank int, env rankEnvelope) error {
+	env.from = rank
 	for {
 		t.topo.Lock()
 		n := t.leafNode[rank]
 		t.topo.Unlock()
 		select {
-		case n.events <- envelope{from: rank, msg: ev, quiet: quiet}:
-			if !quiet {
+		case n.events <- env:
+			if !env.quiet {
 				t.injected.Add(1)
 			}
 			return nil
@@ -658,11 +825,13 @@ func (n *Node) loop() {
 			// before new application events when configured.
 			if n.tree.cfg.PreferWaitState {
 				select {
-				case env := <-n.fromPeer.out:
-					n.dispatchPeer(env)
+				case s := <-n.fromPeer.out:
+					n.dispatchSlab(s, n.dispatchPeer)
+					n.endCycle()
 					continue
-				case env := <-n.fromAbove.out:
-					n.dispatchParent(env)
+				case s := <-n.fromAbove.out:
+					n.dispatchSlab(s, n.dispatchParent)
+					n.endCycle()
 					continue
 				default:
 				}
@@ -671,37 +840,98 @@ func (n *Node) loop() {
 			case env := <-n.control:
 				n.tree.handled.Add(1)
 				n.handler.Control(env.msg)
-			case env := <-n.fromPeer.out:
-				n.dispatchPeer(env)
-			case env := <-n.fromAbove.out:
-				n.dispatchParent(env)
-			case env := <-n.fromBelow.out:
-				n.dispatchChild(env)
+			case s := <-n.fromPeer.out:
+				n.dispatchSlab(s, n.dispatchPeer)
+			case s := <-n.fromAbove.out:
+				n.dispatchSlab(s, n.dispatchParent)
+			case s := <-n.fromBelow.out:
+				n.dispatchSlab(s, n.dispatchChild)
 			case env := <-n.events:
-				if !env.quiet {
-					n.tree.handled.Add(1)
-				}
-				n.handler.FromRank(env.from, env.msg)
+				n.dispatchRank(env)
+				n.drainEvents()
 			case <-hbC:
 			case <-n.dead:
 				return
 			case <-quit:
 				return
 			}
+			n.endCycle()
 			continue
 		}
 		select {
 		case env := <-n.control:
 			n.tree.handled.Add(1)
 			n.handler.Control(env.msg)
-		case env := <-n.fromAbove.out:
-			n.dispatchParent(env)
-		case env := <-n.fromBelow.out:
-			n.dispatchChild(env)
+		case s := <-n.fromAbove.out:
+			n.dispatchSlab(s, n.dispatchParent)
+		case s := <-n.fromBelow.out:
+			n.dispatchSlab(s, n.dispatchChild)
 		case <-hbC:
 		case <-n.dead:
 			return
 		case <-quit:
+			return
+		}
+		n.endCycle()
+	}
+}
+
+// endCycle closes one delivery cycle: flush the batched acknowledgements,
+// then the handler's coalesced output. Runs before the loop can observe
+// quit or a crash, so a dead node has always emitted the output of every
+// input it dispatched.
+func (n *Node) endCycle() {
+	n.flushAcks()
+	if n.flusher != nil {
+		n.flusher.Flush()
+	}
+}
+
+// dispatchSlab dispatches every envelope of one slab and returns it to the
+// pool.
+func (n *Node) dispatchSlab(s *slab, fn func(envelope)) {
+	for _, env := range s.envs {
+		fn(env)
+	}
+	putSlab(s)
+}
+
+func (n *Node) dispatchRank(env rankEnvelope) {
+	if !env.quiet {
+		n.tree.handled.Add(1)
+	}
+	if env.typed {
+		if n.rankHandler != nil {
+			n.rankHandler.FromRankEvent(env.from, env.ev)
+			return
+		}
+		// Batching off, or a handler without the typed extension: box at
+		// delivery, the historical per-event shape.
+		n.handler.FromRank(env.from, env.ev)
+		return
+	}
+	n.handler.FromRank(env.from, env.msg)
+}
+
+// maxEventDrain bounds how many rank events one delivery cycle absorbs.
+// Deliberately much smaller than maxSlab: every drained event opens
+// wait-state work whose handshake messages only flush at cycle end, so a
+// large gulp inflates the live trace window (and the matching engines'
+// memory) for little extra amortization.
+const maxEventDrain = 16
+
+// drainEvents opportunistically consumes rank events already sitting in
+// the mailbox so one cycle (and one coalescing flush) covers them all.
+// Bounded so the node stays responsive to its other inputs; batching only.
+func (n *Node) drainEvents() {
+	if !n.tree.cfg.Batch {
+		return
+	}
+	for i := 1; i < maxEventDrain; i++ {
+		select {
+		case env := <-n.events:
+			n.dispatchRank(env)
+		default:
 			return
 		}
 	}

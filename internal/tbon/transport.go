@@ -289,6 +289,41 @@ func (tr *transport) run() {
 	}
 }
 
+// ackTo records or issues one cumulative acknowledgement. With batching,
+// the node accumulates the per-link maximum and flushAcks trims each
+// sender outbox once per delivery cycle instead of once per frame; without
+// (ackPend nil — batching off, or a bare Node in tests), the ack happens
+// immediately, the historical behavior.
+func (n *Node) ackTo(tr *transport, key linkKey, upTo uint64) {
+	if n.ackPend == nil {
+		tr.ack(key, upTo)
+		return
+	}
+	cur, ok := n.ackPend[key]
+	if !ok {
+		n.ackKeys = append(n.ackKeys, key)
+	}
+	if !ok || upTo > cur {
+		n.ackPend[key] = upTo
+	}
+}
+
+// flushAcks issues the delivery cycle's accumulated acknowledgements, one
+// outbox trim per link (the "one seq range per slab" half of batching).
+// Deferring acks within a cycle is safe: cycles are far shorter than the
+// retransmission base interval, and a late ack at worst re-trims.
+func (n *Node) flushAcks() {
+	if len(n.ackKeys) == 0 {
+		return
+	}
+	tr := n.tree.transport
+	for _, k := range n.ackKeys {
+		tr.ack(k, n.ackPend[k])
+		delete(n.ackPend, k)
+	}
+	n.ackKeys = n.ackKeys[:0]
+}
+
 // deliver dispatches one received envelope. Reliable frames pass through
 // the per-link resequencer: duplicates and already-delivered frames are
 // dropped, gaps are buffered, and in-order frames are dispatched followed
@@ -313,7 +348,7 @@ func (n *Node) deliver(env envelope, dispatch func(envelope)) {
 	if f.seq < rs.expected {
 		// Stale duplicate (e.g. a retransmission that crossed its ack):
 		// re-acknowledge so the sender outbox drains.
-		tr.ack(f.key, rs.expected-1)
+		n.ackTo(tr, f.key, rs.expected-1)
 		return
 	}
 	if _, dup := rs.buf[f.seq]; dup {
@@ -330,6 +365,6 @@ func (n *Node) deliver(env envelope, dispatch func(envelope)) {
 		dispatch(envelope{from: e.from, msg: e.msg.(frame).msg})
 	}
 	if rs.expected > 0 {
-		tr.ack(f.key, rs.expected-1)
+		n.ackTo(tr, f.key, rs.expected-1)
 	}
 }

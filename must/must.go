@@ -70,6 +70,28 @@ const (
 	Centralized
 )
 
+// Batching selects hot-path batching on the TBON: slab delivery on tool
+// queues, per-destination coalescing of wait-state messages, and slab-level
+// transport acknowledgements. The zero value is BatchOn — batching is the
+// default; BatchOff ships every message as its own envelope, kept available
+// for equivalence testing and bisection. Distributed mode only.
+type Batching int
+
+const (
+	// BatchOn enables hot-path batching (the default).
+	BatchOn Batching = iota
+	// BatchOff disables batching: one envelope per message, one ack per
+	// frame — the pre-batching behavior.
+	BatchOff
+)
+
+func (b Batching) String() string {
+	if b == BatchOff {
+		return "off"
+	}
+	return "on"
+}
+
 // Options configures a tool run.
 type Options struct {
 	// Mode selects the tool architecture (default Distributed).
@@ -101,6 +123,8 @@ type Options struct {
 	// flagged Stalled. Zero (the default) disables the watchdog and its
 	// heartbeat traffic entirely. Distributed mode only.
 	WatchdogQuiet time.Duration
+	// Batch selects hot-path batching (default BatchOn; see Batching).
+	Batch Batching
 
 	// TrackCallSites records the application source line of every MPI call
 	// so wait-for conditions and reports point at code (one runtime.Caller
@@ -288,6 +312,7 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		Fault:                    opts.Fault,
 		SnapshotDeadline:         opts.SnapshotDeadline,
 		WatchdogQuiet:            opts.WatchdogQuiet,
+		NoBatch:                  opts.Batch == BatchOff,
 		SendMode:                 mode,
 		BufferSlots:              opts.BufferSlots,
 		BufferedSendCost:         opts.BufferedSendCost,
