@@ -25,11 +25,12 @@ chaos:
 short:
 	$(GO) test -short -race ./...
 
-# Native Go fuzzing of the reliable-transport resequencer (30s by default;
-# override with FUZZTIME=5m etc.).
+# Native Go fuzzing: the reliable-transport resequencer and the TCP wire
+# frame decoder (30s each by default; override with FUZZTIME=5m etc.).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzResequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/tbon/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire/
 
 # Regenerate the committed benchmark baseline (BENCH_pr4.json).
 BENCH_BASELINE ?= BENCH_pr4.json

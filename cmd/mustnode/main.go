@@ -1,0 +1,46 @@
+// Command mustnode is one worker process of a TCP-transport tool run: it
+// dials the coordinator (a mustrun -transport=tcp process or any embedder
+// of must.Options.Net), hosts its share of the first tool layer, and exits
+// when the coordinator shuts the run down.
+//
+// Usage:
+//
+//	mustnode -dial 127.0.0.1:7000 -worker 0
+//
+// mustrun spawns these automatically; running one by hand is only useful
+// for debugging a coordinator kept alive under a debugger.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dwst/must"
+)
+
+func main() {
+	var (
+		dial    = flag.String("dial", "", "coordinator address (required)")
+		worker  = flag.Int("worker", 0, "worker index in [0, workers)")
+		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "initial connection timeout")
+		haltDur = flag.Duration("halt-after", 0, "abruptly kill this worker after the given delay (fault-injection aid; 0 = never)")
+	)
+	flag.Parse()
+
+	if *dial == "" {
+		fmt.Fprintln(os.Stderr, "mustnode: -dial is required")
+		os.Exit(2)
+	}
+	opts := must.WorkerOptions{DialTimeout: *dialTO}
+	if *haltDur > 0 {
+		halt := make(chan struct{})
+		time.AfterFunc(*haltDur, func() { close(halt) })
+		opts.Halt = halt
+	}
+	if err := must.RunWorker(*dial, *worker, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "mustnode: worker %d: %v\n", *worker, err)
+		os.Exit(1)
+	}
+}

@@ -58,8 +58,31 @@ func main() {
 
 		recoverNodes = flag.Bool("recover", true, "exact recovery of crashed first-layer tool nodes (journal replay); active when a fault plan is configured")
 		journalCap   = flag.Int("journal-cap", 0, "recovery journal suffix cap forcing a checkpoint (0 = default 512)")
+
+		transport   = flag.String("transport", "chan", "TBON transport: chan (in-process, default) | tcp (worker processes over real sockets)")
+		listenAddr  = flag.String("listen", "127.0.0.1:0", "coordinator listen address (tcp)")
+		workers     = flag.Int("workers", 2, "worker processes sharing the first tool layer (tcp)")
+		dialTO      = flag.Duration("dial-timeout", 5*time.Second, "worker connection timeout (tcp)")
+		netBudget   = flag.Duration("degrade-budget", 0, "disconnection budget before a worker's ranks are reported unknown (tcp; 0 = default 3s)")
+		mustnodeBin = flag.String("mustnode-bin", "", "worker binary (default: mustnode on PATH or next to mustrun, else mustrun re-executes itself)")
+
+		wireDrop      = flag.Float64("wire-drop", 0, "probability of dropping a wire frame in the fault proxy (tcp, 0..1)")
+		wireDup       = flag.Float64("wire-dup", 0, "probability of duplicating a wire frame in the fault proxy (tcp, 0..1)")
+		wireDelay     = flag.Duration("wire-delay", 0, "max uniform per-frame delay in the fault proxy (tcp)")
+		wireSeed      = flag.Int64("wire-seed", 1, "deterministic seed for wire-level fault injection (tcp)")
+		wirePartAfter = flag.Duration("wire-partition-after", 0, "sever all worker connections this long after listen (tcp; 0 = never)")
+		wirePartFor   = flag.Duration("wire-partition-for", 0, "partition duration (tcp; heals via reconnect if under the budget)")
+		killWorker    = flag.Int("kill-worker", -1, "SIGKILL this worker process mid-run (tcp; degraded-report demo)")
+		killAfter     = flag.Duration("kill-after", 50*time.Millisecond, "delay before -kill-worker")
+
+		workerDial = flag.String("worker-dial", "", "internal: run as a worker process dialing this coordinator")
+		workerID   = flag.Int("worker", 0, "internal: worker index (with -worker-dial)")
 	)
 	flag.Parse()
+
+	if *workerDial != "" {
+		runWorkerMode(*workerDial, *workerID, *dialTO)
+	}
 
 	if err := validateFaultFlags(*faultDrop, *faultDup, *faultReord, *journalCap); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,6 +125,48 @@ func main() {
 
 	faultActive := *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 || *crashNode >= 0 ||
 		len(rankCrashes) > 0 || len(rankStalls) > 0
+
+	wf := wireFlags{
+		Drop: *wireDrop, Dup: *wireDup, Delay: *wireDelay, Seed: *wireSeed,
+		PartitionAfter: *wirePartAfter, PartitionFor: *wirePartFor,
+	}
+	tcpOnly := map[string]bool{
+		"listen": true, "workers": true, "dial-timeout": true, "degrade-budget": true,
+		"mustnode-bin": true, "wire-drop": true, "wire-dup": true, "wire-delay": true,
+		"wire-seed": true, "wire-partition-after": true, "wire-partition-for": true,
+		"kill-worker": true, "kill-after": true,
+	}
+	var tcpOnlySet []string
+	flag.Visit(func(f *flag.Flag) {
+		if tcpOnly[f.Name] {
+			tcpOnlySet = append(tcpOnlySet, "-"+f.Name)
+		}
+	})
+	if err := validateTransportFlags(*transport, *mode, *procs, *fanIn, *workers,
+		faultActive || *linkDelay > 0, wf, *killWorker, tcpOnlySet); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var orch *netOrchestrator
+	if *transport == "tcp" {
+		orch = &netOrchestrator{
+			bin:        *mustnodeBin,
+			workers:    *workers,
+			dialTO:     *dialTO,
+			wf:         wf,
+			killWorker: *killWorker,
+			killAfter:  *killAfter,
+		}
+		opts.Net = &must.NetOptions{
+			Listen:      *listenAddr,
+			Workers:     *workers,
+			DialTimeout: *dialTO,
+			Budget:      *netBudget,
+			OnListen:    orch.onListen,
+		}
+	}
+
 	if faultActive {
 		plan := &must.FaultPlan{Seed: *faultSeed}
 		if *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 {
@@ -122,9 +187,16 @@ func main() {
 	}
 
 	rep := must.Run(*procs, prog, opts)
+	if orch != nil {
+		orch.cleanup()
+	}
+	if rep.Err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", rep.Err)
+		os.Exit(2)
+	}
 
-	fmt.Printf("workload=%s procs=%d mode=%s fanin=%d elapsed=%v tool-nodes=%d detections=%d\n",
-		*wl, *procs, *mode, *fanIn, rep.Elapsed.Round(time.Millisecond), rep.ToolNodes, rep.Detections)
+	fmt.Printf("workload=%s procs=%d mode=%s transport=%s fanin=%d elapsed=%v tool-nodes=%d detections=%d\n",
+		*wl, *procs, *mode, *transport, *fanIn, rep.Elapsed.Round(time.Millisecond), rep.ToolNodes, rep.Detections)
 	switch {
 	case rep.Verdict == must.VerdictDeadlockByFailure:
 		fmt.Printf("DEADLOCK BY FAILURE — application rank(s) %s crashed\n", deadRankStr(rep))
@@ -144,6 +216,14 @@ func main() {
 	if rep.Partial {
 		fmt.Printf("PARTIAL REPORT: tool nodes hosting ranks %v crashed; their wait state is unknown\n",
 			summarizeRanks(rep.UnknownRanks))
+	}
+	if *transport == "tcp" {
+		fmt.Printf("wire: workers=%d reconnects=%d retransmits=%d abandoned=%d codec-errors=%d bytes=%d\n",
+			*workers, rep.Reconnects, rep.Retransmits, rep.AbandonedFrames, rep.CodecErrors, rep.BytesOnWire)
+		if orch.proxy != nil {
+			fmt.Printf("wire-faults: seed=%d proxy-dropped=%d proxy-dupped=%d\n",
+				*wireSeed, orch.proxy.Dropped(), orch.proxy.Dupped())
+		}
 	}
 	if faultActive {
 		fmt.Printf("fault-plane: seed=%d retransmits=%d abandoned=%d dropped-events=%d snapshot-retries=%d\n",
@@ -189,7 +269,7 @@ func main() {
 	if *statsJSON != "" {
 		// Must stay the last stdout write: with `-stats-json -`, consumers
 		// parse the trailing JSON object off the human-readable output.
-		writeStats(*statsJSON, *wl, *procs, *mode, *batch, rep)
+		writeStats(*statsJSON, statsFor(*wl, *procs, *mode, *transport, *batch, rep))
 	}
 	if rep.Deadlock {
 		os.Exit(1)
@@ -205,6 +285,7 @@ type runStats struct {
 	Workload         string      `json:"workload"`
 	Procs            int         `json:"procs"`
 	Mode             string      `json:"mode"`
+	Transport        string      `json:"transport"`
 	Batch            bool        `json:"batch"`
 	Verdict          string      `json:"verdict"`
 	Deadlock         bool        `json:"deadlock"`
@@ -217,6 +298,9 @@ type runStats struct {
 	WatchdogFires    int         `json:"watchdog_fires"`
 	Retransmits      uint64      `json:"retransmits"`
 	AbandonedFrames  uint64      `json:"abandoned_frames"`
+	Reconnects       uint64      `json:"reconnects"`
+	CodecErrors      uint64      `json:"codec_errors"`
+	BytesOnWire      uint64      `json:"bytes_on_wire"`
 	DroppedEvents    int         `json:"dropped_events"`
 	SnapshotRetries  int         `json:"snapshot_retries"`
 	Partial          bool        `json:"partial"`
@@ -231,11 +315,13 @@ type runStats struct {
 	ElapsedMS        int64       `json:"elapsed_ms"`
 }
 
-func writeStats(path, wl string, procs int, mode string, batch bool, rep *must.Report) {
-	st := runStats{
+// statsFor flattens a report into the -stats-json schema.
+func statsFor(wl string, procs int, mode, transport string, batch bool, rep *must.Report) runStats {
+	return runStats{
 		Workload:         wl,
 		Procs:            procs,
 		Mode:             mode,
+		Transport:        transport,
 		Batch:            batch,
 		Verdict:          rep.Verdict.String(),
 		Deadlock:         rep.Deadlock,
@@ -248,6 +334,9 @@ func writeStats(path, wl string, procs int, mode string, batch bool, rep *must.R
 		WatchdogFires:    rep.WatchdogFires,
 		Retransmits:      rep.Retransmits,
 		AbandonedFrames:  rep.AbandonedFrames,
+		Reconnects:       rep.Reconnects,
+		CodecErrors:      rep.CodecErrors,
+		BytesOnWire:      rep.BytesOnWire,
 		DroppedEvents:    rep.DroppedEvents,
 		SnapshotRetries:  rep.SnapshotRetries,
 		Partial:          rep.Partial,
@@ -261,6 +350,9 @@ func writeStats(path, wl string, procs int, mode string, batch bool, rep *must.R
 		LostMessages:     rep.LostMessages,
 		ElapsedMS:        rep.Elapsed.Milliseconds(),
 	}
+}
+
+func writeStats(path string, st runStats) {
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stats-json:", err)

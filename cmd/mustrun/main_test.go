@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dwst/must"
+)
 
 func TestValidateFaultFlags(t *testing.T) {
 	cases := []struct {
@@ -26,6 +32,98 @@ func TestValidateFaultFlags(t *testing.T) {
 					c.drop, c.dup, c.reorder, c.journalCap, err, c.wantErr)
 			}
 		})
+	}
+}
+
+func TestValidateTransportFlags(t *testing.T) {
+	type args struct {
+		transport   string
+		mode        string
+		procs       int
+		fanIn       int
+		workers     int
+		faultActive bool
+		wf          wireFlags
+		killWorker  int
+		tcpOnlySet  []string
+	}
+	ok := args{transport: "tcp", mode: "distributed", procs: 8, fanIn: 2, workers: 2, killWorker: -1}
+	cases := []struct {
+		name    string
+		mut     func(*args)
+		wantErr bool
+	}{
+		{"tcp defaults", func(a *args) {}, false},
+		{"chan without tcp flags", func(a *args) { a.transport = "chan" }, false},
+		{"chan with tcp-only flag set", func(a *args) {
+			a.transport = "chan"
+			a.tcpOnlySet = []string{"-wire-drop"}
+		}, true},
+		{"chan with -listen set", func(a *args) {
+			a.transport = "chan"
+			a.tcpOnlySet = []string{"-listen"}
+		}, true},
+		{"chan with -dial-timeout set", func(a *args) {
+			a.transport = "chan"
+			a.tcpOnlySet = []string{"-dial-timeout"}
+		}, true},
+		{"unknown transport", func(a *args) { a.transport = "udp" }, true},
+		{"tcp needs distributed mode", func(a *args) { a.mode = "centralized" }, true},
+		{"tcp rejects chan fault plans", func(a *args) { a.faultActive = true }, true},
+		{"single first-layer node", func(a *args) { a.procs = 4; a.fanIn = 4 }, true},
+		{"zero workers", func(a *args) { a.workers = 0 }, true},
+		{"more workers than leaves", func(a *args) { a.workers = 5 }, true},
+		{"wire drop above one", func(a *args) { a.wf.Drop = 1.5 }, true},
+		{"wire dup negative", func(a *args) { a.wf.Dup = -0.1 }, true},
+		{"wire delay negative", func(a *args) { a.wf.Delay = -time.Millisecond }, true},
+		{"partition-after without partition-for", func(a *args) { a.wf.PartitionAfter = time.Second }, true},
+		{"partition pair", func(a *args) {
+			a.wf.PartitionAfter = time.Second
+			a.wf.PartitionFor = time.Second
+		}, false},
+		{"kill-worker out of range", func(a *args) { a.killWorker = 2 }, true},
+		{"kill-worker in range", func(a *args) { a.killWorker = 1 }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := ok
+			c.mut(&a)
+			err := validateTransportFlags(a.transport, a.mode, a.procs, a.fanIn, a.workers,
+				a.faultActive, a.wf, a.killWorker, a.tcpOnlySet)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateTransportFlags(%+v) error = %v, wantErr %v", a, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestStatsJSONCarriesTransportCounters(t *testing.T) {
+	rep := &must.Report{
+		Reconnects:  3,
+		CodecErrors: 1,
+		BytesOnWire: 4096,
+		Retransmits: 7,
+	}
+	b, err := json.Marshal(statsFor("fig2b", 8, "distributed", "tcp", false, rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for field, want := range map[string]float64{
+		"reconnects":    3,
+		"codec_errors":  1,
+		"bytes_on_wire": 4096,
+		"retransmits":   7,
+	} {
+		if got[field] != want {
+			t.Errorf("stats JSON field %q = %v, want %v", field, got[field], want)
+		}
+	}
+	if got["transport"] != "tcp" {
+		t.Errorf("stats JSON transport = %v, want tcp", got["transport"])
 	}
 }
 

@@ -1,0 +1,190 @@
+// TCP-transport orchestration for mustrun: flag validation, worker-process
+// spawning, the wire-level fault proxy, and mid-run process kills.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"dwst/internal/fault"
+	"dwst/must"
+)
+
+// wireFlags are the wire-level fault-proxy knobs (tcp transport only).
+type wireFlags struct {
+	Drop           float64
+	Dup            float64
+	Delay          time.Duration
+	Seed           int64
+	PartitionAfter time.Duration
+	PartitionFor   time.Duration
+}
+
+// active reports whether any proxy-mediated fault is configured (the proxy
+// is only interposed when it has work to do).
+func (w wireFlags) active() bool {
+	return w.Drop > 0 || w.Dup > 0 || w.Delay > 0 || w.PartitionAfter > 0
+}
+
+// validateTransportFlags rejects inconsistent transport configurations up
+// front. tcpOnlySet lists tcp-only flags the user set explicitly (from
+// flag.Visit), so `-transport=chan -wire-drop 0.1` fails loudly instead of
+// silently ignoring the fault.
+func validateTransportFlags(transport, mode string, procs, fanIn, workers int,
+	faultActive bool, wf wireFlags, killWorker int, tcpOnlySet []string) error {
+	switch transport {
+	case "chan":
+		if len(tcpOnlySet) > 0 {
+			return fmt.Errorf("flag %s requires -transport=tcp", tcpOnlySet[0])
+		}
+		return nil
+	case "tcp":
+	default:
+		return fmt.Errorf("bad -transport %q: want chan or tcp", transport)
+	}
+	if mode != "distributed" {
+		return fmt.Errorf("-transport=tcp requires -mode=distributed (the centralized tool has no tree to distribute)")
+	}
+	if faultActive {
+		return fmt.Errorf("-fault-*, -rank-* and -link-delay require -transport=chan: over TCP the adversary is the wire (use -wire-drop/-wire-dup/-wire-delay/-wire-partition-*)")
+	}
+	if fanIn <= 0 {
+		fanIn = 4
+	}
+	width0 := (procs + fanIn - 1) / fanIn
+	if width0 < 2 {
+		return fmt.Errorf("-transport=tcp needs at least 2 first-layer nodes (procs > fanin); got procs=%d fanin=%d", procs, fanIn)
+	}
+	if workers < 1 {
+		return fmt.Errorf("bad -workers %d: want >= 1", workers)
+	}
+	if workers > width0 {
+		return fmt.Errorf("bad -workers %d: more workers than first-layer nodes (%d)", workers, width0)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"-wire-drop", wf.Drop}, {"-wire-dup", wf.Dup}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("bad %s %v: want a probability in [0, 1]", p.name, p.v)
+		}
+	}
+	if wf.Delay < 0 {
+		return fmt.Errorf("bad -wire-delay %v: want >= 0", wf.Delay)
+	}
+	if wf.PartitionAfter > 0 && wf.PartitionFor <= 0 {
+		return fmt.Errorf("-wire-partition-after needs -wire-partition-for > 0")
+	}
+	if killWorker >= workers {
+		return fmt.Errorf("bad -kill-worker %d: only %d workers", killWorker, workers)
+	}
+	return nil
+}
+
+// netOrchestrator owns the worker processes and the optional fault proxy
+// for one tcp-transport run.
+type netOrchestrator struct {
+	bin        string
+	workers    int
+	dialTO     time.Duration
+	wf         wireFlags
+	killWorker int
+	killAfter  time.Duration
+
+	proxy *fault.WireProxy
+	procs []*exec.Cmd
+}
+
+// onListen is the must.NetOptions.OnListen hook: the coordinator has bound
+// its port; interpose the fault proxy if configured and start the worker
+// processes. Failures are reported on stderr — the run itself surfaces
+// them as a ready-timeout (Report.Err).
+func (o *netOrchestrator) onListen(addr string) {
+	dialAddr := addr
+	if o.wf.active() {
+		plan := &fault.Plan{Seed: o.wf.Seed}
+		if o.wf.Drop > 0 || o.wf.Dup > 0 || o.wf.Delay > 0 {
+			plan.Rules = []fault.Rule{{Drop: o.wf.Drop, Dup: o.wf.Dup, JitterMax: o.wf.Delay}}
+		}
+		proxy, err := fault.NewWireProxy(addr, plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire proxy:", err)
+			return
+		}
+		o.proxy = proxy
+		dialAddr = proxy.Addr()
+		if o.wf.PartitionAfter > 0 {
+			time.AfterFunc(o.wf.PartitionAfter, func() { proxy.Partition(o.wf.PartitionFor) })
+		}
+	}
+	for w := 0; w < o.workers; w++ {
+		cmd := o.workerCommand(dialAddr, w)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "spawn worker %d: %v\n", w, err)
+			continue
+		}
+		o.procs = append(o.procs, cmd)
+		if w == o.killWorker {
+			proc := cmd.Process
+			time.AfterFunc(o.killAfter, func() { proc.Kill() })
+		}
+	}
+}
+
+// workerCommand builds the command for one worker process: the configured
+// -mustnode-bin, a mustnode found on PATH or next to this executable, or —
+// so a lone mustrun binary still works — mustrun itself in worker mode.
+func (o *netOrchestrator) workerCommand(addr string, w int) *exec.Cmd {
+	bin := o.bin
+	if bin == "" {
+		if p, err := exec.LookPath("mustnode"); err == nil {
+			bin = p
+		} else if exe, err := os.Executable(); err == nil {
+			sibling := filepath.Join(filepath.Dir(exe), "mustnode")
+			if _, err := os.Stat(sibling); err == nil {
+				bin = sibling
+			}
+		}
+	}
+	if bin != "" {
+		return exec.Command(bin,
+			"-dial", addr, "-worker", strconv.Itoa(w),
+			"-dial-timeout", o.dialTO.String())
+	}
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	return exec.Command(self,
+		"-worker-dial", addr, "-worker", strconv.Itoa(w),
+		"-dial-timeout", o.dialTO.String())
+}
+
+// cleanup reaps the worker processes (they exit on coordinator shutdown;
+// stragglers are killed after a grace period) and closes the proxy.
+func (o *netOrchestrator) cleanup() {
+	for _, cmd := range o.procs {
+		proc := cmd.Process
+		timer := time.AfterFunc(5*time.Second, func() { proc.Kill() })
+		cmd.Wait()
+		timer.Stop()
+	}
+	if o.proxy != nil {
+		o.proxy.Close()
+	}
+}
+
+// runWorkerMode is mustrun's hidden worker personality (-worker-dial): the
+// fallback used when no mustnode binary is available.
+func runWorkerMode(addr string, worker int, dialTO time.Duration) {
+	if err := must.RunWorker(addr, worker, must.WorkerOptions{DialTimeout: dialTO}); err != nil {
+		fmt.Fprintf(os.Stderr, "mustrun worker %d: %v\n", worker, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

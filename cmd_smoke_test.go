@@ -218,6 +218,143 @@ func TestCmdMustrunStatsJSONStdout(t *testing.T) {
 	}
 }
 
+// buildNetBins compiles mustrun and mustnode once into a temp dir, so the
+// TCP smoke tests exercise the real multi-process deployment (coordinator
+// spawning separate worker executables) rather than go run's wrapper.
+func buildNetBins(t *testing.T) (mustrun, mustnode string) {
+	t.Helper()
+	dir := t.TempDir()
+	mustrun = filepath.Join(dir, "mustrun")
+	mustnode = filepath.Join(dir, "mustnode")
+	for bin, pkg := range map[string]string{mustrun: "./cmd/mustrun", mustnode: "./cmd/mustnode"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return mustrun, mustnode
+}
+
+func runBin(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), code
+}
+
+func TestCmdMustrunTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	mustrun, mustnode := buildNetBins(t)
+
+	// Transport equivalence on real OS processes: the fig9/fig10-style
+	// workloads must produce the exact verdict line of their chan runs.
+	for _, c := range []struct {
+		workload string
+		procs    string
+		want     string
+	}{
+		{"recvrecv", "8", "deadlocked ranks: [0 1 2 3 4 5 6 7]"},
+		{"fig2b", "3", "deadlocked ranks: [0 1 2]"},
+	} {
+		chanOut, chanCode := runBin(t, mustrun, "-workload", c.workload, "-procs", c.procs, "-fanin", "2")
+		tcpOut, tcpCode := runBin(t, mustrun, "-workload", c.workload, "-procs", c.procs, "-fanin", "2",
+			"-transport", "tcp", "-workers", "2", "-mustnode-bin", mustnode)
+		if tcpCode != chanCode {
+			t.Fatalf("%s: tcp exit %d != chan exit %d\ntcp:\n%s\nchan:\n%s",
+				c.workload, tcpCode, chanCode, tcpOut, chanOut)
+		}
+		for _, want := range []string{c.want, "transport=tcp"} {
+			if !strings.Contains(tcpOut, want) {
+				t.Fatalf("%s over tcp missing %q:\n%s", c.workload, want, tcpOut)
+			}
+		}
+		if strings.Contains(tcpOut, "PARTIAL REPORT") {
+			t.Fatalf("fault-free tcp run degraded:\n%s", tcpOut)
+		}
+	}
+
+	// Seeded wire faults: the proxy drops and duplicates real frames; the
+	// reliable layer must still deliver the exact verdict.
+	out, code := runBin(t, mustrun, "-workload", "fig2b", "-procs", "3", "-fanin", "2",
+		"-transport", "tcp", "-workers", "2", "-mustnode-bin", mustnode,
+		"-wire-drop", "0.05", "-wire-dup", "0.05", "-wire-seed", "7")
+	if code != 1 {
+		t.Fatalf("wire-fault run exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"deadlocked ranks: [0 1 2]", "wire-faults: seed=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wire-fault run missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PARTIAL REPORT") {
+		t.Fatalf("wire faults alone degraded the report:\n%s", out)
+	}
+
+	// Kill a worker process mid-run: past the budget its leaves are spliced
+	// out and the report honestly flags their ranks unknown.
+	out, code = runBin(t, mustrun, "-workload", "recvrecv", "-procs", "8", "-fanin", "4",
+		"-transport", "tcp", "-workers", "2", "-mustnode-bin", mustnode,
+		"-degrade-budget", "250ms", "-kill-worker", "1", "-kill-after", "30ms")
+	if code != 1 {
+		t.Fatalf("kill-worker run exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"PARTIAL REPORT", "ranks [4 5 6 7]", "DEADLOCK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kill-worker run missing %q:\n%s", want, out)
+		}
+	}
+
+	// Inconsistent transport flags are rejected at startup (exit 2).
+	out, code = runBin(t, mustrun, "-workload", "recvrecv", "-procs", "8", "-wire-drop", "0.1")
+	if code != 2 || !strings.Contains(out, "requires -transport=tcp") {
+		t.Fatalf("chan + -wire-drop not rejected with exit 2 (code %d):\n%s", code, out)
+	}
+	out, code = runBin(t, mustrun, "-workload", "recvrecv", "-procs", "8",
+		"-transport", "tcp", "-fanin", "2", "-workers", "2", "-fault-drop", "0.1")
+	if code != 2 || !strings.Contains(out, "require -transport=chan") {
+		t.Fatalf("tcp + -fault-drop not rejected with exit 2 (code %d):\n%s", code, out)
+	}
+}
+
+func TestCmdMustrunTCPStatsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests skipped in -short")
+	}
+	mustrun, mustnode := buildNetBins(t)
+	stats := filepath.Join(t.TempDir(), "stats.json")
+	out, code := runBin(t, mustrun, "-workload", "fig2b", "-procs", "3", "-fanin", "2",
+		"-transport", "tcp", "-workers", "2", "-mustnode-bin", mustnode,
+		"-stats-json", stats)
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	b, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatalf("stats file: %v", err)
+	}
+	var st struct {
+		Transport   string `json:"transport"`
+		Deadlock    bool   `json:"deadlock"`
+		BytesOnWire uint64 `json:"bytes_on_wire"`
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("stats json: %v\n%s", err, b)
+	}
+	if st.Transport != "tcp" || !st.Deadlock || st.BytesOnWire == 0 {
+		t.Fatalf("stats = %+v\n%s", st, b)
+	}
+}
+
 func TestCmdMustreplayRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("command smoke tests skipped in -short")

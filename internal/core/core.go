@@ -70,6 +70,13 @@ type Config struct {
 	// unhealed loss must time out rather than wedge). Default 2s.
 	SnapshotDeadline time.Duration
 
+	// Net, when non-nil, runs the tool over the TCP fabric: this process is
+	// the coordinator (upper tool layers, root, driver, application) and
+	// Net.Workers separate worker processes own the first tool layer.
+	// Mutually exclusive with Fault — over real sockets the adversary is
+	// the network (or the wire-level fault proxy), not the link pumps.
+	Net *NetOptions
+
 	// WatchdogQuiet enables the progress watchdog: the driver injects
 	// per-rank heartbeats carrying each rank's call counter, and a rank
 	// that is alive, not blocked in MPI, and issues no call for longer
@@ -126,9 +133,19 @@ type Result struct {
 	// SnapshotDeadline and retried under a fresh epoch.
 	SnapshotRetries int
 	// Retransmits and AbandonedFrames count reliable-transport activity
-	// (zero without a fault plan).
+	// (zero without a fault plan or TCP fabric).
 	Retransmits     uint64
 	AbandonedFrames uint64
+	// Reconnects, CodecErrors and BytesOnWire are TCP-fabric counters
+	// (zero on the channel transport): accepted worker reconnections,
+	// malformed/unencodable wire payloads, and bytes moved on the wire
+	// across all processes.
+	Reconnects  uint64
+	CodecErrors uint64
+	BytesOnWire uint64
+	// Failed marks a run that never executed the application: configuration
+	// rejected or the TCP fabric failed to assemble. AppErr holds the cause.
+	Failed bool
 
 	// Verdict classifies the outcome (true deadlock, deadlock-by-failure,
 	// stalled, none); the first non-none detection verdict wins.
@@ -520,11 +537,37 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		cfg.SnapshotDeadline = 2 * time.Second
 	}
 
+	if cfg.Net != nil && cfg.Fault != nil {
+		return &Result{Failed: true, AppErr: errors.New("core: fault plans require the channel transport; over TCP the adversary is the wire (use the wire-level fault proxy)")}
+	}
+
 	journaling := cfg.Fault != nil && cfg.Fault.Recover && !cfg.Fault.DisableRetransmit
 	var replayedMsgs, replayNanos atomic.Int64
 
+	var netCfg *tbon.NetConfig
+	if cfg.Net != nil {
+		ka := cfg.Net.KeepAlive
+		if ka == 0 {
+			// Quiescence tracking rides on worker stats reports, which tick at
+			// KeepAlive/2: keep them well inside the driver's stability window.
+			ka = cfg.Timeout / 2
+			if ka < 5*time.Millisecond {
+				ka = 5 * time.Millisecond
+			}
+		}
+		netCfg = &tbon.NetConfig{
+			Role:        tbon.NetCoordinator,
+			Workers:     cfg.Net.Workers,
+			Listen:      cfg.Net.Listen,
+			DialTimeout: cfg.Net.DialTimeout,
+			KeepAlive:   ka,
+			Budget:      cfg.Net.Budget,
+			Extra:       workerExtra{WatchdogQuiet: cfg.WatchdogQuiet},
+		}
+	}
+
 	var tree *tbon.Tree
-	tree = tbon.New(tbon.Config{
+	tree, err := tbon.NewNet(tbon.Config{
 		Leaves:          cfg.Procs,
 		FanIn:           cfg.FanIn,
 		EventBuf:        cfg.EventBuf,
@@ -549,7 +592,11 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 				Node: n.Index(), Ranks: tree.RanksOf(n.Index()), Recovered: true,
 			})
 		},
+		Net: netCfg,
 	})
+	if err != nil {
+		return &Result{Failed: true, AppErr: err}
+	}
 	defer tree.Stop()
 
 	root := detect.NewRoot(cfg.Procs, len(tree.FirstLayer()))
@@ -613,6 +660,20 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		}
 		return h
 	})
+
+	if cfg.Net != nil {
+		// Hand the bound address to the orchestrator (which spawns the worker
+		// processes), then block until every worker slot has connected: events
+		// injected before the first tool layer exists would only pile up in
+		// transport outboxes.
+		if cfg.Net.OnListen != nil {
+			cfg.Net.OnListen(tree.ListenAddr())
+		}
+		if err := tree.WaitReady(cfg.Net.ReadyTimeout); err != nil {
+			tree.Stop()
+			return &Result{Failed: true, ToolNodes: tree.NumNodes(), AppErr: err}
+		}
+	}
 
 	// Application-plane faults ride on the same plan as the link faults;
 	// the simulator executes them, the tool only observes the fallout.
@@ -748,6 +809,25 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			for _, l := range leaves {
 				res.MsgStats.Add(l.Stats())
 			}
+			if cfg.Net != nil {
+				// Worker processes shipped their final reports during the
+				// shutdown handshake inside tree.Stop; fold them in. A worker
+				// degraded past budget simply has no final (its leaves were
+				// already reported down via OnNodeDown).
+				for _, wf := range tree.WorkerFinals() {
+					res.MsgStats.Add(wf.MsgStats)
+					if wf.WindowHighWater > res.WindowHighWater {
+						res.WindowHighWater = wf.WindowHighWater
+					}
+					res.Retransmits += wf.Retransmits
+					res.AbandonedFrames += wf.Abandoned
+					res.BytesOnWire += wf.BytesOnWire
+					res.CodecErrors += wf.CodecErrors
+				}
+				res.Reconnects = tree.Reconnects()
+				res.BytesOnWire += tree.BytesOnWire()
+				res.CodecErrors += tree.CodecErrors()
+			}
 			for _, m := range root.Mismatches() {
 				res.CallMismatches = append(res.CallMismatches, m.String())
 			}
@@ -781,7 +861,13 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 				lastChange = time.Now()
 				continue
 			}
-			if time.Since(lastChange) >= cfg.Timeout {
+			if time.Since(lastChange) >= cfg.Timeout && tree.InFlight() == 0 {
+				// The in-flight gate matters over TCP: the handled counter
+				// plateaus while a dropped frame awaits retransmission
+				// (retry backoff exceeds the quiescence window), and a
+				// detection snapshot taken then misses its event. Skip —
+				// without resetting the plateau clock — until the fabric
+				// drains.
 				tree.Control(rootNode, detect.TriggerDetection{})
 				inFlight = true
 				detectStart = time.Now()
@@ -817,15 +903,19 @@ func heartbeatPump(tree *tbon.Tree, world *mpisim.World, procs int, quiet time.D
 	}
 }
 
-// waitQuiesce waits until the tool processed everything in flight (handled
-// counter stable across consecutive checks).
+// waitQuiesce waits until the tool processed everything in flight: handled
+// counter stable across consecutive checks AND no reliable-layer frames
+// awaiting acknowledgement (over TCP a retransmit-pending frame is invisible
+// to the handled counter). The deadline bounds a fabric that never drains —
+// better a possibly-incomplete final snapshot than a hang.
 func waitQuiesce(tree *tbon.Tree) {
+	deadline := time.Now().Add(10 * time.Second)
 	stable := 0
 	last := tree.Handled()
-	for stable < 5 {
+	for stable < 5 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 		cur := tree.Handled()
-		if cur == last {
+		if cur == last && tree.InFlight() == 0 {
 			stable++
 		} else {
 			stable = 0

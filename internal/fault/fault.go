@@ -33,6 +33,12 @@ const (
 	DownLink
 	// PeerLink matches first-layer intralayer links.
 	PeerLink
+	// RankLink is the rank → first-layer event link when it crosses a
+	// process boundary (TCP transport): the coordinator sequences injected
+	// rank events on it so the reliable layer can heal wire-level loss.
+	// In-process fault rules never target it — it exists only where the
+	// wire-level fault proxy, not the link pumps, is the adversary.
+	RankLink
 )
 
 func (c Class) String() string {
@@ -43,6 +49,8 @@ func (c Class) String() string {
 		return "down"
 	case PeerLink:
 		return "peer"
+	case RankLink:
+		return "rank"
 	default:
 		return "any"
 	}

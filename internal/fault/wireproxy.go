@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwst/internal/wire"
+)
+
+// WireProxy is the TCP-transport counterpart of the link Injector: a
+// frame-parsing man-in-the-middle between worker processes and the
+// coordinator. Workers dial the proxy instead of the coordinator; the proxy
+// decodes real wire frames and applies the plan's Rules per direction —
+// dropping, duplicating, delaying or stalling actual bytes on actual
+// sockets. Partition severs every live connection and refuses new ones for
+// a while, exercising the fabric's reconnect-with-fencing path end to end.
+//
+// Scope deliberately matches what TCP can violate: frames are dropped,
+// duplicated and delayed, but never reordered within a connection (the
+// stream is FIFO; Rule.Reorder is ignored). Handshake and shutdown frames
+// (hello, welcome, shutdown, final) pass through unharmed — the adversary
+// owns the data plane, not the session protocol; losing those is what
+// Partition is for.
+type WireProxy struct {
+	ln      net.Listener
+	backend string
+	inj     *Injector
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	healUntil time.Time
+	nextLink  int
+	closed    bool
+
+	wg      sync.WaitGroup
+	dropped atomic.Uint64
+	dupped  atomic.Uint64
+}
+
+// NewWireProxy starts a proxy on an ephemeral loopback port, forwarding to
+// the coordinator at backend. Rules with Link == RankLink or AnyLink apply
+// to worker→coordinator frames; coordinator→worker frames see the same
+// rule set (per-direction deterministic streams derived from plan.Seed).
+func NewWireProxy(backend string, plan *Plan) (*WireProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &WireProxy{
+		ln:      ln,
+		backend: backend,
+		inj:     NewInjector(plan),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what workers should dial.
+func (p *WireProxy) Addr() string { return p.ln.Addr().String() }
+
+// Dropped reports how many frames the proxy dropped.
+func (p *WireProxy) Dropped() uint64 { return p.dropped.Load() }
+
+// Dupped reports how many frames the proxy delivered twice.
+func (p *WireProxy) Dupped() uint64 { return p.dupped.Load() }
+
+// Partition severs every live connection and refuses new ones for d: a
+// full network partition between the workers and the coordinator. The
+// fabric's reconnect machinery heals it once d elapses (if the
+// degradation budget has not run out first).
+func (p *WireProxy) Partition(d time.Duration) {
+	p.mu.Lock()
+	p.healUntil = time.Now().Add(d)
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down and waits for its goroutines.
+func (p *WireProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *WireProxy) serve() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		partitioned := time.Now().Before(p.healUntil)
+		closed := p.closed
+		p.mu.Unlock()
+		if closed || partitioned {
+			client.Close()
+			continue
+		}
+		server, err := net.DialTimeout("tcp", p.backend, 2*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			continue
+		}
+		p.conns[client] = struct{}{}
+		p.conns[server] = struct{}{}
+		// One deterministic fault stream per direction, derived from the
+		// plan seed and the connection's accept order.
+		up := p.inj.Link(p.nextLink, RankLink)
+		down := p.inj.Link(p.nextLink+1, RankLink)
+		p.nextLink += 2
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(client, server, up)
+		go p.pipe(server, client, down)
+	}
+}
+
+// controlKind reports frames the adversary must not touch: losing a
+// handshake or final report is a session failure, not a network fault.
+func controlKind(k wire.Kind) bool {
+	switch k {
+	case wire.KindHello, wire.KindWelcome, wire.KindShutdown, wire.KindFinal:
+		return true
+	}
+	return false
+}
+
+// pipe forwards frames from src to dst, rolling lk's dice on each
+// data-plane frame. Any read or write error tears down both directions
+// (closing src unblocks the sibling pipe's read).
+func (p *WireProxy) pipe(src, dst net.Conn, lk *Link) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(src, 64<<10)
+	buf := make([]byte, 0, 4096)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		buf = buf[:0]
+		buf, err = wire.Append(buf, f)
+		if err != nil {
+			return
+		}
+		if !controlKind(f.Kind) {
+			d := lk.Decide(f.Kind)
+			if d.Stall > 0 {
+				time.Sleep(d.Stall)
+			}
+			if d.Drop {
+				p.dropped.Add(1)
+				continue
+			}
+			if d.Delay > 0 {
+				// In-stream delay: preserves FIFO (this is a byte stream),
+				// holds back everything behind it — a congested-path model.
+				time.Sleep(d.Delay)
+			}
+			if d.Dup {
+				p.dupped.Add(1)
+				buf, err = wire.Append(buf, f)
+				if err != nil {
+					return
+				}
+			}
+		}
+		if _, err := dst.Write(buf); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package tbon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"dwst/internal/collmatch"
+	"dwst/internal/dws"
+	"dwst/internal/event"
+	"dwst/internal/fault"
+	"dwst/internal/wire"
+)
+
+// This file is the payload codec of the TCP transport: the typed bodies
+// that travel inside internal/wire frames, serialized as self-contained
+// gob blobs. Self-contained matters: the wire-level fault proxy drops
+// whole frames, so no frame may depend on gob type state transmitted in an
+// earlier one — every payload re-encodes its type descriptions. That costs
+// bytes on the hot path the channel transport never pays, which is one of
+// the reasons the channel transport remains the default.
+//
+// Every tool message type that can cross a process boundary is registered
+// here; an unregistered type surfaces as a codec error (counted, link
+// degraded) rather than a panic.
+
+// wireHello is the worker's handshake: who it is and which incarnation of
+// that worker slot it claims. Incarnation 0 asks the coordinator to assign
+// a fresh one (a new process); a reconnecting live worker presents the
+// incarnation it was assigned, and anything stale is fenced.
+type wireHello struct {
+	Worker      int
+	Incarnation uint64
+}
+
+// wireWelcome is the coordinator's handshake reply. A rejected hello
+// carries the reason; an accepted one carries the assigned incarnation and
+// the full tree configuration, so a worker process needs nothing but the
+// coordinator address and its worker id.
+type wireWelcome struct {
+	OK     bool
+	Reason string
+
+	Incarnation uint64
+	Leaves      int
+	FanIn       int
+	EventBuf    int
+	Workers     int
+	Batch       bool
+	PreferWS    bool
+	LinkDelay   time.Duration
+
+	KeepAlive time.Duration
+	Budget    time.Duration
+
+	// Extra is an opaque tool-layer configuration blob (internal/core uses
+	// it for handler options the substrate does not interpret).
+	Extra any
+}
+
+// wireData is one reliable-layer frame crossing a process boundary: the
+// sequenced link message, plus the envelope metadata the receiving queue
+// needs. Rank events (Key.Class == fault.RankLink) carry a wireRank.
+type wireData struct {
+	From  int // envelope.from (sender index or rank)
+	To    int // linkKey.to
+	FromG int // linkKey.from
+	Class fault.Class
+	Seq   uint64
+	Msg   any
+}
+
+// wireRank is an application event injected into a remote first-layer
+// node, riding a sequenced RankLink frame.
+type wireRank struct {
+	Rank  int
+	Typed bool
+	Quiet bool
+	Ev    event.Event
+	Msg   any
+}
+
+// wireAck is a cumulative acknowledgement for one directed link, routed to
+// the process owning the link's sender.
+type wireAck struct {
+	To    int // linkKey.to
+	FromG int // linkKey.from
+	Class fault.Class
+	UpTo  uint64
+}
+
+// wireStats is the worker's periodic progress report: Handled feeds the
+// coordinator's quiescence detection, InFlight (the worker's unacknowledged
+// outbox depth) gates it — detection must not run while a dropped frame is
+// still awaiting retransmission somewhere in the fabric.
+type wireStats struct {
+	Worker   int
+	Handled  uint64
+	InFlight uint64
+}
+
+// wireDown tells a worker that first-layer nodes were spliced out of the
+// run (their owner degraded past budget): drop transport links to them so
+// retransmission stops and in-flight accounting can drain.
+type wireDown struct {
+	Gids []int
+}
+
+// WorkerFinal is a worker's terminal statistics report, delivered on
+// shutdown and merged into the run result by the coordinator.
+type WorkerFinal struct {
+	Worker          int
+	Handled         uint64
+	MsgStats        dws.Stats
+	WindowHighWater int
+	Retransmits     uint64
+	Abandoned       uint64
+	BytesOnWire     uint64
+	CodecErrors     uint64
+}
+
+func init() {
+	// Envelope bodies.
+	gob.Register(wireHello{})
+	gob.Register(wireWelcome{})
+	gob.Register(wireData{})
+	gob.Register(wireRank{})
+	gob.Register(wireAck{})
+	gob.Register(wireStats{})
+	gob.Register(wireDown{})
+	gob.Register(WorkerFinal{})
+
+	// Tool messages that travel as wireData.Msg (and inside dws.Batch).
+	gob.Register(dws.PassSend{})
+	gob.Register(dws.RecvActive{})
+	gob.Register(dws.RecvActiveAck{})
+	gob.Register(dws.Batch{})
+	gob.Register(dws.Ping{})
+	gob.Register(dws.Pong{})
+	gob.Register(dws.RequestConsistentState{})
+	gob.Register(dws.AckConsistentState{})
+	gob.Register(dws.RequestWaits{})
+	gob.Register(dws.AbortSnapshot{})
+	gob.Register(dws.PeerDown{})
+	gob.Register(dws.RankDown{})
+	gob.Register(dws.WaitReport{})
+	gob.Register(collmatch.Ready{})
+	gob.Register(collmatch.Member{})
+	gob.Register(collmatch.Ack{})
+	gob.Register(collmatch.Mismatch{})
+	gob.Register(collmatch.Resync{})
+	gob.Register(event.Event{})
+}
+
+// encodePayload serializes one payload body as a self-contained gob blob.
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	if buf.Len() > wire.MaxPayload {
+		return nil, fmt.Errorf("tbon: payload %d bytes exceeds frame max", buf.Len())
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload deserializes one payload blob. Gob decoding returns errors
+// on malformed input (it never panics), and the frame layer already
+// bounded the input size, so a hostile payload costs at most one bounded
+// allocation and an error.
+func decodePayload(b []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

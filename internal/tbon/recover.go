@@ -75,6 +75,7 @@ func (t *Tree) respawn(old *Node) bool {
 		layer:     0,
 		index:     old.index,
 		gid:       gid,
+		local:     true,       // recovery is chan-mode only: replacements are in-process
 		events:    old.events, // adopt the slot mailbox: per-rank FIFO survives
 		control:   make(chan envelope, 16),
 		dead:      make(chan struct{}),

@@ -86,6 +86,13 @@ type Config struct {
 	// plan's rules, scheduled node crashes, heartbeat supervision, and —
 	// unless the plan disables it — the reliable link layer.
 	Fault *fault.Plan
+	// Net, when non-nil, activates the TCP fabric: the tree spans multiple
+	// OS processes, each building this same topology but running only its
+	// local nodes (see NetConfig). Mutually exclusive with Fault — over the
+	// wire, the adversary is the network itself (or the wire-level fault
+	// proxy), and the reliable link layer is always on. Requires at least
+	// two tool layers, so the root stays coordinator-local.
+	Net *NetConfig
 	// OnNodeDown is invoked (from the supervisor goroutine) after a
 	// crashed node was detected and its children reattached. The tool
 	// uses it to resynchronize aggregation or degrade explicitly.
@@ -347,6 +354,10 @@ type Node struct {
 	layer int // 0 = first tool layer
 	index int
 	gid   int // global node id, unique across layers
+	// local reports whether this node runs in this process (always true
+	// without a TCP fabric). Remote nodes are topology placeholders: no
+	// queues, no loop, no handler — frames addressed to them cross the wire.
+	local bool
 
 	// parent and children are guarded by tree.topo: reattachment after a
 	// crash rewires them at runtime.
@@ -409,6 +420,8 @@ type Tree struct {
 
 	injector  *fault.Injector
 	transport *transport // nil unless the reliable link layer is active
+	net       *netFabric // nil unless the TCP fabric is active
+	gidIndex  map[int]*Node
 
 	// nextGid hands out fresh global ids to respawned replacement nodes
 	// (guarded by topo); mkHandler is retained from Start so a replacement
@@ -427,8 +440,22 @@ type Tree struct {
 	stopOnce  sync.Once
 }
 
-// New builds the tree topology (without starting node loops).
+// New builds the tree topology (without starting node loops). It panics on
+// invalid configuration; trees with a TCP fabric should prefer NewNet,
+// which surfaces network setup as an error.
 func New(cfg Config) *Tree {
+	t, err := NewNet(cfg)
+	if err != nil {
+		panic("tbon: " + err.Error())
+	}
+	return t
+}
+
+// NewNet builds the tree topology like New, returning configuration and
+// network setup problems (a busy listen address, a bad role) as errors.
+// With Config.Net set, only this process's local nodes get queues and
+// loops; the rest of the topology is placeholders the fabric routes past.
+func NewNet(cfg Config) (*Tree, error) {
 	if cfg.Leaves <= 0 {
 		panic("tbon: Leaves must be positive")
 	}
@@ -438,15 +465,40 @@ func New(cfg Config) *Tree {
 	if cfg.EventBuf == 0 {
 		cfg.EventBuf = 256
 	}
+	width0 := (cfg.Leaves + cfg.FanIn - 1) / cfg.FanIn
+	if nc := cfg.Net; nc != nil {
+		if cfg.Fault != nil {
+			return nil, errors.New("fault plan and TCP fabric are mutually exclusive (use the wire-level fault proxy)")
+		}
+		if width0 < 2 {
+			return nil, fmt.Errorf("TCP fabric needs at least two first-layer nodes (got %d): the root must stay coordinator-local", width0)
+		}
+		if nc.Workers < 1 {
+			return nil, fmt.Errorf("NetConfig.Workers must be positive (got %d)", nc.Workers)
+		}
+		if nc.Role == NetWorker && (nc.Worker < 0 || nc.Worker >= nc.Workers) {
+			return nil, fmt.Errorf("NetConfig.Worker %d out of range [0,%d)", nc.Worker, nc.Workers)
+		}
+	}
+	isLocal := func(layer, idx int) bool {
+		nc := cfg.Net
+		if nc == nil {
+			return true
+		}
+		if nc.Role == NetCoordinator {
+			return layer > 0
+		}
+		return layer == 0 && ownerOfLeaf(idx, width0, nc.Workers) == nc.Worker
+	}
 	t := &Tree{cfg: cfg, quit: make(chan struct{})}
 	if cfg.Fault != nil {
 		t.injector = fault.NewInjector(cfg.Fault)
-		if !cfg.Fault.DisableRetransmit {
-			t.transport = newTransport(t, cfg.Fault)
-		}
+	}
+	if cfg.Net != nil || (cfg.Fault != nil && !cfg.Fault.DisableRetransmit) {
+		t.transport = newTransport(t, cfg.Fault)
 	}
 	gid := 0
-	width := (cfg.Leaves + cfg.FanIn - 1) / cfg.FanIn
+	width := width0
 	prevWidth := 0
 	layer := 0
 	for {
@@ -457,18 +509,23 @@ func New(cfg Config) *Tree {
 				layer:     layer,
 				index:     i,
 				gid:       gid,
+				local:     isLocal(layer, i),
 				control:   make(chan envelope, 16),
 				dead:      make(chan struct{}),
 				rsq:       make(map[linkKey]*reseq),
 				loopDone:  make(chan struct{}),
 				respawned: make(chan struct{}),
 			}
-			n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink), t.slabCap())
-			n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink), t.slabCap())
+			if n.local {
+				n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink), t.slabCap())
+				n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink), t.slabCap())
+			}
 			gid++
 			if layer == 0 {
-				n.events = make(chan rankEnvelope, cfg.EventBuf)
-				n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink), t.slabCap())
+				if n.local {
+					n.events = make(chan rankEnvelope, cfg.EventBuf)
+					n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink), t.slabCap())
+				}
 			} else {
 				lo := i * cfg.FanIn
 				hi := lo + cfg.FanIn
@@ -501,7 +558,20 @@ func New(cfg Config) *Tree {
 	for r := 0; r < cfg.Leaves; r++ {
 		t.leafNode[r] = t.layers[0][r/cfg.FanIn]
 	}
-	return t
+	if cfg.Net != nil {
+		t.gidIndex = make(map[int]*Node, gid)
+		for _, l := range t.layers {
+			for _, n := range l {
+				t.gidIndex[n.gid] = n
+			}
+		}
+		if err := t.startNet(); err != nil {
+			close(t.quit) // release the queue pumps already spawned
+			t.wg.Wait()
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // slabCap is the per-wakeup delivery batch for the tree's queues: maxSlab
@@ -535,12 +605,18 @@ func (t *Tree) Start(mkHandler func(n *Node) Handler) {
 		t.mkHandler = mkHandler
 		for _, layer := range t.layers {
 			for _, n := range layer {
+				if !n.local {
+					continue // remote nodes run in their own process
+				}
 				n.handler = mkHandler(n)
 				t.arm(n)
 			}
 		}
 		for _, layer := range t.layers {
 			for _, n := range layer {
+				if !n.local {
+					continue
+				}
 				t.wg.Add(1)
 				go n.loop()
 			}
@@ -559,10 +635,19 @@ func (t *Tree) Start(mkHandler func(n *Node) Handler) {
 	})
 }
 
-// Stop terminates all node loops and pumps and waits for them.
+// Stop terminates all node loops and pumps and waits for them. With a
+// coordinator fabric it first asks every reachable worker to stop and
+// collects their final reports (see WorkerFinals), then tears the fabric
+// down.
 func (t *Tree) Stop() {
+	if t.net != nil && t.net.role == NetCoordinator {
+		t.net.shutdownOnce.Do(t.net.shutdownWorkers)
+	}
 	t.stopOnce.Do(func() { close(t.quit) })
 	t.wg.Wait()
+	if t.net != nil {
+		t.net.close()
+	}
 }
 
 // Inject delivers an application event to the first-layer node hosting the
@@ -608,6 +693,12 @@ func (t *Tree) inject(rank int, env rankEnvelope) error {
 		t.topo.Lock()
 		n := t.leafNode[rank]
 		t.topo.Unlock()
+		if !n.local {
+			// Remote hosting node (coordinator of a TCP fabric): the event
+			// crosses the wire on a sequenced RankLink frame, gated by the
+			// per-leaf window so backpressure still reaches the rank.
+			return t.injectRemote(n, env)
+		}
 		select {
 		case n.events <- env:
 			if !env.quiet {
@@ -640,8 +731,32 @@ func (t *Tree) inject(rank int, env rankEnvelope) error {
 func (t *Tree) Injected() uint64 { return t.injected.Load() }
 
 // Handled returns the number of messages processed across all nodes; stable
-// Injected and Handled values indicate quiescence.
-func (t *Tree) Handled() uint64 { return t.handled.Load() }
+// Injected and Handled values indicate quiescence. On a TCP-fabric
+// coordinator this includes the workers' last progress reports, so remote
+// activity defers the quiescence trigger like local activity does.
+func (t *Tree) Handled() uint64 {
+	h := t.handled.Load()
+	if t.net != nil && t.net.role == NetCoordinator {
+		h += t.net.remoteHandled()
+	}
+	return h
+}
+
+// InFlight reports the number of reliable-layer frames sent but not yet
+// acknowledged, across this process and (on the TCP coordinator) every
+// worker's last report. A handled-counter plateau alone is not quiescence
+// over a real network — a dropped frame awaiting retransmission is invisible
+// to Handled — so detection triggers gate on InFlight reaching zero.
+func (t *Tree) InFlight() int {
+	n := 0
+	if t.transport != nil {
+		n = t.transport.inFlight()
+	}
+	if t.net != nil && t.net.role == NetCoordinator {
+		n += int(t.net.remoteInFlight())
+	}
+	return n
+}
 
 // Retransmits returns the number of frames the reliable link layer resent
 // (0 without a fault plan).
@@ -756,7 +871,7 @@ func (n *Node) SendUp(msg any) {
 		env = t.transport.wrap(n, target, fault.UpLink, env)
 	}
 	t.topo.Unlock()
-	target.fromBelow.send(env, t.quit)
+	t.transmit(target, fault.UpLink, env)
 }
 
 // Broadcast sends a message down to all children; first-layer nodes have no
@@ -778,7 +893,7 @@ func (n *Node) Broadcast(msg any) {
 	}
 	t.topo.Unlock()
 	for i, c := range targets {
-		c.fromAbove.send(envs[i], t.quit)
+		t.transmit(c, fault.DownLink, envs[i])
 	}
 }
 
@@ -800,7 +915,26 @@ func (n *Node) SendPeer(peer int, msg any) {
 		env = t.transport.wrap(n, target, fault.PeerLink, env)
 	}
 	t.topo.Unlock()
-	target.fromPeer.send(env, t.quit)
+	t.transmit(target, fault.PeerLink, env)
+}
+
+// transmit delivers one (possibly framed) envelope to its target: through
+// the in-process queue when the target lives here, across the wire
+// otherwise. Remote envelopes are always frames — the TCP fabric implies
+// the reliable layer.
+func (t *Tree) transmit(target *Node, class fault.Class, env envelope) {
+	if target.local {
+		switch class {
+		case fault.UpLink:
+			target.fromBelow.send(env, t.quit)
+		case fault.DownLink:
+			target.fromAbove.send(env, t.quit)
+		default:
+			target.fromPeer.send(env, t.quit)
+		}
+		return
+	}
+	t.net.sendData(env)
 }
 
 // loop is the node's message pump.

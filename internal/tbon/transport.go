@@ -65,8 +65,9 @@ type reseq struct {
 type transport struct {
 	t *Tree
 
-	mu    sync.Mutex // guards links; lock order: Tree.topo before mu
-	links map[linkKey]*linkOut
+	mu       sync.Mutex // guards links and deadGids; lock order: Tree.topo before mu
+	links    map[linkKey]*linkOut
+	deadGids map[int]bool // spliced-out receivers: no new pendings toward them
 
 	retryBase   time.Duration
 	retryCap    time.Duration
@@ -77,13 +78,30 @@ type transport struct {
 }
 
 func newTransport(t *Tree, plan *fault.Plan) *transport {
-	return &transport{
+	if plan == nil {
+		plan = &fault.Plan{}
+	}
+	tr := &transport{
 		t:           t,
 		links:       make(map[linkKey]*linkOut),
+		deadGids:    make(map[int]bool),
 		retryBase:   plan.RetryBaseInterval(),
 		retryCap:    plan.RetryCapInterval(),
 		maxAttempts: plan.RetryAttempts(),
 	}
+	if t.cfg.Net != nil {
+		// Real-network retransmission: TCP itself recovers in-flight loss,
+		// so frame-level resends only matter across reconnects and proxy
+		// drops. Wider intervals avoid spurious duplicates when an ack
+		// round-trip is merely slow.
+		if plan.RetryBase == 0 {
+			tr.retryBase = 20 * time.Millisecond
+		}
+		if plan.RetryCap == 0 {
+			tr.retryCap = 250 * time.Millisecond
+		}
+	}
+	return tr
 }
 
 // wrap assigns the next sequence number on the (from → to, class) link,
@@ -101,31 +119,81 @@ func (tr *transport) wrap(from, to *Node, class fault.Class, env envelope) envel
 	seq := lo.nextSeq
 	lo.nextSeq++
 	fenv := envelope{from: env.from, msg: frame{key: key, seq: seq, msg: env.msg}}
+	// Remote targets keep q nil: the scanner resends their frames through
+	// the TCP fabric instead of a local queue.
 	var q *queue
-	switch class {
-	case fault.UpLink:
-		q = to.fromBelow
-	case fault.DownLink:
-		q = to.fromAbove
-	default:
-		q = to.fromPeer
+	if to.local {
+		switch class {
+		case fault.UpLink:
+			q = to.fromBelow
+		case fault.DownLink:
+			q = to.fromAbove
+		default:
+			q = to.fromPeer
+		}
 	}
-	lo.pend[seq] = &pending{env: fenv, q: q, due: time.Now().Add(tr.retryBase)}
+	if q != nil || !tr.deadGids[key.to] {
+		// Frames to a spliced-out remote receiver are not worth tracking:
+		// no ack will ever come and retransmitting them only wedges the
+		// in-flight accounting that gates detection.
+		lo.pend[seq] = &pending{env: fenv, q: q, due: time.Now().Add(tr.retryBase)}
+	}
 	tr.mu.Unlock()
 	return fenv
 }
 
-// ack trims the sender outbox of one link up to and including seq upTo.
+// wrapRemote sequences one payload on a purely remote link (no sender
+// Node — used for the coordinator's rank-event links) and records it
+// pending like wrap does.
+func (tr *transport) wrapRemote(key linkKey, from int, msg any) envelope {
+	tr.mu.Lock()
+	lo := tr.links[key]
+	if lo == nil {
+		lo = &linkOut{pend: make(map[uint64]*pending)}
+		tr.links[key] = lo
+	}
+	seq := lo.nextSeq
+	lo.nextSeq++
+	fenv := envelope{from: from, msg: frame{key: key, seq: seq, msg: msg}}
+	lo.pend[seq] = &pending{env: fenv, due: time.Now().Add(tr.retryBase)}
+	tr.mu.Unlock()
+	return fenv
+}
+
+// ack routes one cumulative acknowledgement: when the link's sender lives
+// in this process the outbox is trimmed directly (the historical in-process
+// path); otherwise the ack crosses the wire to the owning process. Trimmed
+// rank-link frames release their leaf's in-flight window.
 func (tr *transport) ack(key linkKey, upTo uint64) {
+	var fab *netFabric
+	if tr.t != nil { // bare transports (fuzz harness) have no tree
+		fab = tr.t.net
+	}
+	if fab != nil && !fab.ownsGid(key.from) {
+		fab.sendAck(key, upTo)
+		return
+	}
+	removed := tr.trim(key, upTo)
+	if fab != nil && key.class == fault.RankLink && removed > 0 {
+		fab.releaseWindow(key.to, removed)
+	}
+}
+
+// trim discards acknowledged frames (seq ≤ upTo) from one link's outbox,
+// returning how many it removed.
+func (tr *transport) trim(key linkKey, upTo uint64) int {
+	removed := 0
 	tr.mu.Lock()
 	if lo := tr.links[key]; lo != nil {
 		for s := range lo.pend {
 			if s <= upTo {
 				delete(lo.pend, s)
+				removed++
 			}
 		}
 	}
 	tr.mu.Unlock()
+	return removed
 }
 
 // redirect migrates a child's unacknowledged upward frames from the dead
@@ -235,7 +303,8 @@ func (tr *transport) migrateTo(old, neu *Node) {
 }
 
 // dropLinksTo discards outbox state for links into a dead node (frames
-// that can never be acknowledged and need no retransmission).
+// that can never be acknowledged and need no retransmission) and marks the
+// receiver dead so no later send re-creates pending state toward it.
 func (tr *transport) dropLinksTo(gid int) {
 	tr.mu.Lock()
 	for key := range tr.links {
@@ -243,7 +312,22 @@ func (tr *transport) dropLinksTo(gid int) {
 			delete(tr.links, key)
 		}
 	}
+	tr.deadGids[gid] = true
 	tr.mu.Unlock()
+}
+
+// inFlight reports the total unacknowledged outbox depth — frames that were
+// sent but whose delivery is not yet confirmed. Zero means every tool
+// message this process originated has arrived (or been abandoned), which is
+// what makes quiescence-triggered detection trustworthy.
+func (tr *transport) inFlight() int {
+	tr.mu.Lock()
+	n := 0
+	for _, lo := range tr.links {
+		n += len(lo.pend)
+	}
+	tr.mu.Unlock()
+	return n
 }
 
 // run is the retransmission scanner: it periodically resends overdue
@@ -260,11 +344,40 @@ func (tr *transport) run() {
 		case <-ticker.C:
 		}
 		now := time.Now()
+		fab := tr.t.net
 		var resend []*pending
+		var resendWire []envelope
 		tr.mu.Lock()
-		for _, lo := range tr.links {
+		for key, lo := range tr.links {
 			for s, p := range lo.pend {
 				if p.due.After(now) {
+					continue
+				}
+				if p.q == nil {
+					// Remote link. While the owning connection is down the
+					// frame parks without consuming attempts: reconnection
+					// resumes retransmission, and permanent loss is decided
+					// by the degradation budget (which drops the link), not
+					// by an attempt counter tuned for in-process faults.
+					if fab == nil || !fab.connUp(key.to) {
+						p.due = now.Add(tr.retryCap)
+						continue
+					}
+					if p.attempts >= remoteMaxAttempts {
+						delete(lo.pend, s)
+						tr.abandoned.Add(1)
+						if key.class == fault.RankLink {
+							fab.releaseWindow(key.to, 1)
+						}
+						continue
+					}
+					p.attempts++
+					backoff := tr.retryBase << uint(p.attempts)
+					if backoff > tr.retryCap {
+						backoff = tr.retryCap
+					}
+					p.due = now.Add(backoff)
+					resendWire = append(resendWire, p.env)
 					continue
 				}
 				if p.attempts >= tr.maxAttempts {
@@ -285,6 +398,10 @@ func (tr *transport) run() {
 		for _, p := range resend {
 			tr.retransmits.Add(1)
 			p.q.send(p.env, tr.t.quit)
+		}
+		for _, env := range resendWire {
+			tr.retransmits.Add(1)
+			fab.sendData(env)
 		}
 	}
 }

@@ -1,0 +1,488 @@
+package tbon
+
+// This file is the TBON's network fabric: the TCP substrate that lets tool
+// nodes run as separate OS processes. The process topology is a hub: every
+// worker process owns a contiguous slice of the first tool layer and holds
+// exactly one connection, to the coordinator, which owns every layer above
+// (and the driver). Worker ↔ worker intralayer traffic is forwarded by the
+// coordinator on the frame header alone — no payload decode on the relay
+// path.
+//
+// The fabric deliberately provides only an unreliable datagram-ish service
+// on top of TCP: frames pushed while a connection is down are dropped, and
+// a connection can die at any time. Reliability is the job of the existing
+// frame layer (transport.go) — every tool message crossing the wire is
+// sequence-numbered per directed link, resequenced at the receiver, and
+// retransmitted by the scanner until acknowledged. That split keeps the
+// wire-level fault proxy honest: it can drop, duplicate, delay or partition
+// real frames and the tool must heal exactly as it would under real packet
+// loss.
+//
+// Reconnection is incarnation-fenced (reusing internal/journal): the first
+// hello of a worker slot is assigned a fresh incarnation; a reconnecting
+// live process presents it and is re-admitted; a *new* process claiming an
+// already-assigned slot is fenced — its predecessor's in-memory protocol
+// state died with it, so resurrection would be silent corruption. A slot
+// unreachable past the degradation budget is spliced out through the same
+// OnNodeDown path a crashed in-process node takes, degrading the report
+// (Unknown ranks) instead of wedging the run.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwst/internal/dws"
+	"dwst/internal/journal"
+	"dwst/internal/wire"
+)
+
+// NetRole selects a process's place in the distributed tree.
+type NetRole int
+
+const (
+	// NetCoordinator owns every tool layer above the first, the root, and
+	// the application (event injection); it listens for workers.
+	NetCoordinator NetRole = 1 + iota
+	// NetWorker owns a contiguous slice of the first tool layer and dials
+	// the coordinator.
+	NetWorker
+)
+
+// NetConfig activates the TCP fabric when set on Config.Net. Worker
+// processes normally obtain theirs from WorkerSession.TreeConfig rather
+// than building one by hand.
+type NetConfig struct {
+	// Role is NetCoordinator or NetWorker.
+	Role NetRole
+	// Workers is the number of worker processes the first layer is
+	// partitioned over.
+	Workers int
+	// Worker is this process's slot (worker role only).
+	Worker int
+	// Listen is the coordinator's listen address (default "127.0.0.1:0";
+	// the effective address is Tree.ListenAddr).
+	Listen string
+	// DialTimeout bounds a worker's initial dial+handshake (default 5s).
+	DialTimeout time.Duration
+	// KeepAlive is the liveness cadence: the coordinator pings and workers
+	// report progress every KeepAlive/2; a connection silent for several
+	// KeepAlive intervals is declared dead (default 200ms).
+	KeepAlive time.Duration
+	// Budget is the graceful-degradation budget: how long a worker may stay
+	// unreachable (reconnecting) before the coordinator splices its nodes
+	// out and degrades the report — and how long a disconnected worker
+	// retries before giving up (default 3s).
+	Budget time.Duration
+	// Extra is an opaque tool-layer configuration blob forwarded to workers
+	// in the welcome (the tool layer registers its own gob type).
+	Extra any
+	// FinalStats, on workers, supplies the tool-layer numbers for the final
+	// report sent to the coordinator at shutdown. Called after all node
+	// loops have stopped.
+	FinalStats func() (stats dws.Stats, windowHighWater int)
+
+	// session carries the established handshake from DialWorker into the
+	// worker's fabric.
+	session *WorkerSession
+}
+
+func (nc *NetConfig) keepAlive() time.Duration {
+	if nc.KeepAlive > 0 {
+		return nc.KeepAlive
+	}
+	return 200 * time.Millisecond
+}
+
+func (nc *NetConfig) budget() time.Duration {
+	if nc.Budget > 0 {
+		return nc.Budget
+	}
+	return 3 * time.Second
+}
+
+func (nc *NetConfig) dialTimeout() time.Duration {
+	if nc.DialTimeout > 0 {
+		return nc.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// readTimeout is the per-frame read deadline: generous multiples of the
+// keepalive cadence so scheduling hiccups don't masquerade as partitions.
+func (nc *NetConfig) readTimeout() time.Duration {
+	if d := 8 * nc.keepAlive(); d > 500*time.Millisecond {
+		return d
+	}
+	return 500 * time.Millisecond
+}
+
+const (
+	handshakeTimeout = 5 * time.Second
+	writeTimeout     = 5 * time.Second
+	// remoteMaxAttempts effectively unbounds retransmission of wire frames:
+	// permanent loss is decided by the degradation budget (which drops the
+	// whole link), not by an attempt counter tuned for in-process faults.
+	remoteMaxAttempts = 1 << 20
+)
+
+// ownerOfLeaf maps a first-layer node index to the worker slot owning it
+// (contiguous partition).
+func ownerOfLeaf(idx, width0, workers int) int {
+	return idx * workers / width0
+}
+
+// sendq is a per-connection outbound frame queue: pushes while the
+// connection is down are dropped (the reliable layer re-sends anything that
+// matters), and the attached writer goroutine drains it in order.
+type sendq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conn   net.Conn
+	q      [][]byte
+	up     bool
+	closed bool
+}
+
+func newSendq() *sendq {
+	s := &sendq{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *sendq) push(b []byte) {
+	s.mu.Lock()
+	if s.up && !s.closed {
+		s.q = append(s.q, b)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// attach installs a new connection, returning the previous one (the caller
+// closes it). Frames queued for the old connection are discarded.
+func (s *sendq) attach(c net.Conn) net.Conn {
+	s.mu.Lock()
+	old := s.conn
+	s.conn = c
+	s.up = !s.closed
+	s.q = nil
+	s.mu.Unlock()
+	return old
+}
+
+// detach marks the connection down if c is still current; reports whether
+// it was.
+func (s *sendq) detach(c net.Conn) bool {
+	s.mu.Lock()
+	was := s.conn == c
+	if was {
+		s.conn = nil
+		s.up = false
+		s.q = nil
+	}
+	s.mu.Unlock()
+	return was
+}
+
+func (s *sendq) isUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.up
+}
+
+func (s *sendq) current() net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
+
+// close shuts the queue down permanently and returns the live connection
+// (if any) for the caller to close.
+func (s *sendq) close() net.Conn {
+	s.mu.Lock()
+	s.closed = true
+	old := s.conn
+	s.conn = nil
+	s.up = false
+	s.q = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return old
+}
+
+// pop blocks until frames are queued on a live connection (returning both)
+// or the queue is closed (returning nil).
+func (s *sendq) pop() (net.Conn, [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, nil
+		}
+		if s.up && len(s.q) > 0 {
+			batch := s.q
+			s.q = nil
+			return s.conn, batch
+		}
+		s.cond.Wait()
+	}
+}
+
+// workerSlot is the coordinator's per-worker connection state.
+type workerSlot struct {
+	w     int
+	sq    *sendq
+	fence *journal.Journal // incarnation fencing for this slot
+
+	mu       sync.Mutex
+	assigned bool // an incarnation has been handed out
+	degraded bool // spliced out after budget exhaustion
+	everUp   bool
+	lastDown time.Time
+	final    *WorkerFinal
+
+	handled  atomic.Uint64 // last progress report
+	inflight atomic.Uint64 // last reported unacked outbox depth
+	finalCh  chan struct{} // closed when final received
+}
+
+// netFabric is one process's half of the TCP fabric.
+type netFabric struct {
+	t      *Tree
+	nc     *NetConfig
+	role   NetRole
+	width0 int
+
+	closed       chan struct{}
+	closeOnce    sync.Once
+	shutdownOnce sync.Once
+	wg           sync.WaitGroup
+
+	bytesOut    atomic.Uint64
+	bytesIn     atomic.Uint64
+	codecErrors atomic.Uint64
+	reconnects  atomic.Uint64
+
+	// Coordinator state.
+	ln        net.Listener
+	slots     []*workerSlot
+	ready     chan struct{}
+	readyOnce sync.Once
+	win       []chan struct{} // per-leaf in-flight rank-event window
+
+	// Worker state.
+	sess         *WorkerSession
+	wsq          *sendq
+	done         chan error
+	doneOnce     sync.Once
+	shuttingDown atomic.Bool
+	rankRsq      map[linkKey]*reseq // touched only by the (serial) reader
+}
+
+// startNet builds the fabric for a tree whose Config.Net is set. Called
+// from NewNet after the topology exists.
+func (t *Tree) startNet() error {
+	nc := t.cfg.Net
+	fab := &netFabric{
+		t:      t,
+		nc:     nc,
+		role:   nc.Role,
+		width0: len(t.layers[0]),
+		closed: make(chan struct{}),
+	}
+	t.net = fab
+	switch nc.Role {
+	case NetCoordinator:
+		addr := nc.Listen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("tbon: listen %s: %w", addr, err)
+		}
+		fab.ln = ln
+		fab.ready = make(chan struct{})
+		fab.slots = make([]*workerSlot, nc.Workers)
+		for w := range fab.slots {
+			sl := &workerSlot{w: w, sq: newSendq(), fence: journal.New(), finalCh: make(chan struct{})}
+			fab.slots[w] = sl
+			fab.wg.Add(1)
+			go fab.writer(sl.sq, func(c net.Conn) { fab.slotConnFailed(sl, c) })
+		}
+		fab.win = make([]chan struct{}, fab.width0)
+		for i := range fab.win {
+			fab.win[i] = make(chan struct{}, t.cfg.EventBuf)
+		}
+		fab.wg.Add(2)
+		go fab.acceptLoop()
+		go fab.monitor()
+	case NetWorker:
+		if nc.session == nil {
+			return errors.New("tbon: worker NetConfig requires a DialWorker session")
+		}
+		fab.sess = nc.session
+		fab.wsq = newSendq()
+		fab.done = make(chan error, 1)
+		fab.rankRsq = make(map[linkKey]*reseq)
+		fab.wsq.attach(nc.session.conn)
+		fab.wg.Add(3)
+		go fab.workerConnLoop()
+		go fab.writer(fab.wsq, func(c net.Conn) {
+			fab.wsq.detach(c)
+			c.Close()
+		})
+		go fab.workerStats()
+	default:
+		return fmt.Errorf("tbon: invalid NetConfig.Role %d", nc.Role)
+	}
+	return nil
+}
+
+// ownsGid reports whether a global node id lives in this process. Ids
+// outside the first layer (including the synthetic -1 used for rank links)
+// belong to the coordinator.
+func (fab *netFabric) ownsGid(gid int) bool {
+	if gid < 0 || gid >= fab.width0 {
+		return fab.role == NetCoordinator
+	}
+	if fab.role == NetCoordinator {
+		return false
+	}
+	return ownerOfLeaf(gid, fab.width0, fab.nc.Workers) == fab.nc.Worker
+}
+
+// connUp reports whether the connection toward the process owning gid is
+// currently live (used by the scanner to park retransmissions during an
+// outage instead of burning attempts).
+func (fab *netFabric) connUp(gid int) bool {
+	if fab.role == NetWorker {
+		return fab.wsq.isUp()
+	}
+	if gid < 0 || gid >= fab.width0 {
+		return true
+	}
+	return fab.slots[ownerOfLeaf(gid, fab.width0, len(fab.slots))].sq.isUp()
+}
+
+// encodeFrame serializes one frame (gob payload + wire header). A nil body
+// (pings, shutdown) yields an empty payload.
+func (fab *netFabric) encodeFrame(kind wire.Kind, dst int32, body any) ([]byte, bool) {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = encodePayload(body)
+		if err != nil {
+			fab.codecErrors.Add(1)
+			return nil, false
+		}
+	}
+	buf, err := wire.Append(make([]byte, 0, wire.HeaderLen+len(payload)), wire.Frame{Kind: kind, Dst: dst, Payload: payload})
+	if err != nil {
+		fab.codecErrors.Add(1)
+		return nil, false
+	}
+	return buf, true
+}
+
+// route queues an encoded frame toward the process owning dst.
+func (fab *netFabric) route(dst int32, buf []byte) {
+	if fab.role == NetWorker {
+		fab.wsq.push(buf)
+		return
+	}
+	gid := int(dst)
+	if gid >= 0 && gid < fab.width0 {
+		fab.slots[ownerOfLeaf(gid, fab.width0, len(fab.slots))].sq.push(buf)
+	}
+}
+
+func (fab *netFabric) send(kind wire.Kind, dst int32, body any) {
+	if buf, ok := fab.encodeFrame(kind, dst, body); ok {
+		fab.route(dst, buf)
+	}
+}
+
+// sendData ships one reliable-layer frame (env.msg must be a frame).
+func (fab *netFabric) sendData(env envelope) {
+	f := env.msg.(frame)
+	fab.send(wire.KindData, int32(f.key.to), wireData{
+		From: env.from, To: f.key.to, FromG: f.key.from, Class: f.key.class, Seq: f.seq, Msg: f.msg,
+	})
+}
+
+// sendAck ships one cumulative acknowledgement to the process owning the
+// link's sender.
+func (fab *netFabric) sendAck(key linkKey, upTo uint64) {
+	fab.send(wire.KindAck, int32(key.from), wireAck{To: key.to, FromG: key.from, Class: key.class, UpTo: upTo})
+}
+
+// writeSync writes one frame directly (handshake and final report, which
+// must not race the queued data path).
+func (fab *netFabric) writeSync(conn net.Conn, kind wire.Kind, body any) error {
+	buf, ok := fab.encodeFrame(kind, -1, body)
+	if !ok {
+		return errors.New("tbon: encode failed")
+	}
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_, err := conn.Write(buf)
+	if err == nil {
+		fab.bytesOut.Add(uint64(len(buf)))
+	}
+	return err
+}
+
+// writer drains one sendq for as long as the fabric lives; a failed write
+// reports the connection through onFail and keeps serving its successors.
+func (fab *netFabric) writer(sq *sendq, onFail func(net.Conn)) {
+	defer fab.wg.Done()
+	for {
+		conn, batch := sq.pop()
+		if conn == nil {
+			return
+		}
+		for _, b := range batch {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := conn.Write(b); err != nil {
+				onFail(conn)
+				break
+			}
+			fab.bytesOut.Add(uint64(len(b)))
+		}
+	}
+}
+
+func (fab *netFabric) isClosed() bool {
+	select {
+	case <-fab.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// close tears the fabric down: listener, connections, and every fabric
+// goroutine. Idempotent.
+func (fab *netFabric) close() {
+	fab.closeOnce.Do(func() {
+		close(fab.closed)
+		if fab.ln != nil {
+			fab.ln.Close()
+		}
+		for _, sl := range fab.slots {
+			if c := sl.sq.close(); c != nil {
+				c.Close()
+			}
+		}
+		if fab.wsq != nil {
+			if c := fab.wsq.close(); c != nil {
+				c.Close()
+			}
+		}
+	})
+	fab.wg.Wait()
+}

@@ -1,0 +1,513 @@
+package tbon
+
+// Worker half of the TCP fabric (see wire.go), plus the tree-level API of
+// the fabric: DialWorker / WorkerSession for bootstrapping a worker
+// process from nothing but an address and a slot id, the reconnect loop
+// with backoff + jitter, the rank-event resequencer, and ServeWorker.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"dwst/internal/fault"
+	"dwst/internal/wire"
+)
+
+// WorkerSession is an established worker handshake: the connection plus
+// the tree configuration the coordinator's welcome carried.
+type WorkerSession struct {
+	Addr        string
+	Worker      int
+	Incarnation uint64
+	// Extra is the coordinator's opaque tool-layer configuration blob.
+	Extra any
+
+	welcome wireWelcome
+	conn    net.Conn
+	br      *bufio.Reader
+}
+
+// TreeConfig assembles the Config for this worker's tree replica. The
+// caller may set Net.FinalStats before Start.
+func (ws *WorkerSession) TreeConfig() Config {
+	w := ws.welcome
+	return Config{
+		Leaves:          w.Leaves,
+		FanIn:           w.FanIn,
+		EventBuf:        w.EventBuf,
+		PreferWaitState: w.PreferWS,
+		LinkDelay:       w.LinkDelay,
+		Batch:           w.Batch,
+		Net: &NetConfig{
+			Role:      NetWorker,
+			Workers:   w.Workers,
+			Worker:    ws.Worker,
+			KeepAlive: w.KeepAlive,
+			Budget:    w.Budget,
+			session:   ws,
+		},
+	}
+}
+
+// Close releases the session's connection; only needed when the session is
+// abandoned before a tree adopts it.
+func (ws *WorkerSession) Close() error { return ws.conn.Close() }
+
+// DialWorker connects a worker process to the coordinator, retrying with
+// backoff + jitter until the handshake succeeds or timeout (default 5s)
+// expires. A fencing rejection is permanent and returned immediately.
+func DialWorker(addr string, worker int, timeout time.Duration) (*WorkerSession, error) {
+	if worker < 0 {
+		return nil, fmt.Errorf("tbon: invalid worker id %d", worker)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 25 * time.Millisecond
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(worker)<<32))
+	for {
+		conn, br, w, err := dialHello(addr, worker, 0, time.Until(deadline))
+		if err == nil {
+			if !w.OK {
+				conn.Close()
+				return nil, fmt.Errorf("tbon: coordinator rejected worker %d: %s", worker, w.Reason)
+			}
+			return &WorkerSession{
+				Addr:        addr,
+				Worker:      worker,
+				Incarnation: w.Incarnation,
+				Extra:       w.Extra,
+				welcome:     w,
+				conn:        conn,
+				br:          br,
+			}, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("tbon: dial coordinator %s: %w", addr, err)
+		}
+		time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// dialHello performs one dial + hello/welcome exchange.
+func dialHello(addr string, worker int, inc uint64, remaining time.Duration) (net.Conn, *bufio.Reader, wireWelcome, error) {
+	to := time.Second
+	if remaining > 0 && remaining < to {
+		to = remaining
+	}
+	conn, err := net.DialTimeout("tcp", addr, to)
+	if err != nil {
+		return nil, nil, wireWelcome{}, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	payload, err := encodePayload(wireHello{Worker: worker, Incarnation: inc})
+	if err != nil {
+		conn.Close()
+		return nil, nil, wireWelcome{}, err
+	}
+	buf, err := wire.Append(make([]byte, 0, wire.HeaderLen+len(payload)), wire.Frame{Kind: wire.KindHello, Dst: -1, Payload: payload})
+	if err != nil {
+		conn.Close()
+		return nil, nil, wireWelcome{}, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		return nil, nil, wireWelcome{}, err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	f, err := wire.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, nil, wireWelcome{}, err
+	}
+	if f.Kind != wire.KindWelcome {
+		conn.Close()
+		return nil, nil, wireWelcome{}, fmt.Errorf("tbon: unexpected handshake frame %v", f.Kind)
+	}
+	body, err := decodePayload(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, nil, wireWelcome{}, err
+	}
+	w, ok := body.(wireWelcome)
+	if !ok {
+		conn.Close()
+		return nil, nil, wireWelcome{}, errors.New("tbon: malformed welcome")
+	}
+	return conn, br, w, nil
+}
+
+// signalDone delivers the worker fabric's terminal condition (nil = clean
+// shutdown request) exactly once.
+func (fab *netFabric) signalDone(err error) {
+	fab.doneOnce.Do(func() { fab.done <- err })
+}
+
+// workerConnLoop owns the worker's connection lifecycle: read until the
+// connection dies, then redial with the assigned incarnation until the
+// budget expires.
+func (fab *netFabric) workerConnLoop() {
+	defer fab.wg.Done()
+	conn, br := fab.sess.conn, fab.sess.br
+	for {
+		fab.workerRead(conn, br)
+		if fab.shuttingDown.Load() || fab.isClosed() {
+			return
+		}
+		select {
+		case <-fab.t.quit:
+			return
+		default:
+		}
+		nc, nbr, err := fab.redial()
+		if err != nil {
+			fab.signalDone(err)
+			return
+		}
+		conn, br = nc, nbr
+	}
+}
+
+// workerRead drains the current connection until it dies or the
+// coordinator asks for shutdown.
+func (fab *netFabric) workerRead(conn net.Conn, br *bufio.Reader) {
+	readTO := fab.nc.readTimeout()
+	for {
+		conn.SetReadDeadline(time.Now().Add(readTO))
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			fab.wsq.detach(conn)
+			conn.Close()
+			return
+		}
+		fab.bytesIn.Add(uint64(wire.HeaderLen + len(f.Payload)))
+		switch f.Kind {
+		case wire.KindData:
+			fab.deliverData(f.Payload)
+		case wire.KindAck:
+			fab.deliverAck(f.Payload)
+		case wire.KindPing:
+		case wire.KindDown:
+			body, err := decodePayload(f.Payload)
+			if wd, ok := body.(wireDown); err == nil && ok {
+				for _, gid := range wd.Gids {
+					fab.t.transport.dropLinksTo(gid)
+				}
+			} else {
+				fab.codecErrors.Add(1)
+			}
+		case wire.KindShutdown:
+			fab.shuttingDown.Store(true)
+			fab.signalDone(nil)
+			return
+		default:
+			fab.codecErrors.Add(1)
+		}
+	}
+}
+
+// redial re-establishes the worker's connection with its assigned
+// incarnation. A fencing rejection is permanent; otherwise it retries with
+// backoff + jitter until the degradation budget expires (matching the
+// coordinator's splice-out clock).
+func (fab *netFabric) redial() (net.Conn, *bufio.Reader, error) {
+	budget := fab.nc.budget()
+	deadline := time.Now().Add(budget)
+	backoff := 25 * time.Millisecond
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(fab.nc.Worker)<<32))
+	var lastErr error
+	for {
+		if fab.isClosed() {
+			return nil, nil, errors.New("tbon: fabric closed")
+		}
+		conn, br, w, err := dialHello(fab.sess.Addr, fab.nc.Worker, fab.sess.Incarnation, time.Until(deadline))
+		if err == nil {
+			if !w.OK {
+				conn.Close()
+				return nil, nil, fmt.Errorf("tbon: reconnect fenced: %s", w.Reason)
+			}
+			if old := fab.wsq.attach(conn); old != nil && old != conn {
+				old.Close()
+			}
+			return conn, br, nil
+		}
+		lastErr = err
+		if !time.Now().Before(deadline) {
+			return nil, nil, fmt.Errorf("tbon: reconnect failed past budget %v: %w", budget, lastErr)
+		}
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)))
+		select {
+		case <-time.After(sleep):
+		case <-fab.closed:
+			return nil, nil, errors.New("tbon: fabric closed")
+		case <-fab.t.quit:
+			return nil, nil, ErrStopped
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// deliverRank resequences one rank-event frame and pushes it into the
+// hosting node's bounded event queue — the worker-side half of Inject's
+// backpressure. Runs only on the (serial) reader, so rankRsq needs no lock.
+func (fab *netFabric) deliverRank(wd wireData) {
+	n := fab.t.gidIndex[wd.To]
+	if n == nil || !n.local || n.events == nil || fab.rankRsq == nil {
+		fab.codecErrors.Add(1)
+		return
+	}
+	key := linkKey{from: wd.FromG, to: wd.To, class: fault.RankLink}
+	rs := fab.rankRsq[key]
+	if rs == nil {
+		rs = &reseq{buf: make(map[uint64]envelope)}
+		fab.rankRsq[key] = rs
+	}
+	if wd.Seq < rs.expected {
+		fab.sendAck(key, rs.expected-1) // stale duplicate: re-ack
+		return
+	}
+	if _, dup := rs.buf[wd.Seq]; dup {
+		return
+	}
+	rs.buf[wd.Seq] = envelope{from: wd.From, msg: wd.Msg}
+	for {
+		e, ok := rs.buf[rs.expected]
+		if !ok {
+			break
+		}
+		delete(rs.buf, rs.expected)
+		rs.expected++
+		wr, ok := e.msg.(wireRank)
+		if !ok {
+			fab.codecErrors.Add(1)
+			continue
+		}
+		renv := rankEnvelope{from: wr.Rank, ev: wr.Ev, msg: wr.Msg, typed: wr.Typed, quiet: wr.Quiet}
+		select {
+		case n.events <- renv:
+		case <-n.dead:
+		case <-fab.t.quit:
+			return
+		}
+	}
+	if rs.expected > 0 {
+		fab.sendAck(key, rs.expected-1)
+	}
+}
+
+// workerStats periodically reports the worker's handled counter; it doubles
+// as the worker → coordinator keepalive.
+func (fab *netFabric) workerStats() {
+	defer fab.wg.Done()
+	ka := fab.nc.keepAlive() / 2
+	if ka < time.Millisecond {
+		ka = time.Millisecond
+	}
+	tick := time.NewTicker(ka)
+	defer tick.Stop()
+	for {
+		select {
+		case <-fab.closed:
+			return
+		case <-tick.C:
+			fab.send(wire.KindStats, -1, wireStats{
+				Worker:   fab.nc.Worker,
+				Handled:  fab.t.handled.Load(),
+				InFlight: uint64(fab.t.transport.inFlight()),
+			})
+		}
+	}
+}
+
+// --- Tree-level fabric API ---
+
+// ServeWorker blocks until the worker's fabric terminates: a clean
+// shutdown request from the coordinator (returns nil, after sending the
+// final report), a permanent fencing rejection, or a reconnect budget
+// exhaustion. Call after Start.
+func (t *Tree) ServeWorker() error {
+	fab := t.net
+	if fab == nil || fab.role != NetWorker {
+		return errors.New("tbon: ServeWorker requires a worker NetConfig")
+	}
+	var reason error
+	select {
+	case reason = <-fab.done:
+	case <-t.quit:
+	}
+	t.stopOnce.Do(func() { close(t.quit) })
+	t.wg.Wait() // node loops and scanner quiesce before final stats
+	if reason == nil && fab.shuttingDown.Load() {
+		fin := WorkerFinal{
+			Worker:      fab.nc.Worker,
+			Handled:     t.handled.Load(),
+			Retransmits: t.Retransmits(),
+			Abandoned:   t.Abandoned(),
+			BytesOnWire: fab.bytesOut.Load() + fab.bytesIn.Load(),
+			CodecErrors: fab.codecErrors.Load(),
+		}
+		if fab.nc.FinalStats != nil {
+			fin.MsgStats, fin.WindowHighWater = fab.nc.FinalStats()
+		}
+		if conn := fab.wsq.current(); conn != nil {
+			fab.writeSync(conn, wire.KindFinal, fin)
+		}
+	}
+	fab.close()
+	return reason
+}
+
+// HaltNet abruptly severs a worker's fabric without the shutdown handshake
+// — the in-process equivalent of kill -9 on the worker, used by fault
+// tooling and tests. The coordinator sees the connection die and starts
+// its budget clock; ServeWorker returns a halt error.
+func (t *Tree) HaltNet() {
+	fab := t.net
+	if fab == nil || fab.role != NetWorker {
+		return
+	}
+	fab.shuttingDown.Store(true) // suppress the redial loop
+	fab.signalDone(errors.New("tbon: worker halted"))
+	if c := fab.wsq.close(); c != nil {
+		c.Close()
+	}
+}
+
+// WaitReady blocks until every worker slot has connected at least once
+// (coordinator; no-op otherwise). Timeout default 10s.
+func (t *Tree) WaitReady(timeout time.Duration) error {
+	fab := t.net
+	if fab == nil || fab.role != NetCoordinator {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	select {
+	case <-fab.ready:
+		return nil
+	case <-fab.closed:
+		return errors.New("tbon: fabric closed")
+	case <-time.After(timeout):
+		var missing []int
+		for _, sl := range fab.slots {
+			sl.mu.Lock()
+			if !sl.everUp {
+				missing = append(missing, sl.w)
+			}
+			sl.mu.Unlock()
+		}
+		return fmt.Errorf("tbon: workers %v not connected after %v", missing, timeout)
+	}
+}
+
+// ListenAddr returns the coordinator's effective listen address ("" when
+// the fabric is off or this is a worker).
+func (t *Tree) ListenAddr() string {
+	if t.net == nil || t.net.ln == nil {
+		return ""
+	}
+	return t.net.ln.Addr().String()
+}
+
+// WorkerFinals returns the final reports collected from workers during
+// Stop (coordinator; nil otherwise or for workers that never reported).
+func (t *Tree) WorkerFinals() []WorkerFinal {
+	if t.net == nil {
+		return nil
+	}
+	var out []WorkerFinal
+	for _, sl := range t.net.slots {
+		sl.mu.Lock()
+		if sl.final != nil {
+			out = append(out, *sl.final)
+		}
+		sl.mu.Unlock()
+	}
+	return out
+}
+
+// Reconnects returns the number of accepted worker reconnections
+// (coordinator side; 0 without the fabric).
+func (t *Tree) Reconnects() uint64 {
+	if t.net == nil {
+		return 0
+	}
+	return t.net.reconnects.Load()
+}
+
+// CodecErrors returns the number of malformed or unencodable wire payloads
+// observed by this process's fabric.
+func (t *Tree) CodecErrors() uint64 {
+	if t.net == nil {
+		return 0
+	}
+	return t.net.codecErrors.Load()
+}
+
+// BytesOnWire returns the bytes this process's fabric moved (sent +
+// received).
+func (t *Tree) BytesOnWire() uint64 {
+	if t.net == nil {
+		return 0
+	}
+	return t.net.bytesOut.Load() + t.net.bytesIn.Load()
+}
+
+// injectRemote ships one application event to a remote first-layer node
+// over a sequenced RankLink frame. The per-leaf window semaphore mirrors
+// the bounded in-process event queue: at most EventBuf events are in
+// flight (unacknowledged) per leaf, so backpressure propagates to the
+// injecting rank exactly as in channel mode.
+func (t *Tree) injectRemote(n *Node, env rankEnvelope) error {
+	fab := t.net
+	if n.Dead() {
+		return ErrNodeDown
+	}
+	select {
+	case fab.win[n.index] <- struct{}{}:
+	case <-n.dead:
+		return ErrNodeDown
+	case <-t.quit:
+		return ErrStopped
+	}
+	key := linkKey{from: -1, to: n.gid, class: fault.RankLink}
+	fenv := t.transport.wrapRemote(key, env.from, wireRank{
+		Rank: env.from, Typed: env.typed, Quiet: env.quiet, Ev: env.ev, Msg: env.msg,
+	})
+	if !env.quiet {
+		t.injected.Add(1)
+	}
+	fab.sendData(fenv)
+	return nil
+}
+
+// releaseWindow frees n slots of a leaf's rank-event window after its
+// frames were acknowledged (or abandoned with the link).
+func (fab *netFabric) releaseWindow(leafGid, n int) {
+	if fab.win == nil || leafGid < 0 || leafGid >= len(fab.win) {
+		return
+	}
+	w := fab.win[leafGid]
+	for i := 0; i < n; i++ {
+		select {
+		case <-w:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package wire defines the byte-level frame format of the TBON's TCP
+// transport. A frame is a fixed 12-byte header followed by an opaque
+// payload:
+//
+//	offset 0  magic   0xD5 0x57
+//	offset 2  version 0x01
+//	offset 3  kind    (see Kind)
+//	offset 4  dst     int32, big-endian — the global node id the frame is
+//	                  routed to (-1 when the frame addresses the process
+//	                  itself: handshake, stats, keepalive)
+//	offset 8  length  uint32, big-endian payload byte count, ≤ MaxPayload
+//
+// The header is all a router needs: the coordinator hub forwards frames
+// between workers on dst alone, and the wire-level fault proxy
+// (internal/fault.WireProxy) drops, duplicates and delays whole frames
+// without ever decoding a payload. Payload serialization (self-contained
+// gob blobs) lives in internal/tbon, which owns the message types; this
+// package is deliberately dependency-free so the proxy can import it
+// without cycles.
+//
+// Decoding is defensive: malformed, truncated or oversized input returns
+// an error, never panics, and never allocates more than MaxPayload (the
+// length field is validated before any payload buffer exists).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	magic0  = 0xD5
+	magic1  = 0x57
+	version = 1
+
+	// HeaderLen is the fixed frame header size in bytes.
+	HeaderLen = 12
+	// MaxPayload bounds one frame's payload. Tool messages are small
+	// (the largest, a WaitReport batch, is a few hundred KB at extreme
+	// scale); anything claiming more is corrupt or hostile.
+	MaxPayload = 4 << 20
+)
+
+// Kind discriminates frame types on a connection.
+type Kind uint8
+
+const (
+	// KindHello is the worker → coordinator handshake (worker id,
+	// incarnation).
+	KindHello Kind = 1 + iota
+	// KindWelcome is the coordinator's handshake reply (accepted
+	// incarnation + tree configuration, or a rejection).
+	KindWelcome
+	// KindData carries one reliable-layer tool frame (sequenced link
+	// message or rank event).
+	KindData
+	// KindAck carries one cumulative link acknowledgement back to the
+	// sender's process.
+	KindAck
+	// KindStats is the worker's periodic progress report (handled
+	// counter); it doubles as the worker → coordinator keepalive.
+	KindStats
+	// KindPing is the coordinator → worker keepalive.
+	KindPing
+	// KindShutdown asks a worker to stop after reporting final stats.
+	KindShutdown
+	// KindFinal is the worker's terminal statistics report.
+	KindFinal
+	// KindDown tells workers that a set of first-layer nodes was spliced
+	// out (their worker degraded past budget): drop links to them so
+	// retransmission stops and in-flight accounting drains.
+	KindDown
+
+	kindEnd // one past the last valid kind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindStats:
+		return "stats"
+	case KindPing:
+		return "ping"
+	case KindShutdown:
+		return "shutdown"
+	case KindFinal:
+		return "final"
+	case KindDown:
+		return "down"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one decoded wire frame. Payload aliases the decode input (or
+// the read buffer); consumers that retain it must copy.
+type Frame struct {
+	Kind    Kind
+	Dst     int32
+	Payload []byte
+}
+
+// ErrShort reports that the input ends before a complete frame; callers
+// reading from a stream should read more bytes and retry.
+var ErrShort = errors.New("wire: truncated frame")
+
+// Append encodes f onto dst and returns the extended slice. It errors on
+// oversized payloads and invalid kinds rather than emitting a frame no
+// decoder would accept.
+func Append(dst []byte, f Frame) ([]byte, error) {
+	if f.Kind < KindHello || f.Kind >= kindEnd {
+		return dst, fmt.Errorf("wire: invalid frame kind %d", f.Kind)
+	}
+	if len(f.Payload) > MaxPayload {
+		return dst, fmt.Errorf("wire: payload %d bytes exceeds max %d", len(f.Payload), MaxPayload)
+	}
+	var hdr [HeaderLen]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = magic0, magic1, version, byte(f.Kind)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(f.Dst))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...), nil
+}
+
+// Decode parses one frame from the front of b, returning it and the byte
+// count consumed. ErrShort means b holds only a prefix of a valid frame;
+// any other error means b is malformed and the stream is unrecoverable.
+// The returned payload aliases b.
+func Decode(b []byte) (Frame, int, error) {
+	if len(b) < HeaderLen {
+		return Frame{}, 0, ErrShort
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return Frame{}, 0, fmt.Errorf("wire: bad magic %#02x%02x", b[0], b[1])
+	}
+	if b[2] != version {
+		return Frame{}, 0, fmt.Errorf("wire: unsupported version %d", b[2])
+	}
+	kind := Kind(b[3])
+	if kind < KindHello || kind >= kindEnd {
+		return Frame{}, 0, fmt.Errorf("wire: invalid frame kind %d", b[3])
+	}
+	n := binary.BigEndian.Uint32(b[8:12])
+	if n > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("wire: payload %d bytes exceeds max %d", n, MaxPayload)
+	}
+	if uint32(len(b)-HeaderLen) < n {
+		return Frame{}, 0, ErrShort
+	}
+	return Frame{
+		Kind:    kind,
+		Dst:     int32(binary.BigEndian.Uint32(b[4:8])),
+		Payload: b[HeaderLen : HeaderLen+int(n)],
+	}, HeaderLen + int(n), nil
+}
+
+// ReadFrame reads one frame from a stream. The header is validated before
+// the payload buffer is allocated, so a corrupt length can never force an
+// oversized allocation. Returns io.EOF only on a clean boundary (no bytes
+// read); a frame cut mid-way surfaces io.ErrUnexpectedEOF.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Frame{}, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	f, _, err := Decode(hdr[:]) // validates magic/version/kind/length
+	if err == nil {             // zero-length payload: complete already
+		return f, nil
+	}
+	if err != ErrShort {
+		return Frame{}, err
+	}
+	payload := make([]byte, binary.BigEndian.Uint32(hdr[8:12]))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	// Decode returned ErrShort with a zero Frame; rebuild the fields from
+	// the (already validated) header.
+	return Frame{
+		Kind:    Kind(hdr[3]),
+		Dst:     int32(binary.BigEndian.Uint32(hdr[4:8])),
+		Payload: payload,
+	}, nil
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := Append(make([]byte, 0, HeaderLen+len(f.Payload)), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAppendDecodeRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Kind: KindHello, Dst: 0, Payload: []byte("hello")},
+		{Kind: KindData, Dst: 17, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Kind: KindAck, Dst: -1, Payload: nil}, // negative dst = coordinator-addressed
+		{Kind: KindPing, Dst: 0, Payload: []byte{}},
+		{Kind: KindFinal, Dst: 1 << 30, Payload: []byte{0}},
+	}
+	var buf []byte
+	for _, f := range cases {
+		var err error
+		buf, err = Append(buf, f)
+		if err != nil {
+			t.Fatalf("Append(%v): %v", f.Kind, err)
+		}
+	}
+	for _, want := range cases {
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Dst != want.Dst || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if n != HeaderLen+len(want.Payload) {
+			t.Fatalf("consumed %d bytes, want %d", n, HeaderLen+len(want.Payload))
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all frames", len(buf))
+	}
+}
+
+func TestWriteReadFrameStream(t *testing.T) {
+	var w bytes.Buffer
+	frames := []Frame{
+		{Kind: KindWelcome, Dst: 3, Payload: []byte("cfg")},
+		{Kind: KindShutdown, Dst: 0},
+		{Kind: KindStats, Dst: -1, Payload: bytes.Repeat([]byte{7}, 100)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&w, f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	r := bufio.NewReader(&w)
+	for _, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if got.Kind != want.Kind || got.Dst != want.Dst || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("stream round trip: got %+v want %+v", got, want)
+		}
+	}
+	// Exhausted stream ends on a clean io.EOF, never ErrUnexpectedEOF.
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("ReadFrame at stream end = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	full, err := Append(nil, Frame{Kind: KindData, Dst: 5, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must yield ErrUnexpectedEOF (a frame cut mid-way),
+	// except the empty prefix, which is a clean EOF.
+	for cut := 1; cut < len(full); cut++ {
+		r := bufio.NewReader(bytes.NewReader(full[:cut]))
+		_, err := ReadFrame(r)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("ReadFrame(prefix %d/%d) = %v, want ErrUnexpectedEOF", cut, len(full), err)
+		}
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	good, _ := Append(nil, Frame{Kind: KindData, Dst: 1, Payload: []byte("x")})
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"bad magic", corrupt(func(b []byte) { b[0] = 0x00 }), "bad magic"},
+		{"bad version", corrupt(func(b []byte) { b[2] = 99 }), "version"},
+		{"kind zero", corrupt(func(b []byte) { b[3] = 0 }), "kind"},
+		{"kind past end", corrupt(func(b []byte) { b[3] = 200 }), "kind"},
+		{"oversized length", corrupt(func(b []byte) {
+			binary.BigEndian.PutUint32(b[8:12], MaxPayload+1)
+		}), "exceeds max"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := Decode(c.b)
+			if err == nil || errors.Is(err, ErrShort) {
+				t.Fatalf("Decode = %v, want hard error", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Decode error %q, want mention of %q", err, c.want)
+			}
+		})
+	}
+	if _, _, err := Decode(good[:HeaderLen-1]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short header: %v, want ErrShort", err)
+	}
+	if _, _, err := Decode(good[:len(good)-1]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short payload: %v, want ErrShort", err)
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	if _, err := Append(nil, Frame{Kind: 0}); err == nil {
+		t.Fatal("Append accepted kind 0")
+	}
+	if _, err := Append(nil, Frame{Kind: kindEnd}); err == nil {
+		t.Fatal("Append accepted kind past end")
+	}
+	if _, err := Append(nil, Frame{Kind: KindData, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Fatal("Append accepted oversized payload")
+	}
+}
+
+// TestReadFrameBoundsAllocation feeds a header claiming a huge payload and
+// checks the reader rejects it from the 12 header bytes alone — it must
+// never allocate the claimed size.
+func TestReadFrameBoundsAllocation(t *testing.T) {
+	var hdr [HeaderLen]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xD5, 0x57, 1, byte(KindData)
+	binary.BigEndian.PutUint32(hdr[8:12], 1<<31-1)
+	r := bufio.NewReader(bytes.NewReader(hdr[:]))
+	if _, err := ReadFrame(r); err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		// ErrUnexpectedEOF would mean it tried to read (and thus allocated)
+		// the bogus payload.
+		t.Fatalf("ReadFrame = %v, want validation error before payload read", err)
+	}
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the two decode paths. The
+// contract under attack: malformed, truncated or oversized input returns an
+// error — it never panics, never over-allocates from a hostile length
+// field, and on success the decoded frame re-encodes to exactly the bytes
+// consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(fr Frame) []byte {
+		b, err := Append(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0})
+	f.Add(seed(Frame{Kind: KindHello, Payload: []byte("hi")}))
+	f.Add(seed(Frame{Kind: KindData, Dst: -1, Payload: bytes.Repeat([]byte{1}, 64)}))
+	f.Add(seed(Frame{Kind: KindPing}))
+	// Header claiming a giant payload.
+	huge := seed(Frame{Kind: KindData})
+	binary.BigEndian.PutUint32(huge[8:12], 1<<31-10)
+	f.Add(huge[:HeaderLen])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := Decode(b)
+		if err == nil {
+			if n < HeaderLen || n > len(b) {
+				t.Fatalf("Decode consumed %d of %d bytes", n, len(b))
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("decoded payload %d exceeds MaxPayload", len(fr.Payload))
+			}
+			re, err := Append(nil, fr)
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+			if !bytes.Equal(re, b[:n]) {
+				t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, b[:n])
+			}
+		}
+
+		// The stream reader must agree with Decode on the same bytes and
+		// never read past one frame.
+		r := bufio.NewReader(bytes.NewReader(b))
+		sf, serr := ReadFrame(r)
+		if err == nil {
+			if serr != nil {
+				t.Fatalf("Decode ok but ReadFrame failed: %v", serr)
+			}
+			if sf.Kind != fr.Kind || sf.Dst != fr.Dst || !bytes.Equal(sf.Payload, fr.Payload) {
+				t.Fatalf("ReadFrame %+v != Decode %+v", sf, fr)
+			}
+		} else if serr == nil {
+			t.Fatalf("Decode failed (%v) but ReadFrame succeeded with %+v", err, sf)
+		}
+		if len(b) == 0 && serr != io.EOF {
+			t.Fatalf("empty stream: ReadFrame = %v, want io.EOF", serr)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package must_test
+
+// Goroutine-leak checks for transport shutdown: a completed Run must tear
+// down every node loop, scanner, fabric reader/writer and worker goroutine
+// it started — on both the channel transport and the TCP transport (which
+// adds listeners, per-connection readers, keepalive tickers and the worker
+// processes' own trees, here run in-process).
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dwst/internal/workload"
+	"dwst/must"
+)
+
+// waitGoroutines polls until the live goroutine count drops back to within
+// slack of the baseline (shutdown is asynchronous: connection readers notice
+// closed sockets on their next deadline) or the deadline expires, returning
+// the last observed count.
+func waitGoroutines(baseline, slack int, deadline time.Duration) int {
+	var n int
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		n = runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+func TestRunLeaksNoGoroutinesChan(t *testing.T) {
+	opts := must.Options{FanIn: 2, Timeout: 20 * time.Millisecond}
+	// Warm-up run: runtime pools (GC workers, timer goroutines) grow once.
+	must.Run(8, workload.RecvRecvDeadlock(), opts)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		rep := must.Run(8, workload.RecvRecvDeadlock(), opts)
+		if rep.Err != nil {
+			t.Fatalf("run %d failed: %v", i, rep.Err)
+		}
+	}
+	if n := waitGoroutines(baseline, 2, 5*time.Second); n > baseline+2 {
+		t.Fatalf("goroutines grew %d -> %d after 3 channel-transport runs", baseline, n)
+	}
+}
+
+func TestRunLeaksNoGoroutinesTCP(t *testing.T) {
+	const workers = 2
+	runOnce := func() {
+		var wg sync.WaitGroup
+		opts := must.Options{
+			FanIn:   2,
+			Timeout: 20 * time.Millisecond,
+			Net: &must.NetOptions{
+				Workers: workers,
+				OnListen: func(addr string) {
+					for w := 0; w < workers; w++ {
+						w := w
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if err := must.RunWorker(addr, w, must.WorkerOptions{}); err != nil {
+								t.Errorf("worker %d: %v", w, err)
+							}
+						}()
+					}
+				},
+			},
+		}
+		rep := must.Run(8, workload.RecvRecvDeadlock(), opts)
+		if rep.Err != nil {
+			t.Fatalf("TCP run failed: %v", rep.Err)
+		}
+		wg.Wait()
+	}
+	runOnce() // warm-up
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		runOnce()
+	}
+	if n := waitGoroutines(baseline, 4, 10*time.Second); n > baseline+4 {
+		t.Fatalf("goroutines grew %d -> %d after 3 TCP-transport runs", baseline, n)
+	}
+}

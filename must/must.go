@@ -49,6 +49,13 @@ type RankCrash = fault.RankCrash
 // MPI calls without blocking — sleep or livelock).
 type RankStall = fault.RankStall
 
+// NetOptions re-exports core.NetOptions: configuration of the coordinator
+// side of a TCP-fabric run (Options.Net).
+type NetOptions = core.NetOptions
+
+// WorkerOptions re-exports core.WorkerOptions (RunWorker configuration).
+type WorkerOptions = core.WorkerOptions
+
 // Verdict re-exports detect.Verdict, the run classification.
 type Verdict = detect.Verdict
 
@@ -125,6 +132,12 @@ type Options struct {
 	WatchdogQuiet time.Duration
 	// Batch selects hot-path batching (default BatchOn; see Batching).
 	Batch Batching
+	// Net, when non-nil, runs the distributed tool over real TCP sockets:
+	// this process is the coordinator and Net.Workers separate worker
+	// processes (started via RunWorker, typically the mustnode binary) own
+	// the first tool layer. Distributed mode only; mutually exclusive with
+	// Fault — over real sockets the adversary is the wire.
+	Net *NetOptions
 
 	// TrackCallSites records the application source line of every MPI call
 	// so wait-for conditions and reports point at code (one runtime.Caller
@@ -220,9 +233,19 @@ type Report struct {
 	// SnapshotDeadline and were retried under a fresh epoch.
 	SnapshotRetries int
 	// Retransmits and AbandonedFrames count reliable-transport activity on
-	// tool links (zero without a fault plan).
+	// tool links (zero without a fault plan or TCP fabric).
 	Retransmits     uint64
 	AbandonedFrames uint64
+	// Reconnects, CodecErrors and BytesOnWire are TCP-fabric counters (zero
+	// on the channel transport): accepted worker reconnections, malformed
+	// or unencodable wire payloads, and total bytes moved on the wire.
+	Reconnects  uint64
+	CodecErrors uint64
+	BytesOnWire uint64
+	// Err is set when the run never executed: configuration rejected or the
+	// TCP fabric failed to assemble (e.g. workers never connected). Tool
+	// aborts of a running application (deadlock, stall) do NOT set Err.
+	Err error
 
 	// Recoveries counts crashed first-layer tool nodes that were respawned
 	// and rebuilt exactly by journal replay (FaultPlan.Recover). A recovered
@@ -313,6 +336,7 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		SnapshotDeadline:         opts.SnapshotDeadline,
 		WatchdogQuiet:            opts.WatchdogQuiet,
 		NoBatch:                  opts.Batch == BatchOff,
+		Net:                      opts.Net,
 		SendMode:                 mode,
 		BufferSlots:              opts.BufferSlots,
 		BufferedSendCost:         opts.BufferedSendCost,
@@ -341,6 +365,9 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		SnapshotRetries:  res.SnapshotRetries,
 		Retransmits:      res.Retransmits,
 		AbandonedFrames:  res.AbandonedFrames,
+		Reconnects:       res.Reconnects,
+		CodecErrors:      res.CodecErrors,
+		BytesOnWire:      res.BytesOnWire,
 		Recoveries:       res.Recoveries,
 		JournalHighWater: res.JournalHighWater,
 		ReplayedMsgs:     res.ReplayedMsgs,
@@ -352,11 +379,22 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 			CollReadys:     res.MsgStats.CollReadys,
 		},
 	}
+	if res.Failed {
+		rep.Err = res.AppErr
+	}
 	if d := res.Deadlock; d != nil {
 		fillFromDetect(rep, d)
 		rep.PotentialOnly = res.AppErr == nil
 	}
 	return rep
+}
+
+// RunWorker runs one worker process of a TCP-fabric tool run: it dials the
+// coordinator at addr, hosts its share of the first tool layer, and blocks
+// until the coordinator shuts it down (nil) or the fabric fails permanently
+// (error). The mustnode binary is a thin wrapper around this call.
+func RunWorker(addr string, worker int, opts WorkerOptions) error {
+	return core.RunWorker(addr, worker, opts)
 }
 
 func fillFromDetect(rep *Report, d *detect.Result) {
