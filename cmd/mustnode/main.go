@@ -26,6 +26,7 @@ func main() {
 		worker  = flag.Int("worker", 0, "worker index in [0, workers)")
 		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "initial connection timeout")
 		haltDur = flag.Duration("halt-after", 0, "abruptly kill this worker after the given delay (fault-injection aid; 0 = never)")
+		resume  = flag.String("resume", "", "one-shot recovery token for a supervised respawn (minted by the coordinator)")
 	)
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mustnode: -dial is required")
 		os.Exit(2)
 	}
-	opts := must.WorkerOptions{DialTimeout: *dialTO}
+	opts := must.WorkerOptions{DialTimeout: *dialTO, Resume: *resume}
 	if *haltDur > 0 {
 		halt := make(chan struct{})
 		time.AfterFunc(*haltDur, func() { close(halt) })

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"dwst/internal/supervise"
 	"dwst/internal/workload"
 	"dwst/mpi"
 	"dwst/must"
@@ -56,8 +57,8 @@ func main() {
 		wdQuiet   = flag.Duration("watchdog-quiet", 0, "progress watchdog quiet period (0 = disabled)")
 		statsJSON = flag.String("stats-json", "", "write run statistics as JSON to this file (- for stdout)")
 
-		recoverNodes = flag.Bool("recover", true, "exact recovery of crashed first-layer tool nodes (journal replay); active when a fault plan is configured")
-		journalCap   = flag.Int("journal-cap", 0, "recovery journal suffix cap forcing a checkpoint (0 = default 512)")
+		recoverNodes = flag.Bool("recover", true, "exact recovery of crashed first-layer tool nodes (journal replay); active with a chan fault plan, and with -transport=tcp enables supervised worker respawn")
+		journalCap   = flag.Int("journal-cap", 0, "recovery journal cap: chan suffix length forcing a checkpoint (default 512); tcp per-leaf entries before overflow disables exact respawn (default 4096)")
 
 		transport   = flag.String("transport", "chan", "TBON transport: chan (in-process, default) | tcp (worker processes over real sockets)")
 		listenAddr  = flag.String("listen", "127.0.0.1:0", "coordinator listen address (tcp)")
@@ -75,13 +76,17 @@ func main() {
 		killWorker    = flag.Int("kill-worker", -1, "SIGKILL this worker process mid-run (tcp; degraded-report demo)")
 		killAfter     = flag.Duration("kill-after", 50*time.Millisecond, "delay before -kill-worker")
 
-		workerDial = flag.String("worker-dial", "", "internal: run as a worker process dialing this coordinator")
-		workerID   = flag.Int("worker", 0, "internal: worker index (with -worker-dial)")
+		respawnMax     = flag.Int("respawn-max", 3, "max supervised respawns per worker process before degrading (tcp with -recover; 0 = never respawn)")
+		respawnBackoff = flag.Duration("respawn-backoff", 100*time.Millisecond, "base delay between respawn attempts, doubled per attempt with jitter, capped at 50x (tcp)")
+
+		workerDial   = flag.String("worker-dial", "", "internal: run as a worker process dialing this coordinator")
+		workerID     = flag.Int("worker", 0, "internal: worker index (with -worker-dial)")
+		workerResume = flag.String("worker-resume", "", "internal: recovery token (with -worker-dial)")
 	)
 	flag.Parse()
 
 	if *workerDial != "" {
-		runWorkerMode(*workerDial, *workerID, *dialTO)
+		runWorkerMode(*workerDial, *workerID, *dialTO, *workerResume)
 	}
 
 	if err := validateFaultFlags(*faultDrop, *faultDup, *faultReord, *journalCap); err != nil {
@@ -135,6 +140,7 @@ func main() {
 		"mustnode-bin": true, "wire-drop": true, "wire-dup": true, "wire-delay": true,
 		"wire-seed": true, "wire-partition-after": true, "wire-partition-for": true,
 		"kill-worker": true, "kill-after": true,
+		"respawn-max": true, "respawn-backoff": true,
 	}
 	var tcpOnlySet []string
 	flag.Visit(func(f *flag.Flag) {
@@ -143,7 +149,8 @@ func main() {
 		}
 	})
 	if err := validateTransportFlags(*transport, *mode, *procs, *fanIn, *workers,
-		faultActive || *linkDelay > 0, wf, *killWorker, tcpOnlySet); err != nil {
+		faultActive || *linkDelay > 0, wf, *killWorker,
+		*respawnMax, *respawnBackoff, tcpOnlySet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -164,6 +171,14 @@ func main() {
 			DialTimeout: *dialTO,
 			Budget:      *netBudget,
 			OnListen:    orch.onListen,
+			Recover:     *recoverNodes,
+			JournalCap:  *journalCap,
+		}
+		if *recoverNodes && *respawnMax > 0 {
+			orch.respawnMax = *respawnMax
+			orch.backoff = supervise.Backoff{Base: *respawnBackoff, Seed: *wireSeed}
+			orch.ctl = &must.NetControl{}
+			opts.Net.Control = orch.ctl
 		}
 	}
 
@@ -189,6 +204,7 @@ func main() {
 	rep := must.Run(*procs, prog, opts)
 	if orch != nil {
 		orch.cleanup()
+		_, rep.RespawnBackoff = orch.respawnStats()
 	}
 	if rep.Err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", rep.Err)
@@ -223,6 +239,11 @@ func main() {
 		if orch.proxy != nil {
 			fmt.Printf("wire-faults: seed=%d proxy-dropped=%d proxy-dupped=%d\n",
 				*wireSeed, orch.proxy.Dropped(), orch.proxy.Dupped())
+		}
+		if rep.WorkerRespawns > 0 {
+			fmt.Printf("respawn: %d worker(s) re-admitted exactly — %d journal entries shipped, replayed in %v (backoff %v)\n",
+				rep.WorkerRespawns, rep.ShippedJournalEntries,
+				rep.ReplayTime.Round(time.Microsecond), rep.RespawnBackoff.Round(time.Millisecond))
 		}
 	}
 	if faultActive {
@@ -309,6 +330,9 @@ type runStats struct {
 	JournalHighWater int         `json:"journal_high_water"`
 	ReplayedMsgs     int         `json:"replayed_msgs"`
 	ReplayMS         int64       `json:"replay_ms"`
+	WorkerRespawns   uint64      `json:"worker_respawns"`
+	RespawnBackoffMS int64       `json:"respawn_backoff_ms"`
+	ShippedJournal   uint64      `json:"shipped_journal_entries"`
 	Detections       int         `json:"detections"`
 	ToolNodes        int         `json:"tool_nodes"`
 	LostMessages     int         `json:"lost_messages"`
@@ -345,6 +369,9 @@ func statsFor(wl string, procs int, mode, transport string, batch bool, rep *mus
 		JournalHighWater: rep.JournalHighWater,
 		ReplayedMsgs:     rep.ReplayedMsgs,
 		ReplayMS:         rep.ReplayTime.Milliseconds(),
+		WorkerRespawns:   rep.WorkerRespawns,
+		RespawnBackoffMS: rep.RespawnBackoff.Milliseconds(),
+		ShippedJournal:   rep.ShippedJournalEntries,
 		Detections:       rep.Detections,
 		ToolNodes:        rep.ToolNodes,
 		LostMessages:     rep.LostMessages,

@@ -37,17 +37,20 @@ func TestValidateFaultFlags(t *testing.T) {
 
 func TestValidateTransportFlags(t *testing.T) {
 	type args struct {
-		transport   string
-		mode        string
-		procs       int
-		fanIn       int
-		workers     int
-		faultActive bool
-		wf          wireFlags
-		killWorker  int
-		tcpOnlySet  []string
+		transport      string
+		mode           string
+		procs          int
+		fanIn          int
+		workers        int
+		faultActive    bool
+		wf             wireFlags
+		killWorker     int
+		respawnMax     int
+		respawnBackoff time.Duration
+		tcpOnlySet     []string
 	}
-	ok := args{transport: "tcp", mode: "distributed", procs: 8, fanIn: 2, workers: 2, killWorker: -1}
+	ok := args{transport: "tcp", mode: "distributed", procs: 8, fanIn: 2, workers: 2,
+		killWorker: -1, respawnMax: 3, respawnBackoff: 100 * time.Millisecond}
 	cases := []struct {
 		name    string
 		mut     func(*args)
@@ -83,13 +86,24 @@ func TestValidateTransportFlags(t *testing.T) {
 		}, false},
 		{"kill-worker out of range", func(a *args) { a.killWorker = 2 }, true},
 		{"kill-worker in range", func(a *args) { a.killWorker = 1 }, false},
+		{"respawn disabled", func(a *args) { a.respawnMax = 0 }, false},
+		{"negative respawn-max", func(a *args) { a.respawnMax = -1 }, true},
+		{"negative respawn-backoff", func(a *args) { a.respawnBackoff = -time.Millisecond }, true},
+		{"chan with -respawn-max set", func(a *args) {
+			a.transport = "chan"
+			a.tcpOnlySet = []string{"-respawn-max"}
+		}, true},
+		{"chan with -respawn-backoff set", func(a *args) {
+			a.transport = "chan"
+			a.tcpOnlySet = []string{"-respawn-backoff"}
+		}, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			a := ok
 			c.mut(&a)
 			err := validateTransportFlags(a.transport, a.mode, a.procs, a.fanIn, a.workers,
-				a.faultActive, a.wf, a.killWorker, a.tcpOnlySet)
+				a.faultActive, a.wf, a.killWorker, a.respawnMax, a.respawnBackoff, a.tcpOnlySet)
 			if (err != nil) != c.wantErr {
 				t.Fatalf("validateTransportFlags(%+v) error = %v, wantErr %v", a, err, c.wantErr)
 			}
@@ -99,10 +113,14 @@ func TestValidateTransportFlags(t *testing.T) {
 
 func TestStatsJSONCarriesTransportCounters(t *testing.T) {
 	rep := &must.Report{
-		Reconnects:  3,
-		CodecErrors: 1,
-		BytesOnWire: 4096,
-		Retransmits: 7,
+		Reconnects:            3,
+		CodecErrors:           1,
+		BytesOnWire:           4096,
+		Retransmits:           7,
+		WorkerRespawns:        2,
+		ShippedJournalEntries: 40,
+		RespawnBackoff:        300 * time.Millisecond,
+		ReplayTime:            5 * time.Millisecond,
 	}
 	b, err := json.Marshal(statsFor("fig2b", 8, "distributed", "tcp", false, rep))
 	if err != nil {
@@ -113,10 +131,14 @@ func TestStatsJSONCarriesTransportCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	for field, want := range map[string]float64{
-		"reconnects":    3,
-		"codec_errors":  1,
-		"bytes_on_wire": 4096,
-		"retransmits":   7,
+		"reconnects":              3,
+		"codec_errors":            1,
+		"bytes_on_wire":           4096,
+		"retransmits":             7,
+		"worker_respawns":         2,
+		"shipped_journal_entries": 40,
+		"respawn_backoff_ms":      300,
+		"replay_ms":               5,
 	} {
 		if got[field] != want {
 			t.Errorf("stats JSON field %q = %v, want %v", field, got[field], want)

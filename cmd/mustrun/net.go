@@ -8,9 +8,11 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"dwst/internal/fault"
+	"dwst/internal/supervise"
 	"dwst/must"
 )
 
@@ -35,7 +37,8 @@ func (w wireFlags) active() bool {
 // flag.Visit), so `-transport=chan -wire-drop 0.1` fails loudly instead of
 // silently ignoring the fault.
 func validateTransportFlags(transport, mode string, procs, fanIn, workers int,
-	faultActive bool, wf wireFlags, killWorker int, tcpOnlySet []string) error {
+	faultActive bool, wf wireFlags, killWorker int,
+	respawnMax int, respawnBackoff time.Duration, tcpOnlySet []string) error {
 	switch transport {
 	case "chan":
 		if len(tcpOnlySet) > 0 {
@@ -82,11 +85,24 @@ func validateTransportFlags(transport, mode string, procs, fanIn, workers int,
 	if killWorker >= workers {
 		return fmt.Errorf("bad -kill-worker %d: only %d workers", killWorker, workers)
 	}
+	if respawnMax < 0 {
+		return fmt.Errorf("bad -respawn-max %d: want >= 0 (0 = no supervised respawn)", respawnMax)
+	}
+	if respawnBackoff < 0 {
+		return fmt.Errorf("bad -respawn-backoff %v: want >= 0", respawnBackoff)
+	}
 	return nil
 }
 
 // netOrchestrator owns the worker processes and the optional fault proxy
-// for one tcp-transport run.
+// for one tcp-transport run. With respawnMax > 0 it also supervises the
+// fleet: each worker gets a goroutine that reaps its process and — on an
+// unexpected death — respawns it under a coordinator-minted recovery token,
+// with capped exponential backoff between attempts. When the respawn
+// budget is exhausted (or token minting fails: recovery off, journal
+// overflowed, slot already degraded) the supervisor stands down and the
+// coordinator's degradation budget takes over, producing an honest
+// PARTIAL report instead of a wrong one.
 type netOrchestrator struct {
 	bin        string
 	workers    int
@@ -95,8 +111,20 @@ type netOrchestrator struct {
 	killWorker int
 	killAfter  time.Duration
 
+	respawnMax int
+	backoff    supervise.Backoff
+	ctl        *must.NetControl
+
 	proxy *fault.WireProxy
-	procs []*exec.Cmd
+
+	mu           sync.Mutex // guards the fields below
+	dialAddr     string
+	procs        []*exec.Cmd
+	done         bool // run is over: supervisors must not respawn
+	respawns     int
+	totalBackoff time.Duration
+
+	wg sync.WaitGroup // one supervisor goroutine per worker slot
 }
 
 // onListen is the must.NetOptions.OnListen hook: the coordinator has bound
@@ -121,25 +149,88 @@ func (o *netOrchestrator) onListen(addr string) {
 			time.AfterFunc(o.wf.PartitionAfter, func() { proxy.Partition(o.wf.PartitionFor) })
 		}
 	}
+	o.mu.Lock()
+	o.dialAddr = dialAddr
+	o.mu.Unlock()
 	for w := 0; w < o.workers; w++ {
-		cmd := o.workerCommand(dialAddr, w)
+		cmd := o.workerCommand(dialAddr, w, "")
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "spawn worker %d: %v\n", w, err)
 			continue
 		}
+		o.mu.Lock()
 		o.procs = append(o.procs, cmd)
+		o.mu.Unlock()
 		if w == o.killWorker {
 			proc := cmd.Process
 			time.AfterFunc(o.killAfter, func() { proc.Kill() })
 		}
+		o.wg.Add(1)
+		go o.supervise(w, cmd)
 	}
+}
+
+// supervise reaps one worker slot's process and, while the respawn budget
+// lasts, brings a dead worker back: mint a one-shot recovery token (this
+// also fences the dead incarnation's stale connection, so a reconnect
+// race has exactly one winner), respawn the process with -resume, and go
+// back to waiting. Every failure path simply returns — the coordinator's
+// degradation budget then splices the slot out honestly.
+func (o *netOrchestrator) supervise(w int, cmd *exec.Cmd) {
+	defer o.wg.Done()
+	for attempt := 1; ; attempt++ {
+		cmd.Wait()
+		if cmd.ProcessState != nil && cmd.ProcessState.Success() {
+			return // clean coordinator-initiated shutdown, not a death
+		}
+		o.mu.Lock()
+		stop := o.done || o.ctl == nil || attempt > o.respawnMax
+		addr := o.dialAddr
+		o.mu.Unlock()
+		if stop {
+			return
+		}
+		delay := o.backoff.Delay(attempt)
+		time.Sleep(delay)
+		o.mu.Lock()
+		o.totalBackoff += delay
+		done := o.done
+		o.mu.Unlock()
+		if done {
+			return
+		}
+		token, err := o.ctl.RecoveryToken(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "respawn worker %d: %v (degrading)\n", w, err)
+			return
+		}
+		next := o.workerCommand(addr, w, token)
+		next.Stderr = os.Stderr
+		if err := next.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "respawn worker %d: %v\n", w, err)
+			return
+		}
+		o.mu.Lock()
+		o.procs = append(o.procs, next)
+		o.respawns++
+		o.mu.Unlock()
+		cmd = next
+	}
+}
+
+// respawnStats reports how many times the supervisor respawned a worker
+// and the total wall clock spent in backoff delays.
+func (o *netOrchestrator) respawnStats() (int, time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.respawns, o.totalBackoff
 }
 
 // workerCommand builds the command for one worker process: the configured
 // -mustnode-bin, a mustnode found on PATH or next to this executable, or —
 // so a lone mustrun binary still works — mustrun itself in worker mode.
-func (o *netOrchestrator) workerCommand(addr string, w int) *exec.Cmd {
+func (o *netOrchestrator) workerCommand(addr string, w int, resume string) *exec.Cmd {
 	bin := o.bin
 	if bin == "" {
 		if p, err := exec.LookPath("mustnode"); err == nil {
@@ -152,28 +243,43 @@ func (o *netOrchestrator) workerCommand(addr string, w int) *exec.Cmd {
 		}
 	}
 	if bin != "" {
-		return exec.Command(bin,
+		args := []string{
 			"-dial", addr, "-worker", strconv.Itoa(w),
-			"-dial-timeout", o.dialTO.String())
+			"-dial-timeout", o.dialTO.String()}
+		if resume != "" {
+			args = append(args, "-resume", resume)
+		}
+		return exec.Command(bin, args...)
 	}
 	self, err := os.Executable()
 	if err != nil {
 		self = os.Args[0]
 	}
-	return exec.Command(self,
+	args := []string{
 		"-worker-dial", addr, "-worker", strconv.Itoa(w),
-		"-dial-timeout", o.dialTO.String())
+		"-dial-timeout", o.dialTO.String()}
+	if resume != "" {
+		args = append(args, "-worker-resume", resume)
+	}
+	return exec.Command(self, args...)
 }
 
 // cleanup reaps the worker processes (they exit on coordinator shutdown;
-// stragglers are killed after a grace period) and closes the proxy.
+// stragglers are killed after a grace period) and closes the proxy. The
+// supervisor goroutines own each process's Wait; cleanup just stops them
+// from respawning and waits for them to finish reaping.
 func (o *netOrchestrator) cleanup() {
-	for _, cmd := range o.procs {
-		proc := cmd.Process
-		timer := time.AfterFunc(5*time.Second, func() { proc.Kill() })
-		cmd.Wait()
-		timer.Stop()
-	}
+	o.mu.Lock()
+	o.done = true
+	procs := append([]*exec.Cmd(nil), o.procs...)
+	o.mu.Unlock()
+	timer := time.AfterFunc(5*time.Second, func() {
+		for _, cmd := range procs {
+			cmd.Process.Kill()
+		}
+	})
+	o.wg.Wait()
+	timer.Stop()
 	if o.proxy != nil {
 		o.proxy.Close()
 	}
@@ -181,8 +287,8 @@ func (o *netOrchestrator) cleanup() {
 
 // runWorkerMode is mustrun's hidden worker personality (-worker-dial): the
 // fallback used when no mustnode binary is available.
-func runWorkerMode(addr string, worker int, dialTO time.Duration) {
-	if err := must.RunWorker(addr, worker, must.WorkerOptions{DialTimeout: dialTO}); err != nil {
+func runWorkerMode(addr string, worker int, dialTO time.Duration, resume string) {
+	if err := must.RunWorker(addr, worker, must.WorkerOptions{DialTimeout: dialTO, Resume: resume}); err != nil {
 		fmt.Fprintf(os.Stderr, "mustrun worker %d: %v\n", worker, err)
 		os.Exit(1)
 	}

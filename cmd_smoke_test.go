@@ -300,11 +300,13 @@ func TestCmdMustrunTCPTransport(t *testing.T) {
 		t.Fatalf("wire faults alone degraded the report:\n%s", out)
 	}
 
-	// Kill a worker process mid-run: past the budget its leaves are spliced
-	// out and the report honestly flags their ranks unknown.
+	// Kill a worker process mid-run with the supervisor disabled: past the
+	// budget its leaves are spliced out and the report honestly flags
+	// their ranks unknown.
 	out, code = runBin(t, mustrun, "-workload", "recvrecv", "-procs", "8", "-fanin", "4",
 		"-transport", "tcp", "-workers", "2", "-mustnode-bin", mustnode,
-		"-degrade-budget", "250ms", "-kill-worker", "1", "-kill-after", "30ms")
+		"-degrade-budget", "250ms", "-kill-worker", "1", "-kill-after", "30ms",
+		"-respawn-max", "0")
 	if code != 1 {
 		t.Fatalf("kill-worker run exit = %d\n%s", code, out)
 	}
@@ -312,6 +314,25 @@ func TestCmdMustrunTCPTransport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("kill-worker run missing %q:\n%s", want, out)
 		}
+	}
+
+	// Same kill with the supervisor on (the default): the worker process is
+	// respawned under a recovery token, replays the shipped journal, and
+	// the run converges to the full fault-free verdict — no PARTIAL.
+	out, code = runBin(t, mustrun, "-workload", "recvrecv", "-procs", "8", "-fanin", "4",
+		"-transport", "tcp", "-workers", "2", "-mustnode-bin", mustnode,
+		"-kill-worker", "1", "-kill-after", "30ms")
+	if code != 1 {
+		t.Fatalf("kill-respawn run exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"respawn: 1 worker(s) re-admitted exactly",
+		"deadlocked ranks: [0 1 2 3 4 5 6 7]", "DEADLOCK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kill-respawn run missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PARTIAL REPORT") {
+		t.Fatalf("supervised respawn still degraded the report:\n%s", out)
 	}
 
 	// Inconsistent transport flags are rejected at startup (exit 2).

@@ -171,9 +171,17 @@ type Result struct {
 	// tracks outstanding work, not total events.
 	JournalHighWater int
 	// ReplayedMsgs counts journal entries re-applied during recoveries,
-	// and ReplayTime the total wall clock spent replaying.
+	// and ReplayTime the total wall clock spent replaying (both in-process
+	// and worker-side wire replay after a supervised respawn).
 	ReplayedMsgs int
 	ReplayTime   time.Duration
+
+	// WorkerRespawns counts worker processes re-admitted through the
+	// supervised-respawn handshake (TCP fabric with recovery on), and
+	// ShippedJournalEntries the journal entries the coordinator shipped to
+	// those fresh incarnations for replay.
+	WorkerRespawns        uint64
+	ShippedJournalEntries uint64
 }
 
 // handler adapts one tbon node to its tool roles: first-layer wait-state
@@ -556,13 +564,16 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			}
 		}
 		netCfg = &tbon.NetConfig{
-			Role:        tbon.NetCoordinator,
-			Workers:     cfg.Net.Workers,
-			Listen:      cfg.Net.Listen,
-			DialTimeout: cfg.Net.DialTimeout,
-			KeepAlive:   ka,
-			Budget:      cfg.Net.Budget,
-			Extra:       workerExtra{WatchdogQuiet: cfg.WatchdogQuiet},
+			Role:         tbon.NetCoordinator,
+			Workers:      cfg.Net.Workers,
+			Listen:       cfg.Net.Listen,
+			DialTimeout:  cfg.Net.DialTimeout,
+			KeepAlive:    ka,
+			Budget:       cfg.Net.Budget,
+			Extra:        workerExtra{WatchdogQuiet: cfg.WatchdogQuiet},
+			Recover:      cfg.Net.Recover,
+			JournalCap:   cfg.Net.JournalCap,
+			OnWorkerDown: cfg.Net.OnWorkerDown,
 		}
 	}
 
@@ -662,6 +673,11 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	})
 
 	if cfg.Net != nil {
+		// Bind the orchestrator's control handle before OnListen so the
+		// supervisor goroutines it spawns can mint recovery tokens at once.
+		if cfg.Net.Control != nil {
+			cfg.Net.Control.bind(tree.PrepareRespawn)
+		}
 		// Hand the bound address to the orchestrator (which spawns the worker
 		// processes), then block until every worker slot has connected: events
 		// injected before the first tool layer exists would only pile up in
@@ -827,6 +843,10 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 				res.Reconnects = tree.Reconnects()
 				res.BytesOnWire += tree.BytesOnWire()
 				res.CodecErrors += tree.CodecErrors()
+				res.WorkerRespawns = tree.WorkerRespawns()
+				res.ShippedJournalEntries = tree.ShippedJournalEntries()
+				res.ReplayedMsgs += int(res.ShippedJournalEntries)
+				res.ReplayTime += tree.WireReplayTime()
 			}
 			for _, m := range root.Mismatches() {
 				res.CallMismatches = append(res.CallMismatches, m.String())

@@ -6,6 +6,7 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"sync"
 	"time"
 
@@ -39,6 +40,52 @@ type NetOptions struct {
 	// before waiting for workers — the hook the orchestrator uses to spawn
 	// worker processes pointed at an ephemeral port.
 	OnListen func(addr string)
+	// Recover enables coordinator-side journaling of every first-layer
+	// input so a worker process that dies can be respawned and replayed
+	// into byte-exact state (the supervised-respawn path). Off, a dead
+	// worker can only ride the degradation budget into a PARTIAL splice.
+	Recover bool
+	// JournalCap bounds each per-leaf recovery journal (entries). Past the
+	// cap the journal overflows permanently and respawn admission falls
+	// back to degradation. 0 selects the default.
+	JournalCap int
+	// OnWorkerDown, when non-nil, is called (on a fresh goroutine) each
+	// time a worker connection is torn down — the supervisor's signal to
+	// begin the respawn dance. It may fire several times for one worker.
+	OnWorkerDown func(worker int)
+	// Control, when non-nil, is bound to the running coordinator before
+	// OnListen fires; the orchestrator uses it to mint recovery tokens.
+	Control *NetControl
+}
+
+// NetControl is the orchestrator's handle into a running coordinator.
+// Allocate one, place it in NetOptions.Control, and Run binds it before
+// OnListen fires — so supervisor goroutines spawned from OnListen may use
+// it immediately. Safe for concurrent use.
+type NetControl struct {
+	mu   sync.Mutex
+	mint func(worker int) (string, error)
+}
+
+// RecoveryToken fences the worker's stale incarnation and mints a one-shot
+// resume token for a supervised respawn. It fails when recovery is off,
+// the slot already degraded, the journal overflowed, or the worker is in
+// fact still connected — in every case the honest fallback is to let the
+// degradation budget expire into a PARTIAL splice-out.
+func (c *NetControl) RecoveryToken(worker int) (string, error) {
+	c.mu.Lock()
+	mint := c.mint
+	c.mu.Unlock()
+	if mint == nil {
+		return "", errors.New("core: NetControl not bound to a running coordinator")
+	}
+	return mint(worker)
+}
+
+func (c *NetControl) bind(mint func(int) (string, error)) {
+	c.mu.Lock()
+	c.mint = mint
+	c.mu.Unlock()
 }
 
 // workerExtra is the tool-layer configuration blob the coordinator forwards
@@ -58,13 +105,18 @@ type WorkerOptions struct {
 	// in-process stand-in for `kill -9` used by fault-injection tests and
 	// the -kill-worker orchestration flag. No final report is sent.
 	Halt <-chan struct{}
+	// Resume is the one-shot recovery token minted by NetControl for a
+	// supervised respawn. Non-empty, the worker joins as a fresh
+	// incarnation and replays the coordinator-shipped journal before
+	// serving live traffic. An invalid or reused token is fenced.
+	Resume string
 }
 
 // RunWorker runs one worker process of a TCP-fabric tool run. It returns
 // nil after a clean coordinator-initiated shutdown and an error when the
 // fabric failed permanently (fenced reconnect, budget exceeded, halt).
 func RunWorker(addr string, worker int, opts WorkerOptions) error {
-	ws, err := tbon.DialWorker(addr, worker, opts.DialTimeout)
+	ws, err := tbon.DialWorkerResume(addr, worker, opts.DialTimeout, opts.Resume)
 	if err != nil {
 		return err
 	}

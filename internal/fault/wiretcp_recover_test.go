@@ -1,0 +1,367 @@
+package fault_test
+
+// Chaos over TCP with supervised respawn: kill worker processes mid-run
+// and re-admit them through the recovery-token handshake. The journal-
+// backed replay must make every kill invisible — verdicts byte-equivalent
+// to a fault-free reference, never PARTIAL — while exhausted respawn
+// budgets and overflowed journals must fall back to the honest
+// degradation path rather than hang or mis-report.
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dwst/internal/fault"
+	"dwst/internal/testseed"
+	"dwst/internal/workload"
+	"dwst/must"
+)
+
+// TestWireTCPKillRespawnPreservesVerdict is the headline self-healing
+// property: across a seed sweep of kill times, a killed worker is
+// respawned, replays the coordinator-shipped journal, and the run
+// converges to the exact fault-free verdict with no degradation.
+func TestWireTCPKillRespawnPreservesVerdict(t *testing.T) {
+	lo, hi := int64(0), testseed.ChaosRuns(50)
+	if testing.Short() {
+		hi = 3
+	}
+	for _, c := range chaosCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			opts := must.Options{FanIn: c.fanIn, Timeout: 20 * time.Millisecond}
+			ref := verdictOf(runBounded(t, c.procs, c.prog, opts))
+			if !ref.Deadlock {
+				t.Fatal("reference run found no deadlock")
+			}
+			testseed.Run(t, lo, hi, func(t *testing.T, seed int64) {
+				t.Parallel()
+				h := &tcpHarness{
+					haltWorker: 1,
+					haltAfter:  time.Duration(2+seed%40) * time.Millisecond,
+					respawnMax: 3,
+				}
+				rep := h.run(t, c.procs, c.prog, opts)
+				if rep.Partial {
+					t.Fatalf("kill with respawn budget left must not degrade (unknown ranks %v)", rep.UnknownRanks)
+				}
+				if got := verdictOf(rep); !reflect.DeepEqual(got, ref) {
+					t.Fatalf("verdict diverged after kill+respawn:\n got %+v\nwant %+v", got, ref)
+				}
+			})
+		})
+	}
+}
+
+// TestWireTCPKillTwoWorkersRespawn kills two of three workers at different
+// times; both are re-admitted and the verdict still matches the reference.
+func TestWireTCPKillTwoWorkersRespawn(t *testing.T) {
+	opts := must.Options{FanIn: 2, Timeout: 20 * time.Millisecond}
+	ref := verdictOf(runBounded(t, 8, workload.RecvRecvDeadlock(), opts))
+	h := &tcpHarness{
+		workers:     3,
+		haltWorker:  -1,
+		haltWorkers: map[int]time.Duration{0: 8 * time.Millisecond, 2: 20 * time.Millisecond},
+		respawnMax:  3,
+	}
+	rep := h.run(t, 8, workload.RecvRecvDeadlock(), opts)
+	if rep.Partial {
+		t.Fatalf("double kill with respawn must not degrade (unknown ranks %v)", rep.UnknownRanks)
+	}
+	if got := verdictOf(rep); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("verdict diverged after double kill:\n got %+v\nwant %+v", got, ref)
+	}
+}
+
+// TestWireTCPWireFaultsPlusKillRespawn combines the wire adversary with a
+// worker kill: the proxy drops/duplicates/delays real frames (including
+// the recovery shipment itself) while the supervisor re-admits the killed
+// worker — possibly over several token attempts. The verdict must still
+// match the fault-free reference.
+func TestWireTCPWireFaultsPlusKillRespawn(t *testing.T) {
+	lo, hi := int64(0), testseed.ChaosRuns(10)
+	if testing.Short() {
+		hi = 2
+	}
+	opts := must.Options{FanIn: 2, Timeout: 20 * time.Millisecond}
+	ref := verdictOf(runBounded(t, 8, workload.RecvRecvDeadlock(), opts))
+	testseed.Run(t, lo, hi, func(t *testing.T, seed int64) {
+		t.Parallel()
+		h := &tcpHarness{
+			haltWorker: 1,
+			haltAfter:  time.Duration(5+seed%30) * time.Millisecond,
+			respawnMax: 5,
+			wirePlan: &fault.Plan{
+				Seed: seed,
+				Rules: []fault.Rule{{
+					Drop:      0.02,
+					Dup:       0.02,
+					JitterMax: 500 * time.Microsecond,
+				}},
+			},
+		}
+		rep := h.run(t, 8, workload.RecvRecvDeadlock(), opts)
+		if rep.Partial {
+			t.Fatalf("wire faults + kill + respawn degraded the report (unknown ranks %v)", rep.UnknownRanks)
+		}
+		if got := verdictOf(rep); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("verdict diverged under wire faults + kill:\n got %+v\nwant %+v", got, ref)
+		}
+	})
+}
+
+// TestWireTCPRespawnBudgetExhaustedDegrades re-kills every respawned
+// incarnation until the supervisor's budget runs out: recovery must then
+// hand over to the degradation path — an honest PARTIAL report naming the
+// dead worker's ranks, never a hang or a silently wrong verdict.
+func TestWireTCPRespawnBudgetExhaustedDegrades(t *testing.T) {
+	h := &tcpHarness{
+		budget:     300 * time.Millisecond,
+		haltWorker: 1,
+		haltAfter:  10 * time.Millisecond,
+		respawnMax: 1,
+		killEvery:  10 * time.Millisecond,
+	}
+	rep := h.run(t, 8, workload.RecvRecvDeadlock(), must.Options{
+		FanIn:   4, // width0 = 2: worker 1 owns leaf 1 = ranks [4, 8)
+		Timeout: 20 * time.Millisecond,
+	})
+	if !rep.Partial {
+		t.Fatal("exhausted respawn budget must degrade to a partial report")
+	}
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(rep.UnknownRanks, want) {
+		t.Fatalf("unknown ranks %v, want %v", rep.UnknownRanks, want)
+	}
+	if !rep.Deadlock {
+		t.Fatal("the surviving ranks' deadlock must still be reported")
+	}
+}
+
+// TestWireTCPJournalOverflowDegrades caps the per-leaf journal far below
+// the workload's input history: exact recovery is impossible, token
+// minting must refuse, and the kill degrades honestly instead of
+// re-admitting a worker with incomplete state.
+func TestWireTCPJournalOverflowDegrades(t *testing.T) {
+	h := &tcpHarness{
+		budget:     300 * time.Millisecond,
+		haltWorker: 1,
+		haltAfter:  20 * time.Millisecond,
+		respawnMax: 3,
+		journalCap: 2,
+	}
+	rep := h.run(t, 8, workload.RecvRecvDeadlock(), must.Options{
+		FanIn:   4,
+		Timeout: 20 * time.Millisecond,
+	})
+	if !rep.Partial {
+		t.Fatal("overflowed journal must force degradation, not inexact recovery")
+	}
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(rep.UnknownRanks, want) {
+		t.Fatalf("unknown ranks %v, want %v", rep.UnknownRanks, want)
+	}
+	if rep.WorkerRespawns != 0 {
+		t.Fatalf("WorkerRespawns = %d with an overflowed journal, want 0", rep.WorkerRespawns)
+	}
+}
+
+// TestWireTCPRespawnFencesStaleClaimants races three claimants for a dead
+// worker's slot — two presenting the same one-shot recovery token and one
+// joining through the normal handshake: exactly one token claimant wins;
+// the duplicate and the stale joiner are fenced permanently, and the run
+// still converges to the exact verdict.
+func TestWireTCPRespawnFencesStaleClaimants(t *testing.T) {
+	opts := must.Options{FanIn: 2, Timeout: 20 * time.Millisecond}
+	ref := verdictOf(runBounded(t, 8, workload.RecvRecvDeadlock(), opts))
+
+	ctl := &must.NetControl{}
+	var wg sync.WaitGroup
+	errs := make([]error, 4) // worker 0, then worker 1's three claimants
+	opts.Net = &must.NetOptions{
+		Workers: 2,
+		Recover: true,
+		Control: ctl,
+		OnListen: func(addr string) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[0] = must.RunWorker(addr, 0, must.WorkerOptions{})
+			}()
+			halt := make(chan struct{})
+			time.AfterFunc(20*time.Millisecond, func() { close(halt) })
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				must.RunWorker(addr, 1, must.WorkerOptions{Halt: halt}) // the victim
+				var token string
+				var err error
+				for i := 0; i < 500; i++ {
+					token, err = ctl.RecoveryToken(1)
+					if err == nil || !strings.Contains(err.Error(), "still connected") {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if err != nil {
+					errs[1] = err
+					return
+				}
+				var race sync.WaitGroup
+				for i, wopts := range []must.WorkerOptions{
+					{Resume: token}, {Resume: token}, {},
+				} {
+					i, wopts := i, wopts
+					race.Add(1)
+					go func() {
+						defer race.Done()
+						errs[1+i] = must.RunWorker(addr, 1, wopts)
+					}()
+				}
+				race.Wait()
+			}()
+		},
+	}
+	done := make(chan *must.Report, 1)
+	go func() { done <- must.Run(8, workload.RecvRecvDeadlock(), opts) }()
+	var rep *must.Report
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("TCP run hung with racing respawn claimants")
+	}
+	wg.Wait()
+	if rep.Err != nil {
+		t.Fatalf("run failed: %v", rep.Err)
+	}
+	winners := 0
+	for _, i := range []int{1, 2} { // the two token claimants
+		if errs[i] == nil {
+			winners++
+		} else if !strings.Contains(errs[i].Error(), "fenced") {
+			t.Fatalf("token loser's error %q does not mention fencing", errs[i])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d token claimants won the slot, want exactly 1 (errs: %v)", winners, errs)
+	}
+	if errs[3] == nil || !strings.Contains(errs[3].Error(), "fenced") {
+		t.Fatalf("stale normal-handshake claimant not fenced: %v", errs[3])
+	}
+	if errs[0] != nil {
+		t.Fatalf("worker 0 exited with error: %v", errs[0])
+	}
+	if rep.Partial {
+		t.Fatalf("supervised respawn degraded the report (unknown ranks %v)", rep.UnknownRanks)
+	}
+	if got := verdictOf(rep); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("verdict diverged with racing claimants:\n got %+v\nwant %+v", got, ref)
+	}
+	if rep.WorkerRespawns != 1 {
+		t.Fatalf("WorkerRespawns = %d, want 1", rep.WorkerRespawns)
+	}
+}
+
+// TestWireTCPRespawnProgressResetsBudget pins the degradation-budget fix:
+// the budget clock restarts on observed recovery progress (token mint,
+// shipment, replay) instead of counting from the first disconnect — so a
+// respawn whose total wall clock exceeds the budget still wins as long as
+// each step lands inside it.
+func TestWireTCPRespawnProgressResetsBudget(t *testing.T) {
+	const budget = 500 * time.Millisecond
+	opts := must.Options{FanIn: 2, Timeout: 20 * time.Millisecond}
+	ref := verdictOf(runBounded(t, 8, workload.RecvRecvDeadlock(), opts))
+
+	ctl := &must.NetControl{}
+	var wg sync.WaitGroup
+	var workerErr error
+	opts.Net = &must.NetOptions{
+		Workers: 2,
+		Budget:  budget,
+		Recover: true,
+		Control: ctl,
+		OnListen: func(addr string) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				must.RunWorker(addr, 0, must.WorkerOptions{})
+			}()
+			halt := make(chan struct{})
+			time.AfterFunc(20*time.Millisecond, func() { close(halt) })
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				must.RunWorker(addr, 1, must.WorkerOptions{Halt: halt})
+				// Slow supervisor: mint at ~70% of the budget (progress —
+				// restarts the clock), then respawn another ~70% later. The
+				// total outage exceeds the budget; only the progress reset
+				// keeps the slot alive.
+				time.Sleep(350 * time.Millisecond)
+				var token string
+				var err error
+				for i := 0; i < 50; i++ {
+					token, err = ctl.RecoveryToken(1)
+					if err == nil || !strings.Contains(err.Error(), "still connected") {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if err != nil {
+					workerErr = err
+					return
+				}
+				time.Sleep(350 * time.Millisecond)
+				workerErr = must.RunWorker(addr, 1, must.WorkerOptions{Resume: token})
+			}()
+		},
+	}
+	done := make(chan *must.Report, 1)
+	go func() { done <- must.Run(8, workload.RecvRecvDeadlock(), opts) }()
+	var rep *must.Report
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("TCP run hung during slow supervised respawn")
+	}
+	wg.Wait()
+	if rep.Err != nil {
+		t.Fatalf("run failed: %v", rep.Err)
+	}
+	if workerErr != nil {
+		t.Fatalf("slow respawn lost to the budget: %v", workerErr)
+	}
+	if rep.Partial {
+		t.Fatalf("budget expired despite observed recovery progress (unknown ranks %v)", rep.UnknownRanks)
+	}
+	if got := verdictOf(rep); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("verdict diverged after slow respawn:\n got %+v\nwant %+v", got, ref)
+	}
+}
+
+// TestWireTCPRespawnCountersSurface checks the observability satellite end
+// to end at the library layer: a healed run reports WorkerRespawns and
+// ShippedJournalEntries, and the wire replay time folds into ReplayTime.
+func TestWireTCPRespawnCountersSurface(t *testing.T) {
+	h := &tcpHarness{
+		haltWorker: 1,
+		haltAfter:  20 * time.Millisecond,
+		respawnMax: 3,
+	}
+	rep := h.run(t, 8, workload.RecvRecvDeadlock(), must.Options{
+		FanIn:   2,
+		Timeout: 20 * time.Millisecond,
+	})
+	if rep.Partial {
+		t.Fatalf("respawn degraded the report (unknown ranks %v)", rep.UnknownRanks)
+	}
+	if rep.WorkerRespawns == 0 {
+		t.Fatal("WorkerRespawns = 0 after a kill + supervised respawn")
+	}
+	if rep.ShippedJournalEntries == 0 {
+		t.Fatal("ShippedJournalEntries = 0: the kill landed mid-run, the journal cannot be empty")
+	}
+	if rep.ReplayedMsgs == 0 {
+		t.Fatal("ReplayedMsgs = 0: shipped entries must count as replayed")
+	}
+}

@@ -33,13 +33,74 @@ type tcpHarness struct {
 	partitionAfter, partitionFor time.Duration
 
 	// haltWorker (-1 = none) abruptly kills that worker after haltAfter —
-	// the in-process analogue of `kill -9` on a mustnode.
-	haltWorker int
-	haltAfter  time.Duration
+	// the in-process analogue of `kill -9` on a mustnode. haltWorkers
+	// kills several (worker → delay); the two compose.
+	haltWorker  int
+	haltAfter   time.Duration
+	haltWorkers map[int]time.Duration
+
+	// respawnMax, when > 0, turns on the in-process supervisor — the test
+	// mirror of mustrun's process supervisor: a worker run that exits with
+	// an error is re-admitted under a coordinator-minted recovery token,
+	// up to respawnMax times per slot. recoverOn forces coordinator
+	// journaling even with respawnMax 0; journalCap bounds it (0 =
+	// default). killEvery re-kills every respawned incarnation after that
+	// delay — the respawn-storm knob.
+	respawnMax int
+	recoverOn  bool
+	journalCap int
+	killEvery  time.Duration
+
+	ctl *must.NetControl
 
 	mu         sync.Mutex
 	proxy      *fault.WireProxy
+	respawns   int
 	workerErrs []error
+}
+
+// runSlot is one worker slot's supervised life: run, and while the respawn
+// budget lasts, re-admit a dead incarnation under a fresh recovery token.
+// A mint failure (journal overflowed, slot degraded) ends supervision and
+// leaves the slot to the coordinator's degradation budget.
+func (h *tcpHarness) runSlot(dial string, w int, halt <-chan struct{}) error {
+	err := must.RunWorker(dial, w, must.WorkerOptions{Halt: halt})
+	for attempt := 1; err != nil && attempt <= h.respawnMax; attempt++ {
+		token, terr := h.mintToken(w)
+		if terr != nil {
+			return err
+		}
+		var again <-chan struct{}
+		if h.killEvery > 0 {
+			hc := make(chan struct{})
+			time.AfterFunc(h.killEvery, func() { close(hc) })
+			again = hc
+		}
+		h.mu.Lock()
+		h.respawns++
+		h.mu.Unlock()
+		err = must.RunWorker(dial, w, must.WorkerOptions{Halt: again, Resume: token})
+	}
+	return err
+}
+
+// mintToken retries while the coordinator still sees the dead incarnation's
+// connection as up (its teardown races the supervisor); any other error is
+// final.
+func (h *tcpHarness) mintToken(w int) (string, error) {
+	var err error
+	for i := 0; i < 500; i++ {
+		var tok string
+		tok, err = h.ctl.RecoveryToken(w)
+		if err == nil {
+			return tok, nil
+		}
+		if !strings.Contains(err.Error(), "still connected") {
+			return "", err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return "", err
 }
 
 // run executes prog over the TCP fabric under a hang watchdog and reaps
@@ -52,8 +113,10 @@ func (h *tcpHarness) run(t *testing.T, procs int, prog mpi.Program, opts must.Op
 	h.workerErrs = make([]error, h.workers)
 	var wg sync.WaitGroup
 	opts.Net = &must.NetOptions{
-		Workers: h.workers,
-		Budget:  h.budget,
+		Workers:    h.workers,
+		Budget:     h.budget,
+		Recover:    h.recoverOn || h.respawnMax > 0,
+		JournalCap: h.journalCap,
 		OnListen: func(addr string) {
 			dial := addr
 			if h.wirePlan != nil {
@@ -72,19 +135,27 @@ func (h *tcpHarness) run(t *testing.T, procs int, prog mpi.Program, opts must.Op
 			}
 			for w := 0; w < h.workers; w++ {
 				w := w
-				var wopts must.WorkerOptions
+				var halt <-chan struct{}
+				after, killed := h.haltWorkers[w]
 				if w == h.haltWorker {
-					halt := make(chan struct{})
-					time.AfterFunc(h.haltAfter, func() { close(halt) })
-					wopts.Halt = halt
+					after, killed = h.haltAfter, true
+				}
+				if killed {
+					hc := make(chan struct{})
+					time.AfterFunc(after, func() { close(hc) })
+					halt = hc
 				}
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					h.workerErrs[w] = must.RunWorker(dial, w, wopts)
+					h.workerErrs[w] = h.runSlot(dial, w, halt)
 				}()
 			}
 		},
+	}
+	if opts.Net.Recover {
+		h.ctl = &must.NetControl{}
+		opts.Net.Control = h.ctl
 	}
 	done := make(chan *must.Report, 1)
 	go func() { done <- must.Run(procs, prog, opts) }()

@@ -1,0 +1,163 @@
+package supervise
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Seed: 42}
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1, d2 := b.Delay(attempt), b.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 <= 0 {
+			t.Fatalf("Delay(%d) = %v, want positive", attempt, d1)
+		}
+		// ±25% jitter around the capped exponential value.
+		if max := time.Second + time.Second/4; d1 > max {
+			t.Fatalf("Delay(%d) = %v exceeds cap+jitter %v", attempt, d1, max)
+		}
+	}
+	// Growth: attempt 4's pre-jitter value (800ms) dominates attempt 1's
+	// (100ms) even at jitter extremes.
+	if b.Delay(4) <= b.Delay(1) {
+		t.Fatalf("Delay(4)=%v not greater than Delay(1)=%v", b.Delay(4), b.Delay(1))
+	}
+	// Different seeds spread simultaneous respawns apart.
+	if (Backoff{Base: time.Second, Cap: time.Minute, Seed: 1}).Delay(3) ==
+		(Backoff{Base: time.Second, Cap: time.Minute, Seed: 2}).Delay(3) {
+		t.Fatal("distinct seeds produced identical jitter")
+	}
+	// Zero-valued Backoff still yields sane defaults.
+	if d := (Backoff{}).Delay(1); d <= 0 || d > time.Second {
+		t.Fatalf("zero-value Delay(1) = %v", d)
+	}
+}
+
+func TestJournalResequencesAndDedups(t *testing.T) {
+	j := NewJournal(0)
+	link := LinkID{From: 3, Class: 1, Dst: 7}
+	// Out-of-order arrival with a retransmit in the middle.
+	j.Record(link, 1, []byte("b"))
+	j.Record(link, 0, []byte("a"))
+	j.Record(link, 0, []byte("a-dup"))
+	j.Record(link, 3, []byte("d"))
+	j.Record(link, 3, []byte("d-dup"))
+	if w := j.Watermark(link); w != 2 {
+		t.Fatalf("watermark = %d, want 2 (seq 3 held back across the gap)", w)
+	}
+	j.Record(link, 2, []byte("c"))
+	if w := j.Watermark(link); w != 4 {
+		t.Fatalf("watermark = %d, want 4 after gap fill", w)
+	}
+	got := j.Ship()
+	want := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	if len(got) != len(want) {
+		t.Fatalf("Ship() = %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("Ship()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if j.Entries() != 4 {
+		t.Fatalf("Entries() = %d, want 4", j.Entries())
+	}
+}
+
+func TestJournalShipsStreamsInCreationOrder(t *testing.T) {
+	j := NewJournal(0)
+	a := LinkID{From: -1, Class: 0, Dst: 2}
+	b := LinkID{From: 9, Class: 2, Dst: 2}
+	j.Record(a, 0, []byte("a0"))
+	j.Record(b, 0, []byte("b0"))
+	j.Record(a, 1, []byte("a1"))
+	got := j.Ship()
+	want := []string{"a0", "a1", "b0"}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("Ship()[%d] = %q, want %q (streams must ship whole, in creation order)", i, got[i], w)
+		}
+	}
+}
+
+func TestJournalSealDropsHeldAndFencesLateRecords(t *testing.T) {
+	j := NewJournal(0)
+	old := LinkID{From: 1, Class: 1, Dst: 5}
+	j.Record(old, 0, []byte("x0"))
+	j.Record(old, 2, []byte("x2")) // held: gap at 1
+	j.Seal(5)
+	j.Record(old, 1, []byte("x1")) // straggler lands after the swap: ignored
+	if n := j.Entries(); n != 1 {
+		t.Fatalf("Entries() = %d after seal, want 1 (held dropped, late record fenced)", n)
+	}
+	// The fresh link of the respawned leaf starts a new stream at seq 0.
+	neu := LinkID{From: 1, Class: 1, Dst: 12}
+	j.Record(neu, 0, []byte("y0"))
+	if n := j.Entries(); n != 2 {
+		t.Fatalf("Entries() = %d, want 2 (new-generation stream records independently)", n)
+	}
+}
+
+func TestJournalCutIsAtomicSnapshotPlusSeal(t *testing.T) {
+	j := NewJournal(0)
+	link := LinkID{From: -1, Class: 3, Dst: 4}
+	j.Record(link, 0, []byte("r0"))
+	j.Record(link, 1, []byte("r1"))
+	j.Record(link, 3, []byte("r3")) // held: not shippable, must not appear in marks' coverage
+	payloads, marks := j.Cut(4)
+	if len(payloads) != 2 {
+		t.Fatalf("Cut shipped %d payloads, want 2 (held entry excluded)", len(payloads))
+	}
+	if marks[link] != 2 {
+		t.Fatalf("Cut mark = %d, want 2 (pendings at seq ≥ 2 must migrate live)", marks[link])
+	}
+	// Post-cut: the retired gid accepts nothing, not even new streams.
+	j.Record(link, 2, []byte("r2"))
+	j.Record(LinkID{From: 8, Class: 2, Dst: 4}, 0, []byte("new-stream"))
+	if j.Entries() != 2 {
+		t.Fatalf("Entries() = %d after cut, want 2 (retired gid fenced)", j.Entries())
+	}
+	// The fresh generation records normally and a second cut ships history
+	// plus the new generation.
+	j.Record(LinkID{From: -1, Class: 3, Dst: 9}, 0, []byte("g1"))
+	payloads, _ = j.Cut(9)
+	if len(payloads) != 3 {
+		t.Fatalf("second Cut shipped %d payloads, want 3 (full history replays)", len(payloads))
+	}
+}
+
+func TestJournalOverflowFreesAndSticks(t *testing.T) {
+	j := NewJournal(2)
+	link := LinkID{Dst: 1}
+	j.Record(link, 0, []byte("0"))
+	j.Record(link, 1, []byte("1"))
+	if j.Overflowed() {
+		t.Fatal("overflowed at cap, want at cap+1")
+	}
+	j.Record(link, 2, []byte("2"))
+	if !j.Overflowed() {
+		t.Fatal("journal did not overflow past cap")
+	}
+	if s := j.Ship(); s != nil {
+		t.Fatalf("Ship() after overflow = %d entries, want nil", len(s))
+	}
+	j.Record(link, 3, []byte("3")) // must stay overflowed, not panic or revive
+	if !j.Overflowed() || j.Entries() != 0 {
+		t.Fatalf("overflow not sticky: overflowed=%v entries=%d", j.Overflowed(), j.Entries())
+	}
+}
+
+func TestJournalHeldEntriesCountAgainstCap(t *testing.T) {
+	j := NewJournal(2)
+	link := LinkID{Dst: 1}
+	j.Record(link, 5, []byte("h5"))
+	j.Record(link, 7, []byte("h7"))
+	j.Record(link, 9, []byte("h9")) // third held entry breaches cap 2
+	if !j.Overflowed() {
+		t.Fatal("held-back entries must count against the cap (they hold memory)")
+	}
+}

@@ -32,6 +32,12 @@ import (
 type wireHello struct {
 	Worker      int
 	Incarnation uint64
+
+	// Resume is the coordinator-issued one-shot recovery token of a
+	// supervised respawn. A fresh process presenting a valid token is
+	// re-admitted under a new incarnation with journal-backed replay
+	// instead of being fenced.
+	Resume string
 }
 
 // wireWelcome is the coordinator's handshake reply. A rejected hello
@@ -53,6 +59,12 @@ type wireWelcome struct {
 
 	KeepAlive time.Duration
 	Budget    time.Duration
+
+	// LeafGids maps first-layer index to current global id. The two drift
+	// apart once a supervised respawn re-admits a worker's leaves under
+	// fresh gids; a (re)joining worker must build its topology against the
+	// coordinator's current view or its frames would address retired ids.
+	LeafGids []int
 
 	// Extra is an opaque tool-layer configuration blob (internal/core uses
 	// it for handler options the substrate does not interpret).
@@ -107,6 +119,32 @@ type wireDown struct {
 	Gids []int
 }
 
+// wireRecover is one chunk of the supervised-respawn recovery stream: the
+// journaled input payloads (encoded wireData blobs) for one first-layer
+// leaf, shipped coordinator → worker right after the resume handshake and
+// before any live frame. Last marks the final chunk of the whole shipment;
+// the worker replies with wireRecoverDone once replay finishes.
+type wireRecover struct {
+	Leaf     int      // first-layer index (gids in payloads are stale)
+	Payloads [][]byte // encoded wireData blobs, per-origin-link FIFO order
+	Last     bool
+}
+
+// wireRecoverDone is the worker's replay completion report.
+type wireRecoverDone struct {
+	Worker   int
+	Replayed uint64 // journal entries replayed into fresh node state
+	Nanos    int64  // wall time spent replaying
+}
+
+// wireRespawn tells surviving workers that a respawned worker's leaves
+// were re-admitted under fresh gids: re-key topology placeholders and
+// migrate unacknowledged frames onto the fresh links.
+type wireRespawn struct {
+	Leaves  []int // first-layer indices
+	NewGids []int // parallel: fresh gid per leaf
+}
+
 // WorkerFinal is a worker's terminal statistics report, delivered on
 // shutdown and merged into the run result by the coordinator.
 type WorkerFinal struct {
@@ -129,6 +167,9 @@ func init() {
 	gob.Register(wireAck{})
 	gob.Register(wireStats{})
 	gob.Register(wireDown{})
+	gob.Register(wireRecover{})
+	gob.Register(wireRecoverDone{})
+	gob.Register(wireRespawn{})
 	gob.Register(WorkerFinal{})
 
 	// Tool messages that travel as wireData.Msg (and inside dws.Batch).

@@ -415,8 +415,10 @@ type Tree struct {
 	leafNode []*Node // leafNode[rank] hosts the rank
 
 	// topo guards every node's parent/children pointers (crash
-	// reattachment mutates them). Lock order: topo before transport.mu.
-	topo sync.Mutex
+	// reattachment mutates them) and, on the TCP fabric, gidIndex plus
+	// per-node gids (supervised respawn re-gids leaves in place). Readers
+	// that resolve gids take RLock. Lock order: topo before transport.mu.
+	topo sync.RWMutex
 
 	injector  *fault.Injector
 	transport *transport // nil unless the reliable link layer is active
@@ -553,6 +555,18 @@ func NewNet(cfg Config) (*Tree, error) {
 	}
 
 	t.nextGid = gid
+
+	// A worker joining (or rejoining) after a supervised respawn must adopt
+	// the coordinator's current first-layer gid assignment: the default
+	// identity mapping would address gids retired by earlier respawns.
+	if nc := cfg.Net; nc != nil && nc.Role == NetWorker && len(nc.LeafGids) == width0 {
+		for i, n := range t.layers[0] {
+			n.gid = nc.LeafGids[i]
+			if n.gid >= t.nextGid {
+				t.nextGid = n.gid + 1
+			}
+		}
+	}
 
 	t.leafNode = make([]*Node, cfg.Leaves)
 	for r := 0; r < cfg.Leaves; r++ {

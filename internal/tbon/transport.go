@@ -302,6 +302,73 @@ func (tr *transport) migrateTo(old, neu *Node) {
 	}
 }
 
+// cutOver migrates a retired first-layer gid's outbox state onto its
+// respawn successor. For each link into the old gid, markFor supplies the
+// shipment journal's cut watermark: pendings below it are journal-covered
+// — the recovery shipment replays them, so resending would deliver
+// duplicates of non-idempotent inputs (rank events) — and are dropped;
+// pendings at or above it are stragglers the journal never saw and
+// migrate onto the fresh link with fresh sequence numbers, due
+// immediately, exactly like the in-process migrateTo. Returns the count
+// of dropped rank-link pendings so the caller can release the leaf's
+// in-flight window.
+//
+// Surviving workers (which cannot know the coordinator's watermarks) call
+// this with a zero markFor: every unacked pending migrates, giving
+// at-least-once with preserved order for peer traffic across the
+// incarnation boundary — the same contract migrateTo documents, absorbed
+// by the protocol layers' dedup.
+//
+// The caller holds Tree.topo with the gid swap already done, so no new
+// frame can target the old gid concurrently.
+func (tr *transport) cutOver(old, neu int, markFor func(linkKey) int64) (droppedRank int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	now := time.Now()
+	for key, lo := range tr.links {
+		if key.to != old {
+			continue
+		}
+		delete(tr.links, key)
+		if len(lo.pend) == 0 {
+			continue
+		}
+		w := markFor(key)
+		seqs := make([]uint64, 0, len(lo.pend))
+		for s := range lo.pend {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		newKey := key
+		newKey.to = neu
+		var nl *linkOut
+		for _, s := range seqs {
+			if int64(s) < w {
+				if key.class == fault.RankLink {
+					droppedRank++
+				}
+				continue
+			}
+			if nl == nil {
+				nl = tr.links[newKey]
+				if nl == nil {
+					nl = &linkOut{pend: make(map[uint64]*pending)}
+					tr.links[newKey] = nl
+				}
+			}
+			p := lo.pend[s]
+			f := p.env.msg.(frame)
+			seq := nl.nextSeq
+			nl.nextSeq++
+			nl.pend[seq] = &pending{
+				env: envelope{from: p.env.from, msg: frame{key: newKey, seq: seq, msg: f.msg}},
+				due: now, // resend promptly on the new link
+			}
+		}
+	}
+	return droppedRank
+}
+
 // dropLinksTo discards outbox state for links into a dead node (frames
 // that can never be acknowledged and need no retransmission) and marks the
 // receiver dead so no later send re-creates pending state toward it.

@@ -37,6 +37,7 @@ import (
 
 	"dwst/internal/dws"
 	"dwst/internal/journal"
+	"dwst/internal/supervise"
 	"dwst/internal/wire"
 )
 
@@ -77,6 +78,26 @@ type NetConfig struct {
 	// out and degrades the report — and how long a disconnected worker
 	// retries before giving up (default 3s).
 	Budget time.Duration
+	// Recover, on the coordinator, activates supervised worker respawn:
+	// every input frame routed to a first-layer leaf is journaled, and a
+	// respawned worker process presenting a coordinator-issued recovery
+	// token (Tree.PrepareRespawn) is re-admitted under a new incarnation
+	// with its leaves' journaled inputs shipped for exact replay — instead
+	// of being fenced as a fresh claimant.
+	Recover bool
+	// JournalCap bounds the shipment journal per first-layer leaf, in
+	// entries (default supervise.DefaultCap). A leaf whose history outgrows
+	// the cap is past exact recovery; the slot then degrades honestly.
+	JournalCap int
+	// OnWorkerDown, on the coordinator, is notified (asynchronously) when
+	// a worker's connection is detached — the supervisor's cue to check the
+	// worker process and respawn it.
+	OnWorkerDown func(worker int)
+	// LeafGids, on workers, overrides the first-layer gid assignment with
+	// the coordinator's current view (welcome.LeafGids): after a supervised
+	// respawn the two drift apart, and a late (re)joining worker building
+	// the default identity assignment would address retired gids.
+	LeafGids []int
 	// Extra is an opaque tool-layer configuration blob forwarded to workers
 	// in the welcome (the tool layer registers its own gob type).
 	Extra any
@@ -243,7 +264,16 @@ type workerSlot struct {
 	degraded bool // spliced out after budget exhaustion
 	everUp   bool
 	lastDown time.Time
-	final    *WorkerFinal
+	// lastProgress is the last observed sign of life from a recovering
+	// worker: token mint, resume hello, each shipped recovery chunk, and
+	// (re)attachment. The budget clock counts from max(lastDown,
+	// lastProgress), so a slow-but-alive respawn is not spliced out
+	// mid-recovery.
+	lastProgress time.Time
+	// resumeToken is the one-shot recovery token minted by PrepareRespawn;
+	// cleared on first use so a second claimant is fenced.
+	resumeToken string
+	final       *WorkerFinal
 
 	handled  atomic.Uint64 // last progress report
 	inflight atomic.Uint64 // last reported unacked outbox depth
@@ -267,12 +297,26 @@ type netFabric struct {
 	codecErrors atomic.Uint64
 	reconnects  atomic.Uint64
 
+	// Leaf gid bookkeeping (both roles): first-layer index ↔ current gid.
+	// The two start as the identity mapping but drift once a supervised
+	// respawn re-admits a worker's leaves under fresh gids; ownership,
+	// routing and the rank-event window are all index-based underneath.
+	gmu      sync.RWMutex
+	leafGids []int       // leaf index → current gid
+	gidLeaf  map[int]int // current gid → leaf index
+	retired  map[int]bool
+
 	// Coordinator state.
 	ln        net.Listener
 	slots     []*workerSlot
 	ready     chan struct{}
 	readyOnce sync.Once
-	win       []chan struct{} // per-leaf in-flight rank-event window
+	win       []chan struct{}      // per-leaf in-flight rank-event window
+	journals  []*supervise.Journal // per-leaf shipment journals (Recover only)
+
+	respawns       atomic.Uint64
+	shippedEntries atomic.Uint64
+	replayNanos    atomic.Int64
 
 	// Worker state.
 	sess         *WorkerSession
@@ -281,6 +325,9 @@ type netFabric struct {
 	doneOnce     sync.Once
 	shuttingDown atomic.Bool
 	rankRsq      map[linkKey]*reseq // touched only by the (serial) reader
+	replaying    atomic.Bool        // resumed worker: holds the in-flight gate until replay done
+	replayed     uint64             // journal entries replayed (serial reader only)
+	replayT0     time.Time          // replay start (serial reader only)
 }
 
 // startNet builds the fabric for a tree whose Config.Net is set. Called
@@ -295,6 +342,13 @@ func (t *Tree) startNet() error {
 		closed: make(chan struct{}),
 	}
 	t.net = fab
+	fab.leafGids = make([]int, fab.width0)
+	fab.gidLeaf = make(map[int]int, fab.width0)
+	fab.retired = make(map[int]bool)
+	for i, n := range t.layers[0] {
+		fab.leafGids[i] = n.gid
+		fab.gidLeaf[n.gid] = i
+	}
 	switch nc.Role {
 	case NetCoordinator:
 		addr := nc.Listen
@@ -318,6 +372,12 @@ func (t *Tree) startNet() error {
 		for i := range fab.win {
 			fab.win[i] = make(chan struct{}, t.cfg.EventBuf)
 		}
+		if nc.Recover {
+			fab.journals = make([]*supervise.Journal, fab.width0)
+			for i := range fab.journals {
+				fab.journals[i] = supervise.NewJournal(nc.JournalCap)
+			}
+		}
 		fab.wg.Add(2)
 		go fab.acceptLoop()
 		go fab.monitor()
@@ -329,6 +389,12 @@ func (t *Tree) startNet() error {
 		fab.wsq = newSendq()
 		fab.done = make(chan error, 1)
 		fab.rankRsq = make(map[linkKey]*reseq)
+		if nc.session.resumed {
+			// Hold the quiescence gate until the recovery shipment is fully
+			// replayed: the coordinator always ends it with a Last chunk,
+			// whose handler clears this.
+			fab.replaying.Store(true)
+		}
 		fab.wsq.attach(nc.session.conn)
 		fab.wg.Add(3)
 		go fab.workerConnLoop()
@@ -343,17 +409,58 @@ func (t *Tree) startNet() error {
 	return nil
 }
 
-// ownsGid reports whether a global node id lives in this process. Ids
-// outside the first layer (including the synthetic -1 used for rank links)
-// belong to the coordinator.
+// leafIndex maps a gid to its first-layer index, or -1 when the gid is not
+// a live leaf gid (a layer ≥ 1 node, the synthetic -1 of rank links, or a
+// gid retired by a supervised respawn).
+func (fab *netFabric) leafIndex(gid int) int {
+	fab.gmu.RLock()
+	defer fab.gmu.RUnlock()
+	if idx, ok := fab.gidLeaf[gid]; ok {
+		return idx
+	}
+	return -1
+}
+
+// setLeafGid retires leaf idx's current gid and installs neu in its place.
+func (fab *netFabric) setLeafGid(idx, neu int) {
+	fab.gmu.Lock()
+	old := fab.leafGids[idx]
+	delete(fab.gidLeaf, old)
+	fab.retired[old] = true
+	fab.leafGids[idx] = neu
+	fab.gidLeaf[neu] = idx
+	fab.gmu.Unlock()
+}
+
+// isRetired reports whether gid belonged to a leaf incarnation a respawn
+// replaced (in-flight frames toward it are superseded, not errors).
+func (fab *netFabric) isRetired(gid int) bool {
+	fab.gmu.RLock()
+	defer fab.gmu.RUnlock()
+	return fab.retired[gid]
+}
+
+// leafGidsSnapshot copies the current index → gid view (for the welcome).
+func (fab *netFabric) leafGidsSnapshot() []int {
+	fab.gmu.RLock()
+	defer fab.gmu.RUnlock()
+	out := make([]int, len(fab.leafGids))
+	copy(out, fab.leafGids)
+	return out
+}
+
+// ownsGid reports whether a global node id lives in this process. Ids that
+// are not live first-layer gids (including the synthetic -1 used for rank
+// links and gids retired by respawns) belong to the coordinator.
 func (fab *netFabric) ownsGid(gid int) bool {
-	if gid < 0 || gid >= fab.width0 {
+	idx := fab.leafIndex(gid)
+	if idx < 0 {
 		return fab.role == NetCoordinator
 	}
 	if fab.role == NetCoordinator {
 		return false
 	}
-	return ownerOfLeaf(gid, fab.width0, fab.nc.Workers) == fab.nc.Worker
+	return ownerOfLeaf(idx, fab.width0, fab.nc.Workers) == fab.nc.Worker
 }
 
 // connUp reports whether the connection toward the process owning gid is
@@ -363,10 +470,11 @@ func (fab *netFabric) connUp(gid int) bool {
 	if fab.role == NetWorker {
 		return fab.wsq.isUp()
 	}
-	if gid < 0 || gid >= fab.width0 {
+	idx := fab.leafIndex(gid)
+	if idx < 0 {
 		return true
 	}
-	return fab.slots[ownerOfLeaf(gid, fab.width0, len(fab.slots))].sq.isUp()
+	return fab.slots[ownerOfLeaf(idx, fab.width0, len(fab.slots))].sq.isUp()
 }
 
 // encodeFrame serializes one frame (gob payload + wire header). A nil body
@@ -389,15 +497,16 @@ func (fab *netFabric) encodeFrame(kind wire.Kind, dst int32, body any) ([]byte, 
 	return buf, true
 }
 
-// route queues an encoded frame toward the process owning dst.
+// route queues an encoded frame toward the process owning dst. Frames to
+// retired gids are dropped: their live successors travel on the fresh link
+// the respawn migration re-keyed them onto.
 func (fab *netFabric) route(dst int32, buf []byte) {
 	if fab.role == NetWorker {
 		fab.wsq.push(buf)
 		return
 	}
-	gid := int(dst)
-	if gid >= 0 && gid < fab.width0 {
-		fab.slots[ownerOfLeaf(gid, fab.width0, len(fab.slots))].sq.push(buf)
+	if idx := fab.leafIndex(int(dst)); idx >= 0 {
+		fab.slots[ownerOfLeaf(idx, fab.width0, len(fab.slots))].sq.push(buf)
 	}
 }
 
@@ -407,12 +516,35 @@ func (fab *netFabric) send(kind wire.Kind, dst int32, body any) {
 	}
 }
 
-// sendData ships one reliable-layer frame (env.msg must be a frame).
+// sendData ships one reliable-layer frame (env.msg must be a frame). With
+// recovery on, frames destined to first-layer leaves are write-ahead
+// journaled before they can reach the wire: this path carries every
+// coordinator-originated input (rank events and down-link traffic,
+// retransmits included — the journal dedups by sequence), which together
+// with the relay capture in forward makes the per-leaf journal a complete
+// input history.
 func (fab *netFabric) sendData(env envelope) {
 	f := env.msg.(frame)
-	fab.send(wire.KindData, int32(f.key.to), wireData{
-		From: env.from, To: f.key.to, FromG: f.key.from, Class: f.key.class, Seq: f.seq, Msg: f.msg,
-	})
+	wd := wireData{From: env.from, To: f.key.to, FromG: f.key.from, Class: f.key.class, Seq: f.seq, Msg: f.msg}
+	if fab.journals == nil {
+		fab.send(wire.KindData, int32(f.key.to), wd)
+		return
+	}
+	payload, err := encodePayload(wd)
+	if err != nil {
+		fab.codecErrors.Add(1)
+		return
+	}
+	if idx := fab.leafIndex(f.key.to); idx >= 0 {
+		// encodePayload's buffer is fresh — the journal may own it as-is.
+		fab.journals[idx].Record(supervise.LinkID{From: f.key.from, Class: int(f.key.class), Dst: f.key.to}, int64(f.seq), payload)
+	}
+	buf, err := wire.Append(make([]byte, 0, wire.HeaderLen+len(payload)), wire.Frame{Kind: wire.KindData, Dst: int32(f.key.to), Payload: payload})
+	if err != nil {
+		fab.codecErrors.Add(1)
+		return
+	}
+	fab.route(int32(f.key.to), buf)
 }
 
 // sendAck ships one cumulative acknowledgement to the process owning the

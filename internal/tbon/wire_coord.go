@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dwst/internal/fault"
+	"dwst/internal/supervise"
 	"dwst/internal/wire"
 )
 
@@ -58,7 +59,14 @@ func (fab *netFabric) handshake(conn net.Conn) {
 		return
 	}
 	sl := fab.slots[hello.Worker]
+	if hello.Resume != "" {
+		// Supervised respawn: token-gated re-admission with journal replay
+		// instead of the fresh-claimant fence.
+		fab.resumeHandshake(sl, conn, br, hello.Resume)
+		return
+	}
 	sl.mu.Lock()
+	sl.lastProgress = time.Now() // a hello is observed progress for the budget clock
 	switch {
 	case sl.degraded:
 		sl.mu.Unlock()
@@ -126,6 +134,7 @@ func (fab *netFabric) welcome(inc uint64) wireWelcome {
 		LinkDelay:   cfg.LinkDelay,
 		KeepAlive:   fab.nc.keepAlive(),
 		Budget:      fab.nc.budget(),
+		LeafGids:    fab.leafGidsSnapshot(),
 		Extra:       fab.nc.Extra,
 	}
 }
@@ -142,13 +151,19 @@ func (fab *netFabric) checkReady() {
 	fab.readyOnce.Do(func() { close(fab.ready) })
 }
 
-// slotConnFailed marks a worker's connection down (if still current) and
-// stamps the outage start for the budget clock.
+// slotConnFailed marks a worker's connection down (if still current),
+// stamps the outage start for the budget clock, and notifies the process
+// supervisor (asynchronously — this runs on reader/writer goroutines the
+// callback must not block).
 func (fab *netFabric) slotConnFailed(sl *workerSlot, conn net.Conn) {
 	if sl.sq.detach(conn) {
 		sl.mu.Lock()
 		sl.lastDown = time.Now()
 		sl.mu.Unlock()
+		if cb := fab.nc.OnWorkerDown; cb != nil {
+			w := sl.w
+			go cb(w)
+		}
 	}
 	conn.Close()
 }
@@ -164,12 +179,13 @@ func (fab *netFabric) slotReader(sl *workerSlot, conn net.Conn, br *bufio.Reader
 			return
 		}
 		fab.bytesIn.Add(uint64(wire.HeaderLen + len(f.Payload)))
-		gid := int(f.Dst)
 		switch f.Kind {
 		case wire.KindData, wire.KindAck:
-			if gid >= 0 && gid < fab.width0 {
+			if fab.leafIndex(int(f.Dst)) >= 0 {
 				// Hub relay: worker → worker traffic forwards on the
-				// header alone.
+				// header alone (plus a journal capture with recovery on).
+				// Frames to retired gids fall through and are dropped by
+				// route via deliverData/deliverAck's gid lookups.
 				fab.forward(f)
 				continue
 			}
@@ -198,6 +214,16 @@ func (fab *netFabric) slotReader(sl *workerSlot, conn net.Conn, br *bufio.Reader
 			} else {
 				fab.codecErrors.Add(1)
 			}
+		case wire.KindRecover:
+			body, err := decodePayload(f.Payload)
+			if d, ok := body.(wireRecoverDone); err == nil && ok {
+				fab.replayNanos.Add(d.Nanos)
+				sl.mu.Lock()
+				sl.lastProgress = time.Now()
+				sl.mu.Unlock()
+			} else {
+				fab.codecErrors.Add(1)
+			}
 		case wire.KindPing:
 		default:
 			fab.codecErrors.Add(1)
@@ -206,14 +232,38 @@ func (fab *netFabric) slotReader(sl *workerSlot, conn net.Conn, br *bufio.Reader
 }
 
 // forward re-encodes a relayed frame's header (payload untouched) and
-// routes it to the destination worker.
+// routes it to the destination worker. With recovery on, relayed data
+// frames are journaled first — the one place the relay path pays a payload
+// decode, to learn the (origin link, seq) the journal keys on.
 func (fab *netFabric) forward(f wire.Frame) {
+	if f.Kind == wire.KindData && fab.journals != nil {
+		fab.captureRelay(f)
+	}
 	buf, err := wire.Append(make([]byte, 0, wire.HeaderLen+len(f.Payload)), f)
 	if err != nil {
 		fab.codecErrors.Add(1)
 		return
 	}
 	fab.route(f.Dst, buf)
+}
+
+// captureRelay journals one relayed data frame destined to a first-layer
+// leaf. The payload aliases the connection read buffer, so the journaled
+// copy is explicit.
+func (fab *netFabric) captureRelay(f wire.Frame) {
+	idx := fab.leafIndex(int(f.Dst))
+	if idx < 0 {
+		return
+	}
+	body, err := decodePayload(f.Payload)
+	wd, ok := body.(wireData)
+	if err != nil || !ok {
+		fab.codecErrors.Add(1)
+		return
+	}
+	p := make([]byte, len(f.Payload))
+	copy(p, f.Payload)
+	fab.journals[idx].Record(supervise.LinkID{From: wd.FromG, Class: int(wd.Class), Dst: wd.To}, int64(wd.Seq), p)
 }
 
 // deliverData decodes one tool frame addressed to this process and feeds
@@ -230,8 +280,16 @@ func (fab *netFabric) deliverData(payload []byte) {
 		fab.deliverRank(wd)
 		return
 	}
+	fab.t.topo.RLock()
 	n := fab.t.gidIndex[wd.To]
-	if n == nil || !n.local {
+	fab.t.topo.RUnlock()
+	if n == nil {
+		if !fab.isRetired(wd.To) {
+			fab.codecErrors.Add(1)
+		}
+		return // in-flight frame to a retired incarnation: superseded
+	}
+	if !n.local {
 		fab.codecErrors.Add(1)
 		return
 	}
@@ -289,7 +347,15 @@ func (fab *netFabric) monitor() {
 				continue
 			}
 			sl.mu.Lock()
-			expired := sl.everUp && !sl.degraded && now.Sub(sl.lastDown) > budget
+			// The budget counts from the last observed sign of life, not
+			// from first disconnect: a token mint, resume hello or shipped
+			// recovery chunk resets the clock, so a slow-but-alive respawn
+			// is not spliced out mid-recovery.
+			ref := sl.lastDown
+			if sl.lastProgress.After(ref) {
+				ref = sl.lastProgress
+			}
+			expired := sl.everUp && !sl.degraded && now.Sub(ref) > budget
 			sl.mu.Unlock()
 			if expired {
 				fab.degrade(sl)
@@ -314,20 +380,27 @@ func (fab *netFabric) degrade(sl *workerSlot) {
 	// nonzero in-flight count pinned forever and wedge quiescence gating.
 	sl.inflight.Store(0)
 	t := fab.t
+	// Supervised respawns swap leaf gids under topo; resolve the slot's
+	// current nodes under the same lock.
+	t.topo.RLock()
+	var nodes []*Node
 	var gids []int
 	for idx := 0; idx < fab.width0; idx++ {
-		if ownerOfLeaf(idx, fab.width0, len(fab.slots)) != sl.w {
-			continue
+		if ownerOfLeaf(idx, fab.width0, len(fab.slots)) == sl.w {
+			n := t.layers[0][idx]
+			nodes = append(nodes, n)
+			gids = append(gids, n.gid)
 		}
-		n := t.layers[0][idx] // initial topology: the fabric never respawns
+	}
+	t.topo.RUnlock()
+	for i, n := range nodes {
 		n.Kill()
 		if t.transport != nil {
-			t.transport.dropLinksTo(n.gid)
+			t.transport.dropLinksTo(gids[i])
 		}
 		if t.cfg.OnNodeDown != nil {
 			t.cfg.OnNodeDown(n)
 		}
-		gids = append(gids, n.gid)
 	}
 	// Surviving workers keep retransmitting toward the dead leaves (remote
 	// links have an effectively unbounded attempt budget) unless told the
@@ -354,11 +427,13 @@ func (fab *netFabric) degradedLeafGids() []int {
 		if !deg {
 			continue
 		}
+		fab.t.topo.RLock()
 		for idx := 0; idx < fab.width0; idx++ {
 			if ownerOfLeaf(idx, fab.width0, len(fab.slots)) == sl.w {
 				gids = append(gids, fab.t.layers[0][idx].gid)
 			}
 		}
+		fab.t.topo.RUnlock()
 	}
 	return gids
 }

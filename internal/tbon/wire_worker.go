@@ -29,6 +29,7 @@ type WorkerSession struct {
 	welcome wireWelcome
 	conn    net.Conn
 	br      *bufio.Reader
+	resumed bool // admitted through the supervised-respawn handshake
 }
 
 // TreeConfig assembles the Config for this worker's tree replica. The
@@ -48,6 +49,7 @@ func (ws *WorkerSession) TreeConfig() Config {
 			Worker:    ws.Worker,
 			KeepAlive: w.KeepAlive,
 			Budget:    w.Budget,
+			LeafGids:  w.LeafGids,
 			session:   ws,
 		},
 	}
@@ -61,6 +63,15 @@ func (ws *WorkerSession) Close() error { return ws.conn.Close() }
 // backoff + jitter until the handshake succeeds or timeout (default 5s)
 // expires. A fencing rejection is permanent and returned immediately.
 func DialWorker(addr string, worker int, timeout time.Duration) (*WorkerSession, error) {
+	return DialWorkerResume(addr, worker, timeout, "")
+}
+
+// DialWorkerResume is DialWorker for a supervised respawn: the hello
+// presents the coordinator-issued one-shot recovery token, and an accepted
+// handshake is followed (on the same connection, before any live frame) by
+// the journal shipment the new tree replays during startup. An invalid or
+// reused token is a permanent fencing rejection.
+func DialWorkerResume(addr string, worker int, timeout time.Duration, token string) (*WorkerSession, error) {
 	if worker < 0 {
 		return nil, fmt.Errorf("tbon: invalid worker id %d", worker)
 	}
@@ -71,7 +82,7 @@ func DialWorker(addr string, worker int, timeout time.Duration) (*WorkerSession,
 	backoff := 25 * time.Millisecond
 	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(worker)<<32))
 	for {
-		conn, br, w, err := dialHello(addr, worker, 0, time.Until(deadline))
+		conn, br, w, err := dialHello(addr, worker, 0, token, time.Until(deadline))
 		if err == nil {
 			if !w.OK {
 				conn.Close()
@@ -85,6 +96,7 @@ func DialWorker(addr string, worker int, timeout time.Duration) (*WorkerSession,
 				welcome:     w,
 				conn:        conn,
 				br:          br,
+				resumed:     token != "",
 			}, nil
 		}
 		if !time.Now().Before(deadline) {
@@ -98,7 +110,7 @@ func DialWorker(addr string, worker int, timeout time.Duration) (*WorkerSession,
 }
 
 // dialHello performs one dial + hello/welcome exchange.
-func dialHello(addr string, worker int, inc uint64, remaining time.Duration) (net.Conn, *bufio.Reader, wireWelcome, error) {
+func dialHello(addr string, worker int, inc uint64, resume string, remaining time.Duration) (net.Conn, *bufio.Reader, wireWelcome, error) {
 	to := time.Second
 	if remaining > 0 && remaining < to {
 		to = remaining
@@ -110,7 +122,7 @@ func dialHello(addr string, worker int, inc uint64, remaining time.Duration) (ne
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	payload, err := encodePayload(wireHello{Worker: worker, Incarnation: inc})
+	payload, err := encodePayload(wireHello{Worker: worker, Incarnation: inc, Resume: resume})
 	if err != nil {
 		conn.Close()
 		return nil, nil, wireWelcome{}, err
@@ -208,6 +220,20 @@ func (fab *netFabric) workerRead(conn net.Conn, br *bufio.Reader) {
 			} else {
 				fab.codecErrors.Add(1)
 			}
+		case wire.KindRecover:
+			body, err := decodePayload(f.Payload)
+			if rc, ok := body.(wireRecover); err == nil && ok {
+				fab.applyRecover(rc)
+			} else {
+				fab.codecErrors.Add(1)
+			}
+		case wire.KindRespawn:
+			body, err := decodePayload(f.Payload)
+			if wr, ok := body.(wireRespawn); err == nil && ok {
+				fab.applyRespawn(wr)
+			} else {
+				fab.codecErrors.Add(1)
+			}
 		case wire.KindShutdown:
 			fab.shuttingDown.Store(true)
 			fab.signalDone(nil)
@@ -232,7 +258,7 @@ func (fab *netFabric) redial() (net.Conn, *bufio.Reader, error) {
 		if fab.isClosed() {
 			return nil, nil, errors.New("tbon: fabric closed")
 		}
-		conn, br, w, err := dialHello(fab.sess.Addr, fab.nc.Worker, fab.sess.Incarnation, time.Until(deadline))
+		conn, br, w, err := dialHello(fab.sess.Addr, fab.nc.Worker, fab.sess.Incarnation, "", time.Until(deadline))
 		if err == nil {
 			if !w.OK {
 				conn.Close()
@@ -265,8 +291,16 @@ func (fab *netFabric) redial() (net.Conn, *bufio.Reader, error) {
 // hosting node's bounded event queue — the worker-side half of Inject's
 // backpressure. Runs only on the (serial) reader, so rankRsq needs no lock.
 func (fab *netFabric) deliverRank(wd wireData) {
+	fab.t.topo.RLock()
 	n := fab.t.gidIndex[wd.To]
-	if n == nil || !n.local || n.events == nil || fab.rankRsq == nil {
+	fab.t.topo.RUnlock()
+	if n == nil {
+		if !fab.isRetired(wd.To) {
+			fab.codecErrors.Add(1)
+		}
+		return // in-flight rank frame to a retired incarnation: superseded
+	}
+	if !n.local || n.events == nil || fab.rankRsq == nil {
 		fab.codecErrors.Add(1)
 		return
 	}
@@ -324,10 +358,16 @@ func (fab *netFabric) workerStats() {
 		case <-fab.closed:
 			return
 		case <-tick.C:
+			inFlight := uint64(fab.t.transport.inFlight())
+			if fab.replaying.Load() {
+				// An unfinished recovery replay is in-flight work the outbox
+				// cannot see; keep the coordinator's quiescence gate shut.
+				inFlight++
+			}
 			fab.send(wire.KindStats, -1, wireStats{
 				Worker:   fab.nc.Worker,
 				Handled:  fab.t.handled.Load(),
-				InFlight: uint64(fab.t.transport.inFlight()),
+				InFlight: inFlight,
 			})
 		}
 	}
@@ -468,6 +508,34 @@ func (t *Tree) BytesOnWire() uint64 {
 	return t.net.bytesOut.Load() + t.net.bytesIn.Load()
 }
 
+// WorkerRespawns returns how many supervised respawns the coordinator
+// re-admitted (0 without the fabric, or on workers).
+func (t *Tree) WorkerRespawns() uint64 {
+	if t.net == nil {
+		return 0
+	}
+	return t.net.respawns.Load()
+}
+
+// ShippedJournalEntries returns the total journal entries shipped to
+// respawned workers across all re-admissions.
+func (t *Tree) ShippedJournalEntries() uint64 {
+	if t.net == nil {
+		return 0
+	}
+	return t.net.shippedEntries.Load()
+}
+
+// WireReplayTime returns the cumulative wall time respawned workers spent
+// replaying shipped journals (as reported in their replay completion
+// frames).
+func (t *Tree) WireReplayTime() time.Duration {
+	if t.net == nil {
+		return 0
+	}
+	return time.Duration(t.net.replayNanos.Load())
+}
+
 // injectRemote ships one application event to a remote first-layer node
 // over a sequenced RankLink frame. The per-leaf window semaphore mirrors
 // the bounded in-process event queue: at most EventBuf events are in
@@ -485,10 +553,16 @@ func (t *Tree) injectRemote(n *Node, env rankEnvelope) error {
 	case <-t.quit:
 		return ErrStopped
 	}
+	// Resolve the leaf's gid and record the pending under the topology
+	// lock: a supervised respawn swapping the gid concurrently would
+	// otherwise leave this frame pinned to a retired link the swap's
+	// migration never saw.
+	t.topo.RLock()
 	key := linkKey{from: -1, to: n.gid, class: fault.RankLink}
 	fenv := t.transport.wrapRemote(key, env.from, wireRank{
 		Rank: env.from, Typed: env.typed, Quiet: env.quiet, Ev: env.ev, Msg: env.msg,
 	})
+	t.topo.RUnlock()
 	if !env.quiet {
 		t.injected.Add(1)
 	}
@@ -497,12 +571,17 @@ func (t *Tree) injectRemote(n *Node, env rankEnvelope) error {
 }
 
 // releaseWindow frees n slots of a leaf's rank-event window after its
-// frames were acknowledged (or abandoned with the link).
+// frames were acknowledged (or abandoned with the link). The window is
+// keyed by first-layer index, which survives gid swaps.
 func (fab *netFabric) releaseWindow(leafGid, n int) {
-	if fab.win == nil || leafGid < 0 || leafGid >= len(fab.win) {
+	fab.releaseWindowIdx(fab.leafIndex(leafGid), n)
+}
+
+func (fab *netFabric) releaseWindowIdx(idx, n int) {
+	if fab.win == nil || idx < 0 || idx >= len(fab.win) {
 		return
 	}
-	w := fab.win[leafGid]
+	w := fab.win[idx]
 	for i := 0; i < n; i++ {
 		select {
 		case <-w:

@@ -73,6 +73,17 @@ const (
 	// out (their worker degraded past budget): drop links to them so
 	// retransmission stops and in-flight accounting drains.
 	KindDown
+	// KindRecover carries the supervised-respawn recovery stream. From the
+	// coordinator it ships chunks of journaled first-layer inputs to a
+	// respawned worker (which replays them into fresh node state before any
+	// live frame arrives); from the worker it carries the replay completion
+	// report (entry watermark + elapsed time) back to the coordinator.
+	KindRecover
+	// KindRespawn tells surviving workers that a respawned worker's
+	// first-layer nodes were re-admitted under fresh global ids: re-key
+	// topology placeholders and migrate unacknowledged frames onto the
+	// fresh links so retransmission reaches the new incarnation.
+	KindRespawn
 
 	kindEnd // one past the last valid kind
 )
@@ -97,6 +108,10 @@ func (k Kind) String() string {
 		return "final"
 	case KindDown:
 		return "down"
+	case KindRecover:
+		return "recover"
+	case KindRespawn:
+		return "respawn"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -7,7 +7,9 @@ package must_test
 // processes' own trees, here run in-process).
 
 import (
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -84,5 +86,98 @@ func TestRunLeaksNoGoroutinesTCP(t *testing.T) {
 	}
 	if n := waitGoroutines(baseline, 4, 10*time.Second); n > baseline+4 {
 		t.Fatalf("goroutines grew %d -> %d after 3 TCP-transport runs", baseline, n)
+	}
+}
+
+// openFDs counts this process's open file descriptors, or -1 where procfs
+// is unavailable.
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestRunLeaksNoGoroutinesTCPRespawnStorm puts the supervised-respawn
+// machinery through a storm — worker 1 is killed and re-admitted under a
+// fresh recovery token three times per run — and then checks that a clean
+// shutdown still releases every goroutine and file descriptor: fenced
+// claimant readers, journal shipment writers, respawned worker trees and
+// their sockets must all go away.
+func TestRunLeaksNoGoroutinesTCPRespawnStorm(t *testing.T) {
+	const storms = 3
+	runOnce := func() {
+		ctl := &must.NetControl{}
+		var wg sync.WaitGroup
+		opts := must.Options{
+			FanIn:   2,
+			Timeout: 20 * time.Millisecond,
+			Net: &must.NetOptions{
+				Workers: 2,
+				Recover: true,
+				Control: ctl,
+				OnListen: func(addr string) {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if err := must.RunWorker(addr, 0, must.WorkerOptions{}); err != nil {
+							t.Errorf("worker 0: %v", err)
+						}
+					}()
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						resume := ""
+						for attempt := 0; ; attempt++ {
+							var halt <-chan struct{}
+							if attempt < storms {
+								hc := make(chan struct{})
+								time.AfterFunc(15*time.Millisecond, func() { close(hc) })
+								halt = hc
+							}
+							err := must.RunWorker(addr, 1, must.WorkerOptions{Halt: halt, Resume: resume})
+							if err == nil || attempt >= storms {
+								return
+							}
+							resume = ""
+							for i := 0; i < 500; i++ {
+								tok, terr := ctl.RecoveryToken(1)
+								if terr == nil {
+									resume = tok
+									break
+								}
+								if !strings.Contains(terr.Error(), "still connected") {
+									return
+								}
+								time.Sleep(2 * time.Millisecond)
+							}
+							if resume == "" {
+								return
+							}
+						}
+					}()
+				},
+			},
+		}
+		rep := must.Run(8, workload.RecvRecvDeadlock(), opts)
+		if rep.Err != nil {
+			t.Fatalf("TCP respawn-storm run failed: %v", rep.Err)
+		}
+		wg.Wait()
+	}
+	runOnce() // warm-up
+	baseline := runtime.NumGoroutine()
+	fdBase := openFDs()
+	for i := 0; i < 3; i++ {
+		runOnce()
+	}
+	if n := waitGoroutines(baseline, 4, 10*time.Second); n > baseline+4 {
+		t.Fatalf("goroutines grew %d -> %d after 3 respawn-storm runs", baseline, n)
+	}
+	if fdBase >= 0 {
+		if n := openFDs(); n > fdBase+4 {
+			t.Fatalf("open fds grew %d -> %d after 3 respawn-storm runs", fdBase, n)
+		}
 	}
 }

@@ -56,6 +56,11 @@ type NetOptions = core.NetOptions
 // WorkerOptions re-exports core.WorkerOptions (RunWorker configuration).
 type WorkerOptions = core.WorkerOptions
 
+// NetControl re-exports core.NetControl: the orchestrator's handle into a
+// running coordinator, used to mint recovery tokens for supervised worker
+// respawns. Place one in NetOptions.Control before Run.
+type NetControl = core.NetControl
+
 // Verdict re-exports detect.Verdict, the run classification.
 type Verdict = detect.Verdict
 
@@ -259,6 +264,14 @@ type Report struct {
 	// ReplayTime is the total wall clock spent replaying.
 	ReplayedMsgs int
 	ReplayTime   time.Duration
+	// WorkerRespawns counts worker processes re-admitted through the
+	// supervised-respawn handshake (TCP fabric, NetOptions.Recover), and
+	// ShippedJournalEntries the coordinator-journaled inputs shipped to
+	// those fresh incarnations for replay. RespawnBackoff is the total
+	// wall clock the orchestrator spent in respawn backoff delays.
+	WorkerRespawns        uint64
+	ShippedJournalEntries uint64
+	RespawnBackoff        time.Duration
 
 	// Run statistics.
 	Elapsed         time.Duration
@@ -346,32 +359,34 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 	}, simProg)
 
 	rep := &Report{
-		Elapsed:          res.Elapsed,
-		Detections:       res.Detections,
-		ToolNodes:        res.ToolNodes,
-		WindowHighWater:  res.WindowHighWater,
-		AppAborted:       res.AppErr != nil,
-		Verdict:          res.Verdict,
-		DeadRanks:        res.DeadRanks,
-		DeadLastCalls:    res.DeadLastCalls,
-		FailureBlocked:   res.FailureBlocked,
-		StalledRanks:     res.StalledRanks,
-		WatchdogFires:    res.WatchdogFires,
-		CallMismatches:   res.CallMismatches,
-		LostMessages:     res.LostMessages,
-		Partial:          res.Partial,
-		UnknownRanks:     res.UnknownRanks,
-		DroppedEvents:    res.DroppedEvents,
-		SnapshotRetries:  res.SnapshotRetries,
-		Retransmits:      res.Retransmits,
-		AbandonedFrames:  res.AbandonedFrames,
-		Reconnects:       res.Reconnects,
-		CodecErrors:      res.CodecErrors,
-		BytesOnWire:      res.BytesOnWire,
-		Recoveries:       res.Recoveries,
-		JournalHighWater: res.JournalHighWater,
-		ReplayedMsgs:     res.ReplayedMsgs,
-		ReplayTime:       res.ReplayTime,
+		Elapsed:               res.Elapsed,
+		Detections:            res.Detections,
+		ToolNodes:             res.ToolNodes,
+		WindowHighWater:       res.WindowHighWater,
+		AppAborted:            res.AppErr != nil,
+		Verdict:               res.Verdict,
+		DeadRanks:             res.DeadRanks,
+		DeadLastCalls:         res.DeadLastCalls,
+		FailureBlocked:        res.FailureBlocked,
+		StalledRanks:          res.StalledRanks,
+		WatchdogFires:         res.WatchdogFires,
+		CallMismatches:        res.CallMismatches,
+		LostMessages:          res.LostMessages,
+		Partial:               res.Partial,
+		UnknownRanks:          res.UnknownRanks,
+		DroppedEvents:         res.DroppedEvents,
+		SnapshotRetries:       res.SnapshotRetries,
+		Retransmits:           res.Retransmits,
+		AbandonedFrames:       res.AbandonedFrames,
+		Reconnects:            res.Reconnects,
+		CodecErrors:           res.CodecErrors,
+		BytesOnWire:           res.BytesOnWire,
+		Recoveries:            res.Recoveries,
+		JournalHighWater:      res.JournalHighWater,
+		ReplayedMsgs:          res.ReplayedMsgs,
+		ReplayTime:            res.ReplayTime,
+		WorkerRespawns:        res.WorkerRespawns,
+		ShippedJournalEntries: res.ShippedJournalEntries,
 		ToolMessages: ToolMessages{
 			PassSends:      res.MsgStats.PassSends,
 			RecvActives:    res.MsgStats.RecvActives,
