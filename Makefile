@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos short fuzz ci bench-json bench-check
+.PHONY: all build vet test race chaos short fuzz ci bench-json bench-check service-soak
 
 all: build vet test
 
@@ -31,6 +31,12 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzResequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/tbon/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire/
+
+# The multi-tenant service shard: session/service/API suites, the
+# journal-GC concurrency contract, and the kill -9 restart drill.
+service-soak:
+	$(GO) test -race -count=1 ./internal/session/ ./cmd/mustserve/
+	$(GO) test -race -count=5 -run 'TestConcurrentAppendAndCheckpoint|TestFenceCutsOffConcurrentStaleWriter' ./internal/journal/
 
 # Regenerate the committed benchmark baseline (BENCH_pr4.json).
 BENCH_BASELINE ?= BENCH_pr4.json

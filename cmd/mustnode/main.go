@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dwst/must"
@@ -34,6 +36,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mustnode: -dial is required")
 		os.Exit(2)
 	}
+	// A terminal Ctrl-C signals the whole foreground process group, this
+	// worker included. The coordinator owns the drain: it cancels the run
+	// and closes the fabric, which ends RunWorker cleanly. The first signal
+	// is only acknowledged; a second one force-exits a stuck worker.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintf(os.Stderr, "mustnode: worker %d: interrupt — draining under coordinator shutdown\n", *worker)
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	opts := must.WorkerOptions{DialTimeout: *dialTO, Resume: *resume}
 	if *haltDur > 0 {
 		halt := make(chan struct{})

@@ -11,20 +11,28 @@
 //
 // Workloads: stress, wildcard, recvrecv, fig2b, unexpected, clean, or
 // spec:<name> for a SPEC MPI2007 proxy (see cmd/specmpi -list).
+//
+// SIGINT/SIGTERM drain the run: the workload is canceled through the
+// tool's single cancellation path, the final report is printed marked
+// PARTIAL, -stats-json is still written (with "interrupted": true), and
+// mustrun exits 130. A second signal forces an immediate exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"dwst/internal/session"
 	"dwst/internal/supervise"
-	"dwst/internal/workload"
-	"dwst/mpi"
 	"dwst/must"
 )
 
@@ -89,47 +97,49 @@ func main() {
 		runWorkerMode(*workerDial, *workerID, *dialTO, *workerResume)
 	}
 
-	if err := validateFaultFlags(*faultDrop, *faultDup, *faultReord, *journalCap); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	faultActive := *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 || *crashNode >= 0 ||
+		*rankCrash != "" || *rankStall != ""
 
-	prog, err := buildWorkload(*wl, *iters)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	rankCrashes, err := parseRankCrashes(*rankCrash)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	rankStalls, err := parseRankStalls(*rankStall)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	opts := must.Options{
+	spec := session.Spec{
+		Workload:         *wl,
+		Procs:            *procs,
+		Iters:            *iters,
+		Mode:             *mode,
 		FanIn:            *fanIn,
-		Timeout:          *timeout,
+		Timeout:          session.Duration(*timeout),
 		Rendezvous:       *rendezvous,
 		PreferWaitState:  *prefer,
+		NoBatch:          !*batch,
 		TrackCallSites:   *sites,
-		LinkDelay:        *linkDelay,
-		SnapshotDeadline: *snapDeadl,
-		WatchdogQuiet:    *wdQuiet,
+		LinkDelay:        session.Duration(*linkDelay),
+		SnapshotDeadline: session.Duration(*snapDeadl),
+		WatchdogQuiet:    session.Duration(*wdQuiet),
 	}
-	if !*batch {
-		opts.Batch = must.BatchOff
+	if faultActive {
+		spec.Fault = &session.FaultSpec{
+			Seed:        *faultSeed,
+			Drop:        *faultDrop,
+			Dup:         *faultDup,
+			Reorder:     *faultReord,
+			RankCrashes: *rankCrash,
+			RankStalls:  *rankStall,
+			Recover:     recoverNodes,
+			JournalCap:  *journalCap,
+		}
+		if *crashNode >= 0 {
+			spec.Fault.Crashes = []session.CrashSpec{{Node: *crashNode, After: session.Duration(*crashAfter)}}
+		}
 	}
-	if *mode == "centralized" {
-		opts.Mode = must.Centralized
+	opts, err := spec.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-
-	faultActive := *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 || *crashNode >= 0 ||
-		len(rankCrashes) > 0 || len(rankStalls) > 0
+	prog, err := spec.Program()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	wf := wireFlags{
 		Drop: *wireDrop, Dup: *wireDup, Delay: *wireDelay, Seed: *wireSeed,
@@ -182,24 +192,22 @@ func main() {
 		}
 	}
 
-	if faultActive {
-		plan := &must.FaultPlan{Seed: *faultSeed}
-		if *faultDrop > 0 || *faultDup > 0 || *faultReord > 0 {
-			plan.Rules = []must.FaultRule{{
-				Drop:    *faultDrop,
-				Dup:     *faultDup,
-				Reorder: *faultReord,
-			}}
-		}
-		if *crashNode >= 0 {
-			plan.Crashes = []must.Crash{{Layer: 0, Index: *crashNode, After: *crashAfter}}
-		}
-		plan.RankCrashes = rankCrashes
-		plan.RankStalls = rankStalls
-		plan.Recover = *recoverNodes
-		plan.JournalCap = *journalCap
-		opts.Fault = plan
-	}
+	// Graceful interruption: the first SIGINT/SIGTERM cancels the run
+	// through the tool's single cancellation path (ranks unwind, the tree
+	// drains and tears down), then the normal reporting below runs on
+	// whatever was known, marked PARTIAL. A second signal force-exits.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "mustrun: %v — draining; the final report will be PARTIAL (signal again to force exit)\n", sig)
+		cancel(fmt.Errorf("interrupted by %v", sig))
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "mustrun: second signal, forcing exit")
+		os.Exit(130)
+	}()
+	opts.Context = ctx
 
 	rep := must.Run(*procs, prog, opts)
 	if orch != nil {
@@ -210,10 +218,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "run failed:", rep.Err)
 		os.Exit(2)
 	}
+	interrupted := ctx.Err() != nil && rep.AppAborted &&
+		errors.Is(rep.AbortCause, context.Cause(ctx))
 
 	fmt.Printf("workload=%s procs=%d mode=%s transport=%s fanin=%d elapsed=%v tool-nodes=%d detections=%d\n",
 		*wl, *procs, *mode, *transport, *fanIn, rep.Elapsed.Round(time.Millisecond), rep.ToolNodes, rep.Detections)
 	switch {
+	case interrupted:
+		fmt.Printf("INTERRUPTED — %v\n", context.Cause(ctx))
 	case rep.Verdict == must.VerdictDeadlockByFailure:
 		fmt.Printf("DEADLOCK BY FAILURE — application rank(s) %s crashed\n", deadRankStr(rep))
 		if len(rep.FailureBlocked) > 0 {
@@ -228,6 +240,9 @@ func main() {
 		fmt.Printf("DEADLOCK — application aborted\n")
 	default:
 		fmt.Printf("no deadlock\n")
+	}
+	if interrupted {
+		fmt.Printf("PARTIAL REPORT: the run was canceled before analysis completed\n")
 	}
 	if rep.Partial {
 		fmt.Printf("PARTIAL REPORT: tool nodes hosting ranks %v crashed; their wait state is unknown\n",
@@ -288,98 +303,23 @@ func main() {
 	writeIf(*htmlPath, rep.HTML)
 	writeIf(*dotPath, rep.DOT)
 	if *statsJSON != "" {
+		st := session.StatsFor(*wl, *procs, *mode, *transport, *batch, rep)
+		st.Interrupted = interrupted
 		// Must stay the last stdout write: with `-stats-json -`, consumers
 		// parse the trailing JSON object off the human-readable output.
-		writeStats(*statsJSON, statsFor(*wl, *procs, *mode, *transport, *batch, rep))
+		writeStats(*statsJSON, st)
 	}
-	if rep.Deadlock {
+	switch {
+	case interrupted:
+		os.Exit(130)
+	case rep.Deadlock:
 		os.Exit(1)
-	}
-	if rep.Verdict == must.VerdictStalled {
+	case rep.Verdict == must.VerdictStalled:
 		os.Exit(3)
 	}
 }
 
-// runStats is the -stats-json schema: one flat object per run so CI jobs
-// and the chaos suite can diff outcomes across seeds.
-type runStats struct {
-	Workload         string      `json:"workload"`
-	Procs            int         `json:"procs"`
-	Mode             string      `json:"mode"`
-	Transport        string      `json:"transport"`
-	Batch            bool        `json:"batch"`
-	Verdict          string      `json:"verdict"`
-	Deadlock         bool        `json:"deadlock"`
-	PotentialOnly    bool        `json:"potential_only"`
-	Deadlocked       []int       `json:"deadlocked,omitempty"`
-	DeadRanks        []int       `json:"dead_ranks,omitempty"`
-	DeadLastCalls    map[int]int `json:"dead_last_calls,omitempty"`
-	FailureBlocked   []int       `json:"failure_blocked,omitempty"`
-	StalledRanks     []int       `json:"stalled_ranks,omitempty"`
-	WatchdogFires    int         `json:"watchdog_fires"`
-	Retransmits      uint64      `json:"retransmits"`
-	AbandonedFrames  uint64      `json:"abandoned_frames"`
-	Reconnects       uint64      `json:"reconnects"`
-	CodecErrors      uint64      `json:"codec_errors"`
-	BytesOnWire      uint64      `json:"bytes_on_wire"`
-	DroppedEvents    int         `json:"dropped_events"`
-	SnapshotRetries  int         `json:"snapshot_retries"`
-	Partial          bool        `json:"partial"`
-	UnknownRanks     []int       `json:"unknown_ranks,omitempty"`
-	Recoveries       int         `json:"recoveries"`
-	JournalHighWater int         `json:"journal_high_water"`
-	ReplayedMsgs     int         `json:"replayed_msgs"`
-	ReplayMS         int64       `json:"replay_ms"`
-	WorkerRespawns   uint64      `json:"worker_respawns"`
-	RespawnBackoffMS int64       `json:"respawn_backoff_ms"`
-	ShippedJournal   uint64      `json:"shipped_journal_entries"`
-	Detections       int         `json:"detections"`
-	ToolNodes        int         `json:"tool_nodes"`
-	LostMessages     int         `json:"lost_messages"`
-	ElapsedMS        int64       `json:"elapsed_ms"`
-}
-
-// statsFor flattens a report into the -stats-json schema.
-func statsFor(wl string, procs int, mode, transport string, batch bool, rep *must.Report) runStats {
-	return runStats{
-		Workload:         wl,
-		Procs:            procs,
-		Mode:             mode,
-		Transport:        transport,
-		Batch:            batch,
-		Verdict:          rep.Verdict.String(),
-		Deadlock:         rep.Deadlock,
-		PotentialOnly:    rep.PotentialOnly,
-		Deadlocked:       rep.Deadlocked,
-		DeadRanks:        rep.DeadRanks,
-		DeadLastCalls:    rep.DeadLastCalls,
-		FailureBlocked:   rep.FailureBlocked,
-		StalledRanks:     rep.StalledRanks,
-		WatchdogFires:    rep.WatchdogFires,
-		Retransmits:      rep.Retransmits,
-		AbandonedFrames:  rep.AbandonedFrames,
-		Reconnects:       rep.Reconnects,
-		CodecErrors:      rep.CodecErrors,
-		BytesOnWire:      rep.BytesOnWire,
-		DroppedEvents:    rep.DroppedEvents,
-		SnapshotRetries:  rep.SnapshotRetries,
-		Partial:          rep.Partial,
-		UnknownRanks:     rep.UnknownRanks,
-		Recoveries:       rep.Recoveries,
-		JournalHighWater: rep.JournalHighWater,
-		ReplayedMsgs:     rep.ReplayedMsgs,
-		ReplayMS:         rep.ReplayTime.Milliseconds(),
-		WorkerRespawns:   rep.WorkerRespawns,
-		RespawnBackoffMS: rep.RespawnBackoff.Milliseconds(),
-		ShippedJournal:   rep.ShippedJournalEntries,
-		Detections:       rep.Detections,
-		ToolNodes:        rep.ToolNodes,
-		LostMessages:     rep.LostMessages,
-		ElapsedMS:        rep.Elapsed.Milliseconds(),
-	}
-}
-
-func writeStats(path string, st runStats) {
+func writeStats(path string, st session.RunStats) {
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stats-json:", err)
@@ -405,112 +345,6 @@ func deadRankStr(rep *must.Report) string {
 		}
 	}
 	return strings.Join(parts, ", ")
-}
-
-// validateFaultFlags rejects out-of-range fault and recovery flag values
-// before any work starts: a bad probability or cap silently clamped would
-// make chaos-run results lie about what was injected.
-func validateFaultFlags(drop, dup, reorder float64, journalCap int) error {
-	for _, p := range []struct {
-		name string
-		v    float64
-	}{{"-fault-drop", drop}, {"-fault-dup", dup}, {"-fault-reorder", reorder}} {
-		if p.v < 0 || p.v > 1 {
-			return fmt.Errorf("bad %s %v: want a probability in [0, 1]", p.name, p.v)
-		}
-	}
-	if journalCap < 0 {
-		return fmt.Errorf("bad -journal-cap %d: want >= 0 (0 = default)", journalCap)
-	}
-	return nil
-}
-
-// parseRankCrashes parses "rank[:atCall]" comma-separated specs.
-func parseRankCrashes(spec string) ([]must.RankCrash, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	var out []must.RankCrash
-	for _, part := range strings.Split(spec, ",") {
-		fields := strings.Split(part, ":")
-		if len(fields) > 2 {
-			return nil, fmt.Errorf("bad -rank-crash %q: want rank[:atCall]", part)
-		}
-		rank, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("bad -rank-crash rank %q: %v", fields[0], err)
-		}
-		rc := must.RankCrash{Rank: rank, AtCall: 1}
-		if len(fields) == 2 {
-			if rc.AtCall, err = strconv.Atoi(fields[1]); err != nil {
-				return nil, fmt.Errorf("bad -rank-crash call %q: %v", fields[1], err)
-			}
-		}
-		out = append(out, rc)
-	}
-	return out, nil
-}
-
-// parseRankStalls parses "rank:atCall:dur[:busy]" comma-separated specs;
-// a zero duration stalls forever, "busy" spins instead of sleeping.
-func parseRankStalls(spec string) ([]must.RankStall, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	var out []must.RankStall
-	for _, part := range strings.Split(spec, ",") {
-		fields := strings.Split(part, ":")
-		if len(fields) < 3 || len(fields) > 4 {
-			return nil, fmt.Errorf("bad -rank-stall %q: want rank:atCall:dur[:busy]", part)
-		}
-		rank, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("bad -rank-stall rank %q: %v", fields[0], err)
-		}
-		atCall, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("bad -rank-stall call %q: %v", fields[1], err)
-		}
-		var dur time.Duration
-		if fields[2] != "0" {
-			if dur, err = time.ParseDuration(fields[2]); err != nil {
-				return nil, fmt.Errorf("bad -rank-stall duration %q: %v", fields[2], err)
-			}
-		}
-		rs := must.RankStall{Rank: rank, AtCall: atCall, For: dur}
-		if len(fields) == 4 {
-			if fields[3] != "busy" {
-				return nil, fmt.Errorf("bad -rank-stall modifier %q: only \"busy\"", fields[3])
-			}
-			rs.Busy = true
-		}
-		out = append(out, rs)
-	}
-	return out, nil
-}
-
-func buildWorkload(name string, iters int) (mpi.Program, error) {
-	switch {
-	case name == "stress":
-		return workload.Stress(iters), nil
-	case name == "wildcard":
-		return workload.WildcardDeadlock(), nil
-	case name == "recvrecv":
-		return workload.RecvRecvDeadlock(), nil
-	case name == "fig2b":
-		return workload.Fig2b(), nil
-	case name == "unexpected":
-		return workload.UnexpectedMatch(), nil
-	case name == "clean":
-		return workload.Stress(iters), nil
-	case strings.HasPrefix(name, "spec:"):
-		app := workload.SpecApps(strings.TrimPrefix(name, "spec:"))
-		if app == nil {
-			return nil, fmt.Errorf("unknown SPEC proxy %q", name)
-		}
-		return app.Build(iters, 20*time.Microsecond), nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
 func summarizeRanks(rs []int) string {

@@ -5,35 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"dwst/internal/session"
 	"dwst/must"
 )
-
-func TestValidateFaultFlags(t *testing.T) {
-	cases := []struct {
-		name       string
-		drop, dup  float64
-		reorder    float64
-		journalCap int
-		wantErr    bool
-	}{
-		{"all zero", 0, 0, 0, 0, false},
-		{"valid rates", 0.5, 1, 0.01, 512, false},
-		{"negative drop", -0.1, 0, 0, 0, true},
-		{"drop above one", 1.1, 0, 0, 0, true},
-		{"negative dup", 0, -1, 0, 0, true},
-		{"negative reorder", 0, 0, -0.5, 0, true},
-		{"negative journal cap", 0, 0, 0, -1, true},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			err := validateFaultFlags(c.drop, c.dup, c.reorder, c.journalCap)
-			if (err != nil) != c.wantErr {
-				t.Fatalf("validateFaultFlags(%v, %v, %v, %d) error = %v, wantErr %v",
-					c.drop, c.dup, c.reorder, c.journalCap, err, c.wantErr)
-			}
-		})
-	}
-}
 
 func TestValidateTransportFlags(t *testing.T) {
 	type args struct {
@@ -111,6 +85,9 @@ func TestValidateTransportFlags(t *testing.T) {
 	}
 }
 
+// The stats schema itself lives in internal/session now; this guards the
+// mustrun-specific contract that TCP transport counters survive the trip
+// into -stats-json.
 func TestStatsJSONCarriesTransportCounters(t *testing.T) {
 	rep := &must.Report{
 		Reconnects:            3,
@@ -122,7 +99,7 @@ func TestStatsJSONCarriesTransportCounters(t *testing.T) {
 		RespawnBackoff:        300 * time.Millisecond,
 		ReplayTime:            5 * time.Millisecond,
 	}
-	b, err := json.Marshal(statsFor("fig2b", 8, "distributed", "tcp", false, rep))
+	b, err := json.Marshal(session.StatsFor("fig2b", 8, "distributed", "tcp", false, rep))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,29 +123,5 @@ func TestStatsJSONCarriesTransportCounters(t *testing.T) {
 	}
 	if got["transport"] != "tcp" {
 		t.Errorf("stats JSON transport = %v, want tcp", got["transport"])
-	}
-}
-
-func TestParseRankCrashesRejectsMalformed(t *testing.T) {
-	for _, spec := range []string{"x", "1:2:3", "1:", ":5", "1,,2"} {
-		if _, err := parseRankCrashes(spec); err == nil {
-			t.Errorf("parseRankCrashes(%q) accepted malformed spec", spec)
-		}
-	}
-	out, err := parseRankCrashes("2:5,7")
-	if err != nil || len(out) != 2 || out[0].Rank != 2 || out[0].AtCall != 5 || out[1].Rank != 7 || out[1].AtCall != 1 {
-		t.Fatalf("parseRankCrashes(\"2:5,7\") = %v, %v", out, err)
-	}
-}
-
-func TestParseRankStallsRejectsMalformed(t *testing.T) {
-	for _, spec := range []string{"1", "1:2", "a:2:5ms", "1:b:5ms", "1:2:zz", "1:2:5ms:spin"} {
-		if _, err := parseRankStalls(spec); err == nil {
-			t.Errorf("parseRankStalls(%q) accepted malformed spec", spec)
-		}
-	}
-	out, err := parseRankStalls("3:4:0:busy")
-	if err != nil || len(out) != 1 || out[0].Rank != 3 || out[0].AtCall != 4 || out[0].For != 0 || !out[0].Busy {
-		t.Fatalf("parseRankStalls(\"3:4:0:busy\") = %v, %v", out, err)
 	}
 }

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"dwst/internal/fault"
@@ -288,6 +290,18 @@ func (o *netOrchestrator) cleanup() {
 // runWorkerMode is mustrun's hidden worker personality (-worker-dial): the
 // fallback used when no mustnode binary is available.
 func runWorkerMode(addr string, worker int, dialTO time.Duration, resume string) {
+	// A terminal Ctrl-C signals the whole foreground process group, workers
+	// included. The coordinator owns the drain: it cancels the run and
+	// closes the fabric, which ends RunWorker. So the first signal here is
+	// only acknowledged; a second one force-exits a stuck worker.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintf(os.Stderr, "mustrun worker %d: interrupt — draining under coordinator shutdown\n", worker)
+		<-sigCh
+		os.Exit(130)
+	}()
 	if err := must.RunWorker(addr, worker, must.WorkerOptions{DialTimeout: dialTO, Resume: resume}); err != nil {
 		fmt.Fprintf(os.Stderr, "mustrun worker %d: %v\n", worker, err)
 		os.Exit(1)

@@ -1,0 +1,117 @@
+// Command mustserve is the long-lived multi-tenant analysis service: it
+// accepts detection-session submissions (workload spec + fault plan +
+// options) over HTTP/JSON, multiplexes them over a bounded worker pool,
+// and streams back verdicts and statistics.
+//
+//	mustserve -listen 127.0.0.1:8123 -pool 8 -queue 128 -checkpoint-dir /var/lib/mustserve
+//
+// Robustness contract:
+//
+//   - Admission control: at most -queue admitted-and-unfinished sessions;
+//     beyond that, submissions are rejected fast with HTTP 429 and a typed
+//     "overloaded" error — a full server refuses work, it does not hang.
+//   - Isolation: a panicking or stalling tenant session ends in state
+//     internal_error / canceled; the server keeps serving its neighbors.
+//   - Deadlines: every session is bounded (spec deadline or -deadline) and
+//     torn down cleanly through the tool's single cancellation path.
+//   - Recovery: with -checkpoint-dir, every lifecycle transition is
+//     persisted; a killed-and-restarted server re-runs or explicitly fails
+//     in-flight sessions — none are silently lost.
+//
+// Endpoints: POST /sessions, GET /sessions, GET /sessions/{id},
+// GET /sessions/{id}/wait, POST /sessions/{id}/cancel, GET /metrics,
+// GET /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dwst/internal/session"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "HTTP listen address")
+		pool      = flag.Int("pool", 4, "concurrent session workers")
+		queue     = flag.Int("queue", 64, "admission bound: max queued+running sessions before 429")
+		deadline  = flag.Duration("deadline", 2*time.Minute, "default per-session deadline (specs may set their own)")
+		maxProcs  = flag.Int("max-procs", 1024, "max MPI ranks per session (0 = unlimited)")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist session state here; restart resumes or explicitly fails in-flight sessions")
+		resumeTry = flag.Int("resume-attempts", 1, "re-executions of a restart-interrupted session before failing it")
+		grace     = flag.Duration("shutdown-grace", 5*time.Second, "time live sessions get to finish on SIGINT/SIGTERM before cancellation")
+	)
+	flag.Parse()
+
+	cfg := session.ServiceConfig{
+		Pool:            *pool,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxProcs:        *maxProcs,
+		ResumeAttempts:  *resumeTry,
+	}
+	if *ckptDir != "" {
+		store, err := session.OpenStore(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Store = store
+	}
+
+	svc, err := session.NewService(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mustserve:", err)
+		os.Exit(2)
+	}
+	if m := svc.Metrics(); m.Resumed > 0 || m.Failed > 0 {
+		fmt.Printf("recovered: resumed=%d failed-after-retries=%d\n", m.Resumed, m.Failed)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mustserve:", err)
+		os.Exit(2)
+	}
+	srv := &http.Server{Handler: (&server{svc: svc}).mux()}
+
+	// The bound address on stdout is the startup contract: tests and
+	// scripts listen on :0 and scrape the port from this line.
+	fmt.Printf("mustserve listening on %s (pool=%d queue=%d deadline=%v checkpoint=%q)\n",
+		ln.Addr(), *pool, *queue, *deadline, *ckptDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("mustserve: %v — draining (grace %v); signal again to force exit\n", sig, *grace)
+		go func() {
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "mustserve: second signal, forcing exit")
+			os.Exit(130)
+		}()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace+5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		svc.Close(*grace)
+		m := svc.Metrics()
+		fmt.Printf("mustserve: drained — done=%d canceled=%d failed=%d internal=%d rejected=%d\n",
+			m.Done, m.Canceled, m.Failed, m.Internal, m.Rejected)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mustserve:", err)
+			os.Exit(2)
+		}
+	}
+}

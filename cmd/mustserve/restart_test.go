@@ -1,0 +1,198 @@
+package main
+
+// The restart drill on the real binary: build mustserve, run it with a
+// checkpoint directory, submit a mix of fast and long sessions, kill the
+// process with SIGKILL mid-flight, restart it over the same directory,
+// and assert that every admitted session is accounted for — completed,
+// re-executed to a verdict, or explicitly failed. Zero sessions silently
+// lost is the contract -checkpoint-dir sells.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dwst/internal/session"
+)
+
+// startServe launches a freshly built mustserve and returns its base URL
+// and the running command. The caller owns process teardown.
+func startServe(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape the bound address from the startup contract line.
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if _, after, ok := strings.Cut(line, "listening on "); ok {
+			addr = strings.Fields(after)[0]
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("mustserve never printed its listen address")
+	}
+	// Keep draining stdout so the server never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return cmd, "http://" + addr
+}
+
+func submitSpec(t *testing.T, base string, spec string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+func TestRestartDrillLosesNoSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary; skipped in -short")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mustserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	ckpt := filepath.Join(dir, "checkpoints")
+
+	cmd, base := startServe(t, bin,
+		"-listen", "127.0.0.1:0", "-pool", "2", "-queue", "32",
+		"-checkpoint-dir", ckpt, "-deadline", "30s")
+
+	// A mix of tenants: fast runs that will finish before the kill, and
+	// stalled runs guaranteed to be in flight when SIGKILL lands.
+	fast := `{"workload": "recvrecv", "procs": 4, "fanin": 2, "timeout": "10ms"}`
+	stalled := `{"workload": "clean", "procs": 2, "iters": 2, "fanin": 2,
+		"timeout": "10ms", "fault": {"rank_stalls": "0:1:0"}, "deadline": "5s"}`
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		ids[submitSpec(t, base, fast)] = true
+	}
+	for i := 0; i < 3; i++ {
+		ids[submitSpec(t, base, stalled)] = true
+	}
+
+	// Let the fast ones land and the stalled ones occupy both workers.
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(raw), "mustserve_sessions_done_total 3") &&
+			strings.Contains(string(raw), "mustserve_sessions_running 2") {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("server never reached 3 done + 2 running:\n%s", raw)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// kill -9: no drain, no persistence flush beyond what already landed.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart over the same checkpoint directory.
+	cmd2, base2 := startServe(t, bin,
+		"-listen", "127.0.0.1:0", "-pool", "2", "-queue", "32",
+		"-checkpoint-dir", ckpt, "-deadline", "30s")
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+
+	// Every session admitted by the dead incarnation must reach a terminal
+	// state in the new one: done (fast, or re-executed), canceled (the
+	// stalled ones hit their 5s deadline on re-execution), or explicitly
+	// failed after the resume budget. Nothing may be missing, nothing may
+	// hang.
+	terminalStates := map[string]session.State{}
+	for id := range ids {
+		var wait struct {
+			Terminal bool `json:"terminal"`
+			Session  struct {
+				State session.State `json:"state"`
+			} `json:"session"`
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/sessions/%s/wait?timeout=60s", base2, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			t.Fatalf("session %s silently lost across restart", id)
+		}
+		if err := json.Unmarshal(body, &wait); err != nil {
+			t.Fatalf("wait %s: %v (%s)", id, err, body)
+		}
+		if !wait.Terminal {
+			t.Fatalf("session %s still live 60s after restart", id)
+		}
+		terminalStates[id] = wait.Session.State
+	}
+
+	// Sanity on the mix: at least the 3 fast sessions are done, and no
+	// session ended internal_error (a kill is not the tenant's bug).
+	done, canceledOrFailed := 0, 0
+	for id, st := range terminalStates {
+		switch st {
+		case session.StateDone:
+			done++
+		case session.StateCanceled, session.StateFailed:
+			canceledOrFailed++
+		default:
+			t.Errorf("session %s terminal state %s after restart", id, st)
+		}
+	}
+	if done < 3 {
+		t.Errorf("done = %d, want >= 3 (the fast sessions at minimum)", done)
+	}
+	if done+canceledOrFailed != len(ids) {
+		t.Errorf("accounted %d+%d sessions, want %d", done, canceledOrFailed, len(ids))
+	}
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dwst/internal/session"
+)
+
+// server is the HTTP face of a session.Service: thin JSON handlers over
+// Submit/Get/List/Cancel/Wait, with the admission-control errors mapped to
+// honest status codes (429 for overload, 503 for shutdown).
+type server struct {
+	svc *session.Service
+}
+
+// sessionView is the JSON shape of one session in API responses.
+type sessionView struct {
+	ID        string            `json:"id"`
+	State     session.State     `json:"state"`
+	Workload  string            `json:"workload"`
+	Procs     int               `json:"procs"`
+	Attempt   int               `json:"attempt"`
+	Submitted time.Time         `json:"submitted"`
+	Error     string            `json:"error,omitempty"`
+	Verdict   string            `json:"verdict,omitempty"`
+	Stats     *session.RunStats `json:"stats,omitempty"`
+}
+
+func viewOf(h *session.Session, full bool) sessionView {
+	v := sessionView{
+		ID:        h.ID,
+		State:     h.State(),
+		Workload:  h.Spec.Workload,
+		Procs:     h.Spec.Procs,
+		Attempt:   h.Attempt,
+		Submitted: h.Submitted,
+	}
+	if out := h.Outcome(); out != nil {
+		v.Error = out.Error
+		v.Verdict = out.Verdict()
+		if full {
+			v.Stats = out.Stats
+		}
+	}
+	return v
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.submit)
+	mux.HandleFunc("GET /sessions", s.list)
+	mux.HandleFunc("GET /sessions/{id}", s.get)
+	mux.HandleFunc("GET /sessions/{id}/wait", s.wait)
+	mux.HandleFunc("POST /sessions/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// errorBody is the uniform error payload: a stable machine-readable code
+// plus a human message.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec session.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	h, err := s.svc.Submit(spec)
+	if err != nil {
+		var over *session.OverloadedError
+		switch {
+		case errors.As(err, &over):
+			// The typed fast-reject: tell the client to back off.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Code: "overloaded"})
+		case errors.Is(err, session.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Code: "shutting_down"})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_request"})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(h, false))
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	hs := s.svc.List()
+	views := make([]sessionView, 0, len(hs))
+	for _, h := range hs {
+		views = append(views, viewOf(h, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *session.Session {
+	h, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error(), Code: "not_found"})
+		return nil
+	}
+	return h
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(h, true))
+}
+
+// wait long-polls for the session's terminal state (bounded by ?timeout,
+// default 30s, capped at 5m). A still-live session answers 200 with its
+// current state and terminal=false, so clients distinguish "not done yet"
+// from errors.
+func (s *server) wait(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	timeout := 30 * time.Second
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad timeout %q", t), Code: "bad_request"})
+			return
+		}
+		timeout = min(d, 5*time.Minute)
+	}
+	select {
+	case <-h.Done():
+	case <-time.After(timeout):
+	case <-r.Context().Done():
+		return
+	}
+	v := viewOf(h, true)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"terminal": v.State.Terminal(),
+		"session":  v,
+	})
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	if err := s.svc.Cancel(h.ID); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Code: "internal"})
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(h, false))
+}
+
+// metrics renders the service counters in Prometheus text exposition
+// format — no client library, just the stable text contract.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := s.svc.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE mustserve_pool_size gauge\nmustserve_pool_size %d\n", m.Pool)
+	fmt.Fprintf(w, "# TYPE mustserve_queue_depth gauge\nmustserve_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_pending gauge\nmustserve_sessions_pending %d\n", m.Pending)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_queued gauge\nmustserve_sessions_queued %d\n", m.Queued)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_running gauge\nmustserve_sessions_running %d\n", m.Running)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_submitted_total counter\nmustserve_sessions_submitted_total %d\n", m.Submitted)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_rejected_total counter\nmustserve_sessions_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_resumed_total counter\nmustserve_sessions_resumed_total %d\n", m.Resumed)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_done_total counter\nmustserve_sessions_done_total %d\n", m.Done)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_canceled_total counter\nmustserve_sessions_canceled_total %d\n", m.Canceled)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_failed_total counter\nmustserve_sessions_failed_total %d\n", m.Failed)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_internal_error_total counter\nmustserve_sessions_internal_error_total %d\n", m.Internal)
+}

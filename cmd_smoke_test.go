@@ -116,7 +116,7 @@ func TestCmdMustrunFaultFlags(t *testing.T) {
 	// reports the child's code as "exit status 2" text and exits 1 itself).
 	out, code = goRun(t, "./cmd/mustrun", "-workload", "recvrecv", "-fault-drop", "1.5")
 	if code == 0 || !strings.Contains(out, "exit status 2") ||
-		!strings.Contains(out, "bad -fault-drop") {
+		!strings.Contains(out, "bad fault.drop") {
 		t.Fatalf("bad -fault-drop not rejected with exit 2 (code %d):\n%s", code, out)
 	}
 }

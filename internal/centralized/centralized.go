@@ -9,6 +9,7 @@
 package centralized
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -28,6 +29,9 @@ var ErrDeadlockDetected = errors.New("centralized tool: deadlock detected")
 
 // Config parameterizes a centralized-tool run.
 type Config struct {
+	// Ctx, when non-nil, cancels the run from outside: on Done the world
+	// aborts with context.Cause(Ctx) — the same path deadlock aborts take.
+	Ctx      context.Context
 	Procs    int
 	Timeout  time.Duration // event-quiescence before graph detection
 	EventBuf int           // capacity of the single tool-process event queue
@@ -292,6 +296,17 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	})
 
 	res := &Result{}
+	if cfg.Ctx != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				world.Abort(context.Cause(cfg.Ctx))
+			case <-stopWatch:
+			}
+		}()
+	}
 	start := time.Now()
 	appDone := make(chan error, 1)
 	go func() { appDone <- world.Run(prog) }()
@@ -337,7 +352,10 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 				}
 			}
 			res.Elapsed = time.Since(start)
-			if !res.Deadlock {
+			if !res.Deadlock && (cfg.Ctx == nil || cfg.Ctx.Err() == nil) {
+				// Canceled runs skip the final detection: ranks were torn
+				// out mid-protocol, so a potential-deadlock verdict computed
+				// from the truncated trace would be misleading.
 				runDetection(true)
 			}
 			res.AppErr = appErr

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,6 +36,12 @@ var ErrStalled = errors.New("MUST-style tool: stalled ranks (progress watchdog)"
 
 // Config parameterizes a tool-attached run.
 type Config struct {
+	// Ctx, when non-nil, cancels the run from outside: on Done the world
+	// aborts with context.Cause(Ctx), every blocked rank unwinds, and the
+	// tree tears down through the normal shutdown path. Cancellation shares
+	// the one abort path with every other way a run ends (deadlock abort,
+	// stall abort, mpisim's HangTimeout): mpisim.World.Abort.
+	Ctx context.Context
 	// Procs is the number of application ranks.
 	Procs int
 	// FanIn is the TBON fan-in (paper evaluates 2, 4, 8). Default 4.
@@ -725,6 +732,19 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	})
 
 	res := &Result{ToolNodes: tree.NumNodes()}
+	if cfg.Ctx != nil {
+		// External cancellation (session deadline, Ctrl-C) funnels into the
+		// same abort path as the tool's own aborts and mpisim's HangTimeout.
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				world.Abort(context.Cause(cfg.Ctx))
+			case <-stopWatch:
+			}
+		}()
+	}
 	start := time.Now()
 	appDone := make(chan error, 1)
 	go func() { appDone <- world.Run(prog) }()
@@ -789,9 +809,12 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			appErr = err
 			appFinished = true
 			res.Elapsed = time.Since(start)
-			if res.Deadlock == nil {
+			if res.Deadlock == nil && (cfg.Ctx == nil || cfg.Ctx.Err() == nil) {
 				// Final detection: catches potential deadlocks that did not
-				// manifest (buffered send–send) once the tool drained.
+				// manifest (buffered send–send) once the tool drained. A
+				// canceled run skips it — the caller asked for prompt
+				// teardown, and a post-cancel verdict would be misleading
+				// anyway (ranks were torn out mid-protocol).
 				if r := finalDetect(root, tree, rootNode, cfg.SnapshotDeadline, &inFlight); r != nil {
 					record(r, false)
 					res.LostMessages = r.LostMessages

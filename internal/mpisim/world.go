@@ -14,6 +14,7 @@ package mpisim
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,20 @@ func (e AbortError) Error() string {
 // Run's runner recovers it and the rest of the world keeps running, exactly
 // like an MPI job whose process died while its siblings continue.
 type rankCrashError struct{ rank int }
+
+// PanicError is the abort cause when a rank's program panicked. The runner
+// contains the panic — it aborts this world instead of crashing the hosting
+// process, so an embedder multiplexing many simulated jobs in one process
+// (the mustserve analysis service) survives a buggy tenant program.
+type PanicError struct {
+	Rank  int
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mpisim: rank %d program panicked: %v", e.Rank, e.Value)
+}
 
 // World is one simulated MPI job.
 type World struct {
@@ -244,7 +259,10 @@ func (w *World) Run(prog Program) error {
 					if _, ok := r.(rankCrashError); ok {
 						return // injected rank crash; siblings keep running
 					}
-					panic(r)
+					// A genuine program bug: contain it to this world. The
+					// first panicking rank's cause wins; siblings unwind via
+					// the abort channel like any other aborted run.
+					w.Abort(&PanicError{Rank: p.rank, Value: r, Stack: string(debug.Stack())})
 				}
 			}()
 			prog(p)

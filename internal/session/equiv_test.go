@@ -1,0 +1,110 @@
+package session
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"dwst/internal/testseed"
+)
+
+// Verdict equivalence between the service path and the one-shot path:
+// a session submitted to mustserve's Service must produce exactly the
+// verdict a one-shot mustrun of the same spec produces — across
+// workloads, across fault seeds, and while the worker pool is running
+// other tenants. The service adds queueing, pooling and checkpointing
+// around Run; it must never add or remove deadlocks.
+
+type equivCase struct {
+	name  string
+	procs int
+	fanIn int
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{"recvrecv", 8, 2},
+		{"fig2b", 3, 2},
+		{"wildcard", 8, 4},
+	}
+}
+
+func equivSpec(c equivCase, seed int64) Spec {
+	return Spec{
+		Workload: c.name,
+		Procs:    c.procs,
+		FanIn:    c.fanIn,
+		Timeout:  Duration(20 * time.Millisecond),
+		Fault: &FaultSpec{
+			Seed: seed, Drop: 0.01, Dup: 0.01, Reorder: 0.01,
+			JitterMax: Duration(100 * time.Microsecond),
+		},
+	}
+}
+
+// equivVerdict is the part of an outcome that the launch path must not
+// change.
+type equivVerdict struct {
+	State      State
+	Verdict    string
+	Deadlock   bool
+	Potential  bool
+	Deadlocked []int
+}
+
+func equivVerdictOf(out *Outcome) equivVerdict {
+	v := equivVerdict{State: out.State}
+	if out.Stats != nil {
+		v.Verdict = out.Stats.Verdict
+		v.Deadlock = out.Stats.Deadlock
+		v.Potential = out.Stats.PotentialOnly
+		v.Deadlocked = append([]int(nil), out.Stats.Deadlocked...)
+	}
+	return v
+}
+
+func TestServiceVerdictMatchesOneShot(t *testing.T) {
+	lo, hi := int64(0), testseed.ChaosRuns(30)
+	if testing.Short() {
+		hi = 4
+	}
+	svc := newTestService(t, ServiceConfig{Pool: 4, QueueDepth: 1024, DefaultDeadline: time.Minute})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	for _, c := range equivCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			testseed.Run(t, lo, hi, func(t *testing.T, seed int64) {
+				t.Parallel()
+				spec := equivSpec(c, seed)
+
+				// One-shot path: exactly what mustrun does with these flags.
+				oneShot := Run(context.Background(), &spec)
+				if oneShot.State != StateDone {
+					t.Fatalf("one-shot run: state %s (%s)", oneShot.State, oneShot.Error)
+				}
+
+				// Service path: same spec through admission, the queue, a
+				// pooled worker, and checkpoint-format round trips.
+				h, err := svc.Submit(spec)
+				if err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+				served, err := h.Wait(ctx)
+				if err != nil {
+					t.Fatalf("wait: %v", err)
+				}
+
+				got, want := equivVerdictOf(served), equivVerdictOf(oneShot)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("service verdict diverged from one-shot:\n got %+v\nwant %+v", got, want)
+				}
+				if !got.Deadlock {
+					t.Fatal("equivalence held but neither path found the deadlock")
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Record is the durable form of one session: the spec as its own memento.
+// The tool's in-flight state (wait-state lattices, match engines, TBON
+// queues) is interface-typed and process-local, so instead of serializing
+// it we persist what is sufficient to reproduce it — the spec plus an
+// attempt counter — and recover by deterministic re-execution. This is the
+// recovery journal's replay philosophy (PR 3) applied at session
+// granularity: the checkpoint is the input, the replay is the run.
+type Record struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// State is the last persisted lifecycle state.
+	State State `json:"state"`
+	// Attempt counts executions of this session, across server
+	// incarnations. 1 on first admission; a restarted server bumps it
+	// when it re-runs the session.
+	Attempt int `json:"attempt"`
+	// SubmittedUnix orders recovered sessions fairly (FIFO by original
+	// admission).
+	SubmittedUnix int64 `json:"submitted_unix"`
+	// Outcome is set once the session is terminal.
+	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// Store persists session records, one JSON file per session, written
+// atomically (tmp + rename) so a crash mid-write leaves either the old
+// record or the new one, never a torn file.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates/opens a checkpoint directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("session store: %v", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, "sess-"+id+".json")
+}
+
+// Put atomically persists one record.
+func (s *Store) Put(rec *Record) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("session store: marshal %s: %v", rec.ID, err)
+	}
+	tmp := s.path(rec.ID) + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("session store: %v", err)
+	}
+	if err := os.Rename(tmp, s.path(rec.ID)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("session store: %v", err)
+	}
+	return nil
+}
+
+// Load reads every persisted record, sorted by original admission order.
+// Corrupt or half-written files are skipped with a note, not fatal: after
+// a crash the store must surface every record it can still read rather
+// than refuse to start.
+func (s *Store) Load() (recs []*Record, skipped []string, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("session store: %v", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "sess-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil || rec.ID == "" {
+			skipped = append(skipped, name)
+			continue
+		}
+		recs = append(recs, &rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].SubmittedUnix != recs[j].SubmittedUnix {
+			return recs[i].SubmittedUnix < recs[j].SubmittedUnix
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, skipped, nil
+}
+
+// Delete removes a session's record (used by retention trimming; terminal
+// records are otherwise kept as the durable result).
+func (s *Store) Delete(id string) error {
+	err := os.Remove(s.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package session
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStorePutLoadRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		{ID: "b", Spec: quickSpec(), State: StateQueued, Attempt: 1, SubmittedUnix: 200},
+		{ID: "a", Spec: quickSpec(), State: StateDone, Attempt: 1, SubmittedUnix: 100,
+			Outcome: &Outcome{State: StateDone, Stats: &RunStats{Verdict: "deadlock"}}},
+	}
+	for _, r := range recs {
+		if err := st.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, skipped, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 || len(got) != 2 {
+		t.Fatalf("Load = %d recs, %d skipped", len(got), len(skipped))
+	}
+	// Admission order, not directory order.
+	if got[0].ID != "a" || got[1].ID != "b" {
+		t.Errorf("order = %s, %s; want a, b", got[0].ID, got[1].ID)
+	}
+	if got[0].Outcome == nil || got[0].Outcome.Stats.Verdict != "deadlock" {
+		t.Errorf("outcome lost in round trip: %+v", got[0].Outcome)
+	}
+}
+
+func TestStoreLoadSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Record{ID: "good", Spec: quickSpec(), State: StateQueued, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn write (crash mid-rename never produces this, but disk
+	// corruption can) and stray files must not poison recovery.
+	os.WriteFile(filepath.Join(dir, "sess-torn.json"), []byte(`{"id": "to`), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("unrelated"), 0o644)
+
+	got, skipped, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "good" {
+		t.Fatalf("Load = %+v, want just the good record", got)
+	}
+	if len(skipped) != 1 {
+		t.Errorf("skipped = %v, want the torn record only", skipped)
+	}
+}
+
+// The restart contract: a new service over a store left by a dead
+// incarnation must resume non-terminal sessions (re-execute the spec),
+// keep terminal ones as history, and explicitly fail sessions that have
+// exhausted their resume budget. Zero silent losses.
+func TestServiceRestartResumesOrFails(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write what a kill -9 leaves behind: one finished session, one
+	// mid-flight, one queued, one that has already been resumed once.
+	prewritten := []*Record{
+		{ID: "done-1", Spec: quickSpec(), State: StateDone, Attempt: 1, SubmittedUnix: 1,
+			Outcome: &Outcome{State: StateDone, Stats: &RunStats{Verdict: "deadlock"}}},
+		{ID: "running-1", Spec: quickSpec(), State: StateRunning, Attempt: 1, SubmittedUnix: 2},
+		{ID: "queued-1", Spec: quickSpec(), State: StateQueued, Attempt: 1, SubmittedUnix: 3},
+		{ID: "exhausted-1", Spec: quickSpec(), State: StateRunning, Attempt: 2, SubmittedUnix: 4},
+	}
+	for _, r := range prewritten {
+		if err := st.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc, err := NewService(ServiceConfig{Pool: 2, QueueDepth: 8, Store: st, ResumeAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	states := map[string]State{}
+	for _, id := range []string{"done-1", "running-1", "queued-1", "exhausted-1"} {
+		h, err := svc.Get(id)
+		if err != nil {
+			t.Fatalf("session %s lost across restart: %v", id, err)
+		}
+		out, err := h.Wait(ctx)
+		if err != nil {
+			t.Fatalf("session %s never terminal after restart: %v", id, err)
+		}
+		states[id] = out.State
+	}
+
+	if states["done-1"] != StateDone {
+		t.Errorf("terminal history %s, want done", states["done-1"])
+	}
+	for _, id := range []string{"running-1", "queued-1"} {
+		h, _ := svc.Get(id)
+		if states[id] != StateDone || h.Outcome().Stats.Verdict != "deadlock" {
+			t.Errorf("%s after resume = %s (%+v), want re-executed to done/deadlock", id, states[id], h.Outcome())
+		}
+		if h.Attempt != 2 {
+			t.Errorf("%s attempt = %d, want 2", id, h.Attempt)
+		}
+	}
+	if states["exhausted-1"] != StateFailed {
+		t.Errorf("resume-budget-exhausted session = %s, want failed", states["exhausted-1"])
+	}
+
+	// The explicit failure is durable: a third incarnation sees it as
+	// terminal history, not another resume candidate.
+	recs, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ID == "exhausted-1" && (r.State != StateFailed || r.Outcome == nil) {
+			t.Errorf("exhausted session persisted as %s (outcome %v), want failed with outcome", r.State, r.Outcome)
+		}
+	}
+}
+
+// Submitting to a store-backed service then closing gracefully leaves
+// every session terminal on disk — nothing for the next incarnation to
+// resume.
+func TestGracefulCloseLeavesNoResumables(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(ServiceConfig{Pool: 2, QueueDepth: 8, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Submit(quickSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close(30 * time.Second)
+
+	svc2, err := NewService(ServiceConfig{Pool: 1, QueueDepth: 8, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(0)
+	if m := svc2.Metrics(); m.Resumed != 0 {
+		t.Errorf("second incarnation resumed %d sessions after a graceful close, want 0", m.Resumed)
+	}
+	for _, h := range svc2.List() {
+		if st := h.State(); st != StateDone {
+			t.Errorf("session %s after graceful close = %s, want done", h.ID, st)
+		}
+	}
+}

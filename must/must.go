@@ -22,6 +22,7 @@
 package must
 
 import (
+	"context"
 	"time"
 
 	"dwst/internal/centralized"
@@ -104,8 +105,22 @@ func (b Batching) String() string {
 	return "on"
 }
 
+// PanicError re-exports mpisim.PanicError: the abort cause when a rank's
+// program panicked. The simulator contains the panic to its own run, so an
+// embedder multiplexing many runs in one process (the mustserve analysis
+// service) survives a buggy program; check for it with errors.As on
+// Report.AbortCause.
+type PanicError = mpisim.PanicError
+
 // Options configures a tool run.
 type Options struct {
+	// Context, when non-nil, cancels the run from outside: on Done the
+	// application world aborts with context.Cause, blocked ranks unwind,
+	// and the tool tears down cleanly. External cancellation, per-session
+	// deadlines, the tool's own deadlock/stall aborts, and mpi.Options.
+	// HangTimeout all share one cancellation path — the simulated world's
+	// abort. The cause is reported in Report.AbortCause.
+	Context context.Context
 	// Mode selects the tool architecture (default Distributed).
 	Mode Mode
 	// FanIn is the TBON fan-in (2, 4 or 8 in the paper; default 4).
@@ -251,6 +266,11 @@ type Report struct {
 	// TCP fabric failed to assemble (e.g. workers never connected). Tool
 	// aborts of a running application (deadlock, stall) do NOT set Err.
 	Err error
+	// AbortCause is the cause the application was aborted with, when it
+	// was: the tool's deadlock/stall abort, an Options.Context
+	// cancellation cause, mpisim's hang watchdog, or a contained rank
+	// panic (PanicError). Nil when the application completed on its own.
+	AbortCause error
 
 	// Recoveries counts crashed first-layer tool nodes that were respawned
 	// and rebuilt exactly by journal replay (FaultPlan.Recover). A recovered
@@ -307,6 +327,7 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 
 	if opts.Mode == Centralized {
 		res := centralized.Run(centralized.Config{
+			Ctx:                      opts.Context,
 			Procs:                    procs,
 			Timeout:                  opts.Timeout,
 			EventBuf:                 opts.EventBuf,
@@ -334,11 +355,13 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 			Detections:        res.Detections,
 			ToolNodes:         1,
 			AppAborted:        res.AppErr != nil,
+			AbortCause:        res.AppErr,
 		}
 		return rep
 	}
 
 	res := core.Run(core.Config{
+		Ctx:                      opts.Context,
 		Procs:                    procs,
 		FanIn:                    opts.FanIn,
 		Timeout:                  opts.Timeout,
@@ -364,6 +387,7 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		ToolNodes:             res.ToolNodes,
 		WindowHighWater:       res.WindowHighWater,
 		AppAborted:            res.AppErr != nil,
+		AbortCause:            res.AppErr,
 		Verdict:               res.Verdict,
 		DeadRanks:             res.DeadRanks,
 		DeadLastCalls:         res.DeadLastCalls,
@@ -395,7 +419,11 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		},
 	}
 	if res.Failed {
+		// The run never executed: AppErr is a configuration/fabric error,
+		// not an application abort.
 		rep.Err = res.AppErr
+		rep.AppAborted = false
+		rep.AbortCause = nil
 	}
 	if d := res.Deadlock; d != nil {
 		fillFromDetect(rep, d)
