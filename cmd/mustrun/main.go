@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,6 +65,9 @@ func main() {
 		rankStall = flag.String("rank-stall", "", "stall application ranks: rank:atCall:dur[:busy],... (dur 0 = forever)")
 		wdQuiet   = flag.Duration("watchdog-quiet", 0, "progress watchdog quiet period (0 = disabled)")
 		statsJSON = flag.String("stats-json", "", "write run statistics as JSON to this file (- for stdout)")
+
+		engineSel    = flag.String("engine", "", "detection engine: wfg (reference, default) | cmh (Chandy–Misra–Haas probes) | all (every applicable engine)")
+		differential = flag.Bool("differential", false, "run every applicable engine on each snapshot plus the static pre-run pass; report verdict deviations")
 
 		recoverNodes = flag.Bool("recover", true, "exact recovery of crashed first-layer tool nodes (journal replay); active with a chan fault plan, and with -transport=tcp enables supervised worker respawn")
 		journalCap   = flag.Int("journal-cap", 0, "recovery journal cap: chan suffix length forcing a checkpoint (default 512); tcp per-leaf entries before overflow disables exact respawn (default 4096)")
@@ -114,6 +118,8 @@ func main() {
 		LinkDelay:        session.Duration(*linkDelay),
 		SnapshotDeadline: session.Duration(*snapDeadl),
 		WatchdogQuiet:    session.Duration(*wdQuiet),
+		Engine:           *engineSel,
+		Differential:     *differential,
 	}
 	if faultActive {
 		spec.Fault = &session.FaultSpec{
@@ -268,6 +274,24 @@ func main() {
 			fmt.Printf("recovery: %d first-layer node(s) rebuilt exactly — %d journal entries replayed in %v (journal high water %d)\n",
 				rep.Recoveries, rep.ReplayedMsgs, rep.ReplayTime.Round(time.Microsecond), rep.JournalHighWater)
 		}
+	}
+	if len(rep.EngineVerdicts) > 0 {
+		names := make([]string, 0, len(rep.EngineVerdicts))
+		for n := range rep.EngineVerdicts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s=%s", n, rep.EngineVerdicts[n]))
+		}
+		fmt.Printf("engines: %s\n", strings.Join(parts, " "))
+	}
+	for _, d := range rep.EngineDeviations {
+		fmt.Println("ERROR: engine deviation:", d)
+	}
+	if rep.DroppedResults > 0 {
+		fmt.Printf("WARNING: %d detection result(s) were dropped (driver too slow)\n", rep.DroppedResults)
 	}
 	for _, m := range rep.CallMismatches {
 		fmt.Println("ERROR:", m)

@@ -91,6 +91,15 @@ type Config struct {
 	// the watchdog and keeps fault-free runs bit-identical to before.
 	WatchdogQuiet time.Duration
 
+	// Engine selects the verdict engine at the detection root: "" or
+	// "wfg" (the reference release fixpoint), "cmh" (Chandy–Misra–Haas
+	// probes), or "all" (run every engine, verdict from the reference).
+	Engine string
+	// Differential makes every detection run all applicable engines on
+	// the same snapshot and record verdict agreement/deviations — the
+	// standing differential oracle.
+	Differential bool
+
 	// Simulator options (passed through to mpisim).
 	SendMode                 mpisim.SendMode
 	BufferSlots              int
@@ -157,6 +166,16 @@ type Result struct {
 	// Verdict classifies the outcome (true deadlock, deadlock-by-failure,
 	// stalled, none); the first non-none detection verdict wins.
 	Verdict detect.Verdict
+	// EngineVerdicts maps each detection engine that ran to its verdict
+	// string, merged over all detection rounds (engine selection or
+	// differential mode only; nil otherwise).
+	EngineVerdicts map[string]string
+	// EngineDeviations lists engine disagreements with the WFG reference
+	// across all detection rounds (differential mode; empty = agreement).
+	EngineDeviations []string
+	// DroppedResults counts completed detections the root could not
+	// deliver to the driver (should always be zero).
+	DroppedResults int
 	// DeadRanks, DeadLastCalls and FailureBlocked mirror the detection's
 	// rank-failure findings: crashed ranks, their completed call counts,
 	// and the live ranks transitively blocked on them.
@@ -555,6 +574,11 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	if cfg.Net != nil && cfg.Fault != nil {
 		return &Result{Failed: true, AppErr: errors.New("core: fault plans require the channel transport; over TCP the adversary is the wire (use the wire-level fault proxy)")}
 	}
+	switch cfg.Engine {
+	case "", "wfg", "cmh", "all":
+	default:
+		return &Result{Failed: true, AppErr: fmt.Errorf("core: unknown detection engine %q (want wfg, cmh, or all)", cfg.Engine)}
+	}
 
 	journaling := cfg.Fault != nil && cfg.Fault.Recover && !cfg.Fault.DisableRetransmit
 	var replayedMsgs, replayNanos atomic.Int64
@@ -618,6 +642,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 	defer tree.Stop()
 
 	root := detect.NewRoot(cfg.Procs, len(tree.FirstLayer()))
+	root.SetEngines(cfg.Engine, cfg.Differential)
 
 	// One journal per first-layer slot, shared by every incarnation of the
 	// node hosted there; slotLeaf tracks the current incarnation's dws node
@@ -765,6 +790,15 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 
 	record := func(r *detect.Result, live bool) {
 		res.Detections++
+		if len(r.EngineVerdicts) > 0 {
+			if res.EngineVerdicts == nil {
+				res.EngineVerdicts = make(map[string]string, len(r.EngineVerdicts))
+			}
+			for k, v := range r.EngineVerdicts {
+				res.EngineVerdicts[k] = v
+			}
+		}
+		res.EngineDeviations = append(res.EngineDeviations, r.EngineDeviations...)
 		if r.Partial {
 			res.Partial = true
 			res.UnknownRanks = r.UnknownRanks
@@ -822,6 +856,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 			}
 			res.AppErr = appErr
 			res.SnapshotRetries = root.Aborted()
+			res.DroppedResults = root.DroppedResults()
 			tree.Stop() // idempotent; quiesces node loops and the supervisor
 			leafMu.Lock()
 			leaves := make([]*dws.Node, 0, len(slotLeaf))

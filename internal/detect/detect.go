@@ -15,10 +15,10 @@ import (
 
 	"dwst/internal/collmatch"
 	"dwst/internal/dws"
+	"dwst/internal/engine"
 	"dwst/internal/report"
 	"dwst/internal/trace"
 	"dwst/internal/waitstate"
-	"dwst/internal/wfg"
 )
 
 // Timings is the per-phase breakdown of one detection run.
@@ -35,37 +35,26 @@ func (t Timings) Total() time.Duration {
 	return t.Synchronization + t.WFGGather + t.GraphBuild + t.DeadlockCheck + t.OutputGeneration
 }
 
-// Verdict classifies the outcome of one detection run.
-type Verdict int
+// Verdict classifies the outcome of one detection run. It is an alias of
+// engine.Verdict: the engine package owns the classification so every
+// detection engine shares it; detect re-exports it for compatibility.
+type Verdict = engine.Verdict
 
 const (
 	// VerdictNone: no deadlock and no stalled rank was found.
-	VerdictNone Verdict = iota
+	VerdictNone = engine.VerdictNone
 	// VerdictDeadlock is a true communication deadlock: a cycle/knot of
 	// ranks waiting on each other, all of them alive.
-	VerdictDeadlock
+	VerdictDeadlock = engine.VerdictDeadlock
 	// VerdictDeadlockByFailure is a deadlock whose residue contains
 	// crashed ranks: the blocked ranks wait (transitively) on processes
 	// that died, not on each other's communication choices.
-	VerdictDeadlockByFailure
+	VerdictDeadlockByFailure = engine.VerdictDeadlockByFailure
 	// VerdictStalled: no wait-state deadlock, but the progress watchdog
 	// flagged ranks that are alive yet issue no MPI calls past the quiet
 	// period — a hang class the pure wait-state analysis cannot see.
-	VerdictStalled
+	VerdictStalled = engine.VerdictStalled
 )
-
-func (v Verdict) String() string {
-	switch v {
-	case VerdictDeadlock:
-		return "deadlock"
-	case VerdictDeadlockByFailure:
-		return "deadlock-by-failure"
-	case VerdictStalled:
-		return "stalled"
-	default:
-		return "none"
-	}
-}
 
 // Result is the outcome of one detection run.
 type Result struct {
@@ -82,6 +71,15 @@ type Result struct {
 	// Verdict classifies the result (true deadlock vs deadlock-by-failure
 	// vs stalled vs none).
 	Verdict Verdict
+	// EngineVerdicts maps each detection engine that ran on this snapshot
+	// to its verdict string (or its skip reason: "inapplicable",
+	// "inconclusive"). Populated only when more than the default reference
+	// engine ran (engine selection or differential mode).
+	EngineVerdicts map[string]string
+	// EngineDeviations lists disagreements between the engines and the
+	// WFG reference on this snapshot (differential mode only; empty means
+	// all applicable engines agreed).
+	EngineDeviations []string
 	// DeadRanks lists the application ranks that crashed (ascending), and
 	// DeadLastCalls maps each to the number of MPI calls it completed.
 	DeadRanks     []int
@@ -176,6 +174,19 @@ type Root struct {
 	// Results delivers one Result per detection run (including runs that
 	// found no deadlock) to the driver.
 	Results chan *Result
+
+	// engineSel selects the primary verdict engine ("", "wfg", "cmh",
+	// "all"); differential additionally runs every engine and cross-checks.
+	engineSel    string
+	differential bool
+	// extraEngines are appended to the differential engine list; the test
+	// hook that lets a deliberately broken engine prove the oracle bites.
+	extraEngines []engine.Engine
+
+	// droppedResults counts completed detections the driver failed to
+	// consume within the delivery timeout — should always be zero; counted
+	// instead of silently dropped.
+	droppedResults int
 
 	mismatches []collmatch.Mismatch
 }
@@ -367,13 +378,52 @@ func (r *Root) OnNodeDown(node int, ranks []int) (ackDone bool) {
 	return false
 }
 
-// finish runs the analysis and publishes the result.
+// SetEngines configures the verdict engine selection ("", "wfg", "cmh",
+// or "all"; empty means the WFG reference) and whether every detection
+// additionally runs all engines and cross-checks their verdicts. Call
+// before the tool starts (not concurrency-safe afterwards).
+func (r *Root) SetEngines(sel string, differential bool) {
+	r.engineSel = sel
+	r.differential = differential
+}
+
+// AddEngine registers an additional snapshot engine for differential
+// runs. This is the seeded-deviation test hook: injecting a deliberately
+// wrong engine must make the differential oracle report a deviation.
+func (r *Root) AddEngine(e engine.Engine) {
+	r.extraEngines = append(r.extraEngines, e)
+}
+
+// DroppedResults returns the number of completed detections the driver
+// failed to consume (see finish). Only read after the tool stopped.
+func (r *Root) DroppedResults() int { return r.droppedResults }
+
+// resultDeliveryTimeout bounds how long finish blocks on a slow driver
+// before counting the result as dropped. Generous: the driver's main loop
+// services Results continuously, so hitting this means the driver is
+// wedged, and the root goroutine must not wedge with it. A variable so
+// tests can exercise the drop path without the full wait.
+var resultDeliveryTimeout = 5 * time.Second
+
+// finish runs the analysis and publishes the result. Delivery is
+// reliable: a completed detection is a fact the driver must observe, so
+// finish blocks (bounded) rather than silently dropping the result when
+// the channel is momentarily full; an expired wait is counted in
+// droppedResults instead of vanishing.
 func (r *Root) finish() *Result {
 	res := r.analyze()
 	r.phase = idle
 	select {
 	case r.Results <- res:
+		return res
 	default:
+	}
+	t := time.NewTimer(resultDeliveryTimeout)
+	defer t.Stop()
+	select {
+	case r.Results <- res:
+	case <-t.C:
+		r.droppedResults++
 	}
 	return res
 }
@@ -436,9 +486,14 @@ func (r *Root) analyze() *Result {
 		}
 	}
 
-	g := wfg.New(r.p)
-	for _, f := range finished {
-		g.SetFinished(f)
+	// The expansion below fills an engine.Snapshot — the engine-neutral
+	// wait-state view every detection engine analyzes — instead of writing
+	// straight into a graph, so independent engines cannot inherit a
+	// graph-build bug from the reference.
+	snap := &engine.Snapshot{
+		Procs:    r.p,
+		Blocked:  make(map[int]engine.Wait),
+		Finished: finished,
 	}
 	// expTargets records each blocked rank's fully expanded target list,
 	// for the failure-blocked reverse reachability below.
@@ -482,7 +537,7 @@ func (r *Root) analyze() *Result {
 		if e.Sem == dws.SemOr {
 			sem = waitstate.OrWait
 		}
-		g.SetBlocked(e.Rank, sem, targets, e.Desc)
+		snap.Blocked[e.Rank] = engine.Wait{Sem: sem, Targets: targets, Desc: e.Desc}
 		expTargets[e.Rank] = targets
 	}
 	// Crashed application ranks enter the graph as permanently blocked
@@ -497,7 +552,7 @@ func (r *Root) analyze() *Result {
 	}
 	for rk, e := range crashedEntries {
 		if _, ok := dead[rk]; !ok {
-			dead[rk] = e.TS
+			dead[rk] = e.LastCall
 		}
 	}
 	res.DeadRanks = make([]int, 0, len(dead))
@@ -512,13 +567,14 @@ func (r *Root) analyze() *Result {
 		e, ok := crashedEntries[rk]
 		if !ok {
 			e = dws.WaitEntry{
-				Rank: rk, State: dws.Crashed, TS: dead[rk],
+				Rank: rk, State: dws.Crashed, LastCall: dead[rk],
 				Desc: fmt.Sprintf("rank %d crashed after %d MPI calls", rk, dead[rk]),
 			}
 		}
 		res.Entries[rk] = e
 		res.Blocked = append(res.Blocked, rk)
-		g.SetBlocked(rk, waitstate.AndWait, []int{rk}, e.Desc)
+		snap.Blocked[rk] = engine.Wait{Sem: waitstate.AndWait, Targets: []int{rk}, Desc: e.Desc}
+		snap.Dead = append(snap.Dead, rk)
 		expTargets[rk] = []int{rk}
 	}
 	// Stalled ranks are reported but never enter the graph: they may
@@ -528,6 +584,7 @@ func (r *Root) analyze() *Result {
 		res.Entries[rk] = stalledEntries[rk]
 	}
 	sort.Ints(res.StalledRanks)
+	snap.Stalled = res.StalledRanks
 	// Unknown ranks enter the graph as permanently blocked sinks: an
 	// OR-wait over the empty set is never satisfiable, so they are never
 	// released and anything waiting on them stays deadlocked — the
@@ -545,14 +602,39 @@ func (r *Root) analyze() *Result {
 		}
 		res.Entries[u] = e
 		res.Blocked = append(res.Blocked, u)
-		g.SetBlocked(u, waitstate.OrWait, nil, e.Desc)
+		snap.Blocked[u] = engine.Wait{Sem: waitstate.OrWait, Desc: e.Desc}
+		snap.Unknown = append(snap.Unknown, u)
 	}
 	sort.Ints(res.Blocked)
+	g := engine.BuildWFG(snap)
 	res.Arcs = g.Arcs()
 	res.Timings.GraphBuild = time.Since(buildStart)
 
 	checkStart := time.Now()
-	res.Deadlocked = g.Deadlocked()
+	// The WFG release fixpoint is the reference engine; the graph it built
+	// is reused below for cycle extraction, grouping, and DOT output.
+	refDead := g.Deadlocked()
+	ref := engine.Finding{
+		Engine:     "wfg",
+		Verdict:    engine.Classify(snap, refDead),
+		Deadlocked: refDead,
+	}
+	primary := ref
+	if extra := r.engineList(); len(extra) > 0 {
+		findings := engine.RunAll(extra, engine.Input{Snapshot: snap})
+		res.EngineVerdicts = map[string]string{"wfg": ref.VerdictString()}
+		for _, f := range findings {
+			res.EngineVerdicts[f.Engine] = f.VerdictString()
+			if r.engineSel == f.Engine && f.Err == nil {
+				primary = f
+			}
+		}
+		if r.differential {
+			res.EngineDeviations = engine.Deviations(ref, extra, findings)
+		}
+	}
+	res.Verdict = primary.Verdict
+	res.Deadlocked = primary.Deadlocked
 	res.Deadlock = len(res.Deadlocked) > 0
 	if res.Deadlock {
 		res.Cycle = g.Cycle(res.Deadlocked)
@@ -560,11 +642,10 @@ func (r *Root) analyze() *Result {
 	}
 	res.Timings.DeadlockCheck = time.Since(checkStart)
 
-	// Verdict classification: a deadlock residue containing crashed ranks
-	// is a failure-induced deadlock, not a communication deadlock.
-	switch {
-	case res.Deadlock:
-		res.Verdict = VerdictDeadlock
+	// A deadlock residue containing crashed ranks is a failure-induced
+	// deadlock, not a communication deadlock: name the live ranks
+	// transitively blocked on the dead ones.
+	if res.Verdict == VerdictDeadlockByFailure {
 		inDead := make(map[int]bool, len(res.Deadlocked))
 		for _, d := range res.Deadlocked {
 			inDead[d] = true
@@ -575,12 +656,7 @@ func (r *Root) analyze() *Result {
 				seeds = append(seeds, rk)
 			}
 		}
-		if len(seeds) > 0 {
-			res.Verdict = VerdictDeadlockByFailure
-			res.FailureBlocked = failureBlocked(seeds, inDead, expTargets)
-		}
-	case len(res.StalledRanks) > 0:
-		res.Verdict = VerdictStalled
+		res.FailureBlocked = failureBlocked(seeds, inDead, expTargets)
 	}
 
 	if res.Deadlock {
@@ -610,6 +686,20 @@ func (r *Root) analyze() *Result {
 		res.Timings.OutputGeneration = time.Since(outStart)
 	}
 	return res
+}
+
+// engineList returns the additional engines to run beside the WFG
+// reference, per the configured selection. The reference itself always
+// runs (its graph also drives output generation).
+func (r *Root) engineList() []engine.Engine {
+	var out []engine.Engine
+	switch {
+	case r.differential || r.engineSel == "all":
+		out = []engine.Engine{engine.CMH{}, engine.TwoCycle{}}
+	case r.engineSel == "cmh":
+		out = []engine.Engine{engine.CMH{}}
+	}
+	return append(out, r.extraEngines...)
 }
 
 // failureBlocked computes the live ranks transitively blocked on a crashed
@@ -664,21 +754,34 @@ func (r *Root) groupOrWorld(c trace.CommID) []int {
 // findUnexpectedMatches applies the Section 3.3 definition to the blocked
 // entries: a blocked wildcard receive whose recorded match is not active,
 // while a blocked (hence active) send of another rank could match it.
+// Blocked sends are indexed by (destination, communicator) up front, so
+// each wildcard receive only scans its own candidates — the p²-arc
+// wildcard stress case (Fig. 10) used to pay a full O(n²) entry scan here.
 func findUnexpectedMatches(entries []dws.WaitEntry) []report.UnexpectedMatch {
+	type destComm struct {
+		dest int
+		comm trace.CommID
+	}
+	sendsTo := map[destComm][]*dws.WaitEntry{}
+	for i := range entries {
+		s := &entries[i]
+		if !s.Kind.IsSend() || len(s.Targets) == 0 {
+			continue
+		}
+		k := destComm{dest: s.Targets[0], comm: s.Comm}
+		sendsTo[k] = append(sendsTo[k], s)
+	}
 	var out []report.UnexpectedMatch
 	for _, e := range entries {
 		if !e.IsWildcardRecv || e.MatchedSendProc < 0 {
 			continue
 		}
-		for _, s := range entries {
-			if !s.Kind.IsSend() || s.Rank == e.Rank {
+		for _, s := range sendsTo[destComm{dest: e.Rank, comm: e.Comm}] {
+			if s.Rank == e.Rank {
 				continue
 			}
 			if s.Rank == e.MatchedSendProc && s.TS == e.MatchedSendTS {
 				continue // that IS the recorded match
-			}
-			if s.Comm != e.Comm || len(s.Targets) == 0 || s.Targets[0] != e.Rank {
-				continue
 			}
 			if e.Tag != trace.AnyTag && s.Tag != e.Tag {
 				continue

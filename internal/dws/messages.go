@@ -166,6 +166,11 @@ type WaitEntry struct {
 	Sem  Sem
 	Desc string
 
+	// LastCall is the number of MPI calls a Crashed rank completed before
+	// dying (meaningful only for State == Crashed; distinct from TS, which
+	// is an event timestamp).
+	LastCall int
+
 	// Direct wait-for targets (world ranks).
 	Targets []int
 

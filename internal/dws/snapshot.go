@@ -164,7 +164,7 @@ func (n *Node) entryFor(rs *rankState) WaitEntry {
 	e := WaitEntry{Rank: rs.rank, State: Running, MatchedSendProc: -1}
 	if rs.crashed {
 		e.State = Crashed
-		e.TS = rs.lastCall
+		e.LastCall = rs.lastCall
 		e.Desc = fmt.Sprintf("rank %d crashed after %d MPI calls", rs.rank, rs.lastCall)
 		return e
 	}

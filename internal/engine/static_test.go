@@ -1,0 +1,165 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"dwst/internal/engine"
+	"dwst/internal/workload"
+	"dwst/mpi"
+)
+
+// analyzeRecorded records prog's per-rank call traces and runs the static
+// queue-matching engine on them — the exact pipeline must.Run uses for
+// the differential pre-run leg.
+func analyzeRecorded(t *testing.T, procs int, prog mpi.Program) (engine.Verdict, []int, error) {
+	t.Helper()
+	ct := mpi.Record(procs, prog)
+	if len(ct.Ops) != procs {
+		t.Fatalf("recorded %d rank traces, want %d", len(ct.Ops), procs)
+	}
+	return engine.Static{}.Analyze(engine.Input{Trace: ct.Ops, TraceLimits: ct.Limits})
+}
+
+func TestStaticRecvRecvDeadlock(t *testing.T) {
+	v, dl, err := analyzeRecorded(t, 4, workload.RecvRecvDeadlock())
+	if err != nil {
+		t.Fatalf("static error: %v", err)
+	}
+	if v != engine.VerdictDeadlock {
+		t.Fatalf("verdict %v, want deadlock", v)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(dl) != len(want) {
+		t.Fatalf("deadlocked %v, want %v", dl, want)
+	}
+	for i := range want {
+		if dl[i] != want[i] {
+			t.Fatalf("deadlocked %v, want %v", dl, want)
+		}
+	}
+}
+
+func TestStaticStressCompletes(t *testing.T) {
+	// The cyclic exchange uses Sendrecv, which cannot deadlock even under
+	// strict synchronous semantics.
+	v, dl, err := analyzeRecorded(t, 6, workload.Stress(25))
+	if err != nil {
+		t.Fatalf("static error: %v", err)
+	}
+	if v != engine.VerdictNone || len(dl) != 0 {
+		t.Fatalf("verdict %v deadlocked %v, want clean completion", v, dl)
+	}
+}
+
+func TestStaticWildcardInapplicable(t *testing.T) {
+	_, _, err := analyzeRecorded(t, 4, workload.WildcardDeadlock())
+	if !errors.Is(err, engine.ErrInapplicable) {
+		t.Fatalf("wildcard workload: want ErrInapplicable, got %v", err)
+	}
+	_, _, err = analyzeRecorded(t, 6, workload.Fig2b())
+	if !errors.Is(err, engine.ErrInapplicable) {
+		t.Fatalf("fig2b (wildcard receives): want ErrInapplicable, got %v", err)
+	}
+}
+
+func TestStaticSendSendPotentialDeadlock(t *testing.T) {
+	// Head-on standard sends: eager runtimes buffer them, the strict
+	// synchronous model deadlocks — the classic potential deadlock the
+	// static pass must predict.
+	prog := func(p *mpi.Proc) {
+		peer := p.Rank() ^ 1
+		p.Send(mpi.Int64(1), peer, 0, mpi.CommWorld)
+		p.Recv(peer, 0, mpi.CommWorld)
+		p.Finalize()
+	}
+	v, dl, err := analyzeRecorded(t, 2, prog)
+	if err != nil {
+		t.Fatalf("static error: %v", err)
+	}
+	if v != engine.VerdictDeadlock || len(dl) != 2 {
+		t.Fatalf("verdict %v deadlocked %v, want both ranks deadlocked", v, dl)
+	}
+}
+
+func TestStaticCollectiveMismatch(t *testing.T) {
+	// Rank 1 finalizes without joining the barrier: under terminal-state
+	// semantics the collective can never complete and rank 0 hangs.
+	prog := func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			p.Barrier(mpi.CommWorld)
+		}
+		p.Finalize()
+	}
+	v, dl, err := analyzeRecorded(t, 2, prog)
+	if err != nil {
+		t.Fatalf("static error: %v", err)
+	}
+	if v != engine.VerdictDeadlock || len(dl) != 1 || dl[0] != 0 {
+		t.Fatalf("verdict %v deadlocked %v, want rank 0 stuck in the barrier", v, dl)
+	}
+}
+
+func TestStaticNonblockingCompletes(t *testing.T) {
+	// Isend/Irecv with Waitall: the standing offers match without blocking
+	// order constraints, so the exchange completes even head-on.
+	prog := func(p *mpi.Proc) {
+		peer := p.Rank() ^ 1
+		r1 := p.Isend(mpi.Int64(1), peer, 0, mpi.CommWorld)
+		r2 := p.Irecv(peer, 0, mpi.CommWorld)
+		p.Waitall(r1, r2)
+		p.Finalize()
+	}
+	v, dl, err := analyzeRecorded(t, 2, prog)
+	if err != nil {
+		t.Fatalf("static error: %v", err)
+	}
+	if v != engine.VerdictNone || len(dl) != 0 {
+		t.Fatalf("verdict %v deadlocked %v, want completion", v, dl)
+	}
+}
+
+func TestStaticTagSelectiveMatching(t *testing.T) {
+	// Rank 0 receives tag 7 then tag 3; rank 1 sends tag 3 then tag 7.
+	// Blocking order makes this a cross-tag deadlock under the strict
+	// model: rank 0 blocks on tag 7, rank 1 blocks on tag 3's rendezvous.
+	prog := func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			p.Recv(1, 7, mpi.CommWorld)
+			p.Recv(1, 3, mpi.CommWorld)
+		} else {
+			p.Send(mpi.Int64(1), 0, 3, mpi.CommWorld)
+			p.Send(mpi.Int64(1), 0, 7, mpi.CommWorld)
+		}
+		p.Finalize()
+	}
+	v, dl, err := analyzeRecorded(t, 2, prog)
+	if err != nil {
+		t.Fatalf("static error: %v", err)
+	}
+	if v != engine.VerdictDeadlock || len(dl) != 2 {
+		t.Fatalf("verdict %v deadlocked %v, want tag-order deadlock", v, dl)
+	}
+}
+
+func TestRecordLimitsMarkInapplicable(t *testing.T) {
+	// A probe makes the trace schedule-dependent; the recorder notes a
+	// limit and the static engine refuses the trace.
+	prog := func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			p.Probe(1, 0, mpi.CommWorld)
+			p.Recv(1, 0, mpi.CommWorld)
+		} else {
+			p.Send(mpi.Int64(1), 0, 0, mpi.CommWorld)
+		}
+		p.Finalize()
+	}
+	ct := mpi.Record(2, prog)
+	if len(ct.Limits) == 0 {
+		t.Fatal("probe use must be recorded as a limit")
+	}
+	_, _, err := engine.Static{}.Analyze(engine.Input{Trace: ct.Ops, TraceLimits: ct.Limits})
+	if !errors.Is(err, engine.ErrInapplicable) {
+		t.Fatalf("want ErrInapplicable on limited trace, got %v", err)
+	}
+}

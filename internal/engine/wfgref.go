@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"dwst/internal/wfg"
+)
+
+// WFG is the reference engine: the paper's AND⊕OR wait-for graph with the
+// generalized release fixpoint (internal/wfg). Its verdict defines ground
+// truth for the differential comparison.
+type WFG struct{}
+
+// Name implements Engine.
+func (WFG) Name() string { return "wfg" }
+
+// Needs implements Engine.
+func (WFG) Needs() Need { return NeedSnapshot }
+
+// Analyze implements Engine.
+func (e WFG) Analyze(in Input) (Verdict, []int, error) {
+	v, dl, _ := e.AnalyzeGraph(in.Snapshot)
+	return v, dl, nil
+}
+
+// AnalyzeGraph runs the reference analysis and additionally returns the
+// built graph, so the detect root can reuse it for cycle extraction,
+// grouping, and DOT/HTML output generation without building it twice.
+func (WFG) AnalyzeGraph(s *Snapshot) (Verdict, []int, *wfg.Graph) {
+	g := BuildWFG(s)
+	dl := g.Deadlocked()
+	return Classify(s, dl), dl, g
+}
+
+// BuildWFG materializes the snapshot as a wait-for graph. This is the one
+// place the snapshot-to-graph translation lives; the crashed/unknown sink
+// encodings are already part of the snapshot's Blocked map.
+func BuildWFG(s *Snapshot) *wfg.Graph {
+	g := wfg.New(s.Procs)
+	for _, f := range s.Finished {
+		g.SetFinished(f)
+	}
+	for rk, w := range s.Blocked {
+		g.SetBlocked(rk, w.Sem, w.Targets, w.Desc)
+	}
+	return g
+}

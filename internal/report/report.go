@@ -119,7 +119,7 @@ func HTML(d *Data) string {
 		case dws.Unknown:
 			op = "unknown (tool node crashed)"
 		case dws.Crashed:
-			op = fmt.Sprintf("crashed (after %d MPI calls)", e.TS)
+			op = fmt.Sprintf("crashed (after %d MPI calls)", e.LastCall)
 		}
 		rows = append(rows, row{
 			Rank: r,

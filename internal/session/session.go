@@ -150,6 +150,13 @@ type RunStats struct {
 	ToolNodes        int         `json:"tool_nodes"`
 	LostMessages     int         `json:"lost_messages"`
 	ElapsedMS        int64       `json:"elapsed_ms"`
+	// EngineVerdicts maps each detection engine that ran to its verdict
+	// string (engine selection or differential mode only); Deviations
+	// lists disagreements with the WFG reference; DroppedResults counts
+	// detections the root failed to deliver to the driver.
+	EngineVerdicts   map[string]string `json:"engine_verdicts,omitempty"`
+	EngineDeviations []string          `json:"engine_deviations,omitempty"`
+	DroppedResults   int               `json:"dropped_results,omitempty"`
 	// Interrupted marks a run torn down before its natural end (signal,
 	// cancel, deadline): the verdict reflects what was known at teardown,
 	// not a completed analysis.
@@ -193,6 +200,9 @@ func StatsFor(wl string, procs int, mode, transport string, batch bool, rep *mus
 		ToolNodes:        rep.ToolNodes,
 		LostMessages:     rep.LostMessages,
 		ElapsedMS:        rep.Elapsed.Milliseconds(),
+		EngineVerdicts:   rep.EngineVerdicts,
+		EngineDeviations: rep.EngineDeviations,
+		DroppedResults:   rep.DroppedResults,
 	}
 }
 

@@ -120,6 +120,12 @@ type Spec struct {
 	SnapshotDeadline Duration `json:"snapshot_deadline,omitempty"`
 	// WatchdogQuiet enables the progress watchdog (0 = disabled).
 	WatchdogQuiet Duration `json:"watchdog_quiet,omitempty"`
+	// Engine selects the detection engine: "" or "wfg" (the reference),
+	// "cmh", or "all". Distributed mode only.
+	Engine string `json:"engine,omitempty"`
+	// Differential runs every applicable engine on each snapshot and
+	// records verdict agreement/deviations. Distributed mode only.
+	Differential bool `json:"differential,omitempty"`
 	// Deadline bounds the whole session; past it the run is canceled and
 	// the session ends in state canceled/"deadline exceeded". 0 uses the
 	// server default (mustserve -deadline).
@@ -196,6 +202,14 @@ func (s *Spec) Validate() error {
 	if s.FanIn < 0 {
 		return fmt.Errorf("spec: bad fanin %d: want >= 0 (0 = default)", s.FanIn)
 	}
+	switch s.Engine {
+	case "", "wfg", "cmh", "all":
+	default:
+		return fmt.Errorf("spec: bad engine %q: want wfg, cmh, or all", s.Engine)
+	}
+	if (s.Engine != "" || s.Differential) && s.Mode == "centralized" {
+		return fmt.Errorf("spec: engine selection and differential mode require distributed mode")
+	}
 	for _, d := range []struct {
 		name string
 		v    Duration
@@ -262,6 +276,8 @@ func (s *Spec) Options() (must.Options, error) {
 		LinkDelay:        time.Duration(s.LinkDelay),
 		SnapshotDeadline: time.Duration(s.SnapshotDeadline),
 		WatchdogQuiet:    time.Duration(s.WatchdogQuiet),
+		Engine:           s.Engine,
+		Differential:     s.Differential,
 	}
 	if s.NoBatch {
 		opts.Batch = must.BatchOff

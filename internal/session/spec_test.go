@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 	"time"
@@ -74,6 +75,11 @@ func TestSpecValidate(t *testing.T) {
 		{"negative crash node", func(s *Spec) { s.Fault = &FaultSpec{Crashes: []CrashSpec{{Node: -1}}} }, true},
 		{"malformed rank crash", func(s *Spec) { s.Fault = &FaultSpec{RankCrashes: "1:2:3"} }, true},
 		{"malformed rank stall", func(s *Spec) { s.Fault = &FaultSpec{RankStalls: "1:2"} }, true},
+		{"engine cmh", func(s *Spec) { s.Engine = "cmh" }, false},
+		{"engine all differential", func(s *Spec) { s.Engine = "all"; s.Differential = true }, false},
+		{"unknown engine", func(s *Spec) { s.Engine = "magic" }, true},
+		{"centralized rejects engine", func(s *Spec) { s.Mode = "centralized"; s.Engine = "cmh" }, true},
+		{"centralized rejects differential", func(s *Spec) { s.Mode = "centralized"; s.Differential = true }, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -156,5 +162,38 @@ func TestParseRankStallsRejectsMalformed(t *testing.T) {
 	out, err := ParseRankStalls("3:4:0:busy")
 	if err != nil || len(out) != 1 || out[0].Rank != 3 || out[0].AtCall != 4 || out[0].For != 0 || !out[0].Busy {
 		t.Fatalf("ParseRankStalls(\"3:4:0:busy\") = %v, %v", out, err)
+	}
+}
+
+func TestSessionDifferentialStats(t *testing.T) {
+	// The mustserve data path: a differential spec submitted as JSON must
+	// surface engine verdicts (including the static pre-run pass) and
+	// zero deviations in the session's RunStats.
+	var spec Spec
+	blob := `{"workload":"recvrecv","procs":4,"fanin":2,"timeout":"20ms","engine":"all","differential":true}`
+	if err := json.Unmarshal([]byte(blob), &spec); err != nil {
+		t.Fatal(err)
+	}
+	out := Run(context.Background(), &spec)
+	if out.State != StateDone {
+		t.Fatalf("state %s (%s)", out.State, out.Error)
+	}
+	st := out.Stats
+	if st == nil || !st.Deadlock {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, e := range []string{"wfg", "cmh", "twocycle", "static"} {
+		if _, ok := st.EngineVerdicts[e]; !ok {
+			t.Fatalf("engine %s missing from stats verdicts %v", e, st.EngineVerdicts)
+		}
+	}
+	if st.EngineVerdicts["static"] != "deadlock" {
+		t.Fatalf("static verdict %q on recvrecv", st.EngineVerdicts["static"])
+	}
+	if len(st.EngineDeviations) != 0 {
+		t.Fatalf("deviations: %v", st.EngineDeviations)
+	}
+	if st.DroppedResults != 0 {
+		t.Fatalf("dropped results: %d", st.DroppedResults)
 	}
 }

@@ -101,104 +101,106 @@ func Run(n int, prog Program, opts ...Options) error {
 		SsendEvery:               o.SsendEvery,
 		HangTimeout:              o.HangTimeout,
 	})
-	return w.Run(func(p *mpisim.Proc) { prog(&Proc{p: p}) })
+	return w.Run(func(p *mpisim.Proc) { prog(&Proc{b: simBackend{p}}) })
 }
 
 // Proc is the per-rank handle. All methods must be called from the rank's
-// own goroutine (the Program invocation).
-type Proc struct{ p *mpisim.Proc }
+// own goroutine (the Program invocation). The MPI surface delegates to an
+// unexported backend: the simulator for real runs, a pure recorder for the
+// static pre-run analysis (see Record).
+type Proc struct{ b backend }
 
 // NewProc wraps a simulator rank handle; used by the must tool runner, not
 // by application code.
-func NewProc(p *mpisim.Proc) *Proc { return &Proc{p: p} }
+func NewProc(p *mpisim.Proc) *Proc { return &Proc{b: simBackend{p}} }
 
 // Rank returns this process's world rank.
-func (p *Proc) Rank() int { return p.p.Rank() }
+func (p *Proc) Rank() int { return p.b.Rank() }
 
 // Size returns the number of ranks in the world.
-func (p *Proc) Size() int { return p.p.Size() }
+func (p *Proc) Size() int { return p.b.Size() }
 
 // Finalize records MPI_Finalize; call it before returning from the program.
-func (p *Proc) Finalize() { p.p.Finalize() }
+func (p *Proc) Finalize() { p.b.Finalize() }
 
 // Compute busy-spins for roughly d, modeling computation between calls.
-func (p *Proc) Compute(d time.Duration) { p.p.Compute(d) }
+func (p *Proc) Compute(d time.Duration) { p.b.Compute(d) }
 
 // Send is MPI_Send (standard mode).
-func (p *Proc) Send(data []byte, dest, tag int, comm Comm) { p.p.Send(data, dest, tag, comm) }
+func (p *Proc) Send(data []byte, dest, tag int, comm Comm) { p.b.Send(data, dest, tag, comm) }
 
 // Ssend is MPI_Ssend (synchronous mode).
-func (p *Proc) Ssend(data []byte, dest, tag int, comm Comm) { p.p.Ssend(data, dest, tag, comm) }
+func (p *Proc) Ssend(data []byte, dest, tag int, comm Comm) { p.b.Ssend(data, dest, tag, comm) }
 
 // Bsend is MPI_Bsend (buffered mode).
-func (p *Proc) Bsend(data []byte, dest, tag int, comm Comm) { p.p.Bsend(data, dest, tag, comm) }
+func (p *Proc) Bsend(data []byte, dest, tag int, comm Comm) { p.b.Bsend(data, dest, tag, comm) }
 
 // Rsend is MPI_Rsend (ready mode).
-func (p *Proc) Rsend(data []byte, dest, tag int, comm Comm) { p.p.Rsend(data, dest, tag, comm) }
+func (p *Proc) Rsend(data []byte, dest, tag int, comm Comm) { p.b.Rsend(data, dest, tag, comm) }
 
 // Recv is MPI_Recv; src may be AnySource and tag may be AnyTag.
-func (p *Proc) Recv(src, tag int, comm Comm) Status { return p.p.Recv(src, tag, comm) }
+func (p *Proc) Recv(src, tag int, comm Comm) Status { return p.b.Recv(src, tag, comm) }
 
 // Probe is MPI_Probe.
-func (p *Proc) Probe(src, tag int, comm Comm) Status { return p.p.Probe(src, tag, comm) }
+func (p *Proc) Probe(src, tag int, comm Comm) Status { return p.b.Probe(src, tag, comm) }
 
 // Iprobe is MPI_Iprobe.
-func (p *Proc) Iprobe(src, tag int, comm Comm) (Status, bool) { return p.p.Iprobe(src, tag, comm) }
+func (p *Proc) Iprobe(src, tag int, comm Comm) (Status, bool) { return p.b.Iprobe(src, tag, comm) }
 
 // Isend is MPI_Isend.
 func (p *Proc) Isend(data []byte, dest, tag int, comm Comm) *Request {
-	return p.p.Isend(data, dest, tag, comm)
+	return p.b.Isend(data, dest, tag, comm)
 }
 
 // Issend is MPI_Issend.
 func (p *Proc) Issend(data []byte, dest, tag int, comm Comm) *Request {
-	return p.p.Issend(data, dest, tag, comm)
+	return p.b.Issend(data, dest, tag, comm)
 }
 
 // Irecv is MPI_Irecv.
-func (p *Proc) Irecv(src, tag int, comm Comm) *Request { return p.p.Irecv(src, tag, comm) }
+func (p *Proc) Irecv(src, tag int, comm Comm) *Request { return p.b.Irecv(src, tag, comm) }
 
 // Wait is MPI_Wait.
-func (p *Proc) Wait(req *Request) Status { return p.p.Wait(req) }
+func (p *Proc) Wait(req *Request) Status { return p.b.Wait(req) }
 
 // Waitall is MPI_Waitall.
-func (p *Proc) Waitall(reqs ...*Request) []Status { return p.p.Waitall(reqs...) }
+func (p *Proc) Waitall(reqs ...*Request) []Status { return p.b.Waitall(reqs...) }
 
 // Waitany is MPI_Waitany.
-func (p *Proc) Waitany(reqs ...*Request) (int, Status) { return p.p.Waitany(reqs...) }
+func (p *Proc) Waitany(reqs ...*Request) (int, Status) { return p.b.Waitany(reqs...) }
 
 // Waitsome is MPI_Waitsome.
-func (p *Proc) Waitsome(reqs ...*Request) ([]int, []Status) { return p.p.Waitsome(reqs...) }
+func (p *Proc) Waitsome(reqs ...*Request) ([]int, []Status) { return p.b.Waitsome(reqs...) }
 
 // Test is MPI_Test.
-func (p *Proc) Test(req *Request) (Status, bool) { return p.p.Test(req) }
+func (p *Proc) Test(req *Request) (Status, bool) { return p.b.Test(req) }
 
 // Testall is MPI_Testall.
-func (p *Proc) Testall(reqs ...*Request) ([]Status, bool) { return p.p.Testall(reqs...) }
+func (p *Proc) Testall(reqs ...*Request) ([]Status, bool) { return p.b.Testall(reqs...) }
 
 // Testany is MPI_Testany.
-func (p *Proc) Testany(reqs ...*Request) (int, Status, bool) { return p.p.Testany(reqs...) }
+func (p *Proc) Testany(reqs ...*Request) (int, Status, bool) { return p.b.Testany(reqs...) }
 
 // Testsome is MPI_Testsome.
-func (p *Proc) Testsome(reqs ...*Request) ([]int, []Status) { return p.p.Testsome(reqs...) }
+func (p *Proc) Testsome(reqs ...*Request) ([]int, []Status) { return p.b.Testsome(reqs...) }
 
 // Sendrecv is MPI_Sendrecv (executed, as the MPI standard suggests, as
 // Isend + Irecv + Waitall).
 func (p *Proc) Sendrecv(sdata []byte, dest, stag, src, rtag int, comm Comm) Status {
-	return p.p.Sendrecv(sdata, dest, stag, src, rtag, comm)
+	return p.b.Sendrecv(sdata, dest, stag, src, rtag, comm)
 }
 
 // Barrier is MPI_Barrier.
-func (p *Proc) Barrier(comm Comm) { p.p.Barrier(comm) }
+func (p *Proc) Barrier(comm Comm) { p.b.Barrier(comm) }
 
 // Bcast is MPI_Bcast; every rank receives the root's buffer.
-func (p *Proc) Bcast(data []byte, root int, comm Comm) []byte { return p.p.Bcast(data, root, comm) }
+func (p *Proc) Bcast(data []byte, root int, comm Comm) []byte { return p.b.Bcast(data, root, comm) }
 
 // Reduce is MPI_Reduce (elementwise int64 sum); result valid on the root.
-func (p *Proc) Reduce(data []byte, root int, comm Comm) []byte { return p.p.Reduce(data, root, comm) }
+func (p *Proc) Reduce(data []byte, root int, comm Comm) []byte { return p.b.Reduce(data, root, comm) }
 
 // Allreduce is MPI_Allreduce (elementwise int64 sum).
-func (p *Proc) Allreduce(data []byte, comm Comm) []byte { return p.p.Allreduce(data, comm) }
+func (p *Proc) Allreduce(data []byte, comm Comm) []byte { return p.b.Allreduce(data, comm) }
 
 // Op selects a reduction operation for ReduceWith/AllreduceWith.
 type Op = mpisim.ReduceOp
@@ -213,37 +215,37 @@ const (
 
 // ReduceWith is MPI_Reduce with a selectable operation (result on the root).
 func (p *Proc) ReduceWith(data []byte, op Op, root int, comm Comm) []byte {
-	return p.p.ReduceWith(data, op, root, comm)
+	return p.b.ReduceWith(data, op, root, comm)
 }
 
 // AllreduceWith is MPI_Allreduce with a selectable operation.
 func (p *Proc) AllreduceWith(data []byte, op Op, comm Comm) []byte {
-	return p.p.AllreduceWith(data, op, comm)
+	return p.b.AllreduceWith(data, op, comm)
 }
 
 // Gather is MPI_Gather; the root receives all contributions.
-func (p *Proc) Gather(data []byte, root int, comm Comm) [][]byte { return p.p.Gather(data, root, comm) }
+func (p *Proc) Gather(data []byte, root int, comm Comm) [][]byte { return p.b.Gather(data, root, comm) }
 
 // Allgather is MPI_Allgather.
-func (p *Proc) Allgather(data []byte, comm Comm) [][]byte { return p.p.Allgather(data, comm) }
+func (p *Proc) Allgather(data []byte, comm Comm) [][]byte { return p.b.Allgather(data, comm) }
 
 // Scatter is MPI_Scatter over equal chunks of the root's buffer.
-func (p *Proc) Scatter(data []byte, root int, comm Comm) []byte { return p.p.Scatter(data, root, comm) }
+func (p *Proc) Scatter(data []byte, root int, comm Comm) []byte { return p.b.Scatter(data, root, comm) }
 
 // Alltoall is MPI_Alltoall over equal chunks.
-func (p *Proc) Alltoall(data []byte, comm Comm) []byte { return p.p.Alltoall(data, comm) }
+func (p *Proc) Alltoall(data []byte, comm Comm) []byte { return p.b.Alltoall(data, comm) }
 
 // Scan is MPI_Scan (int64 prefix sums).
-func (p *Proc) Scan(data []byte, comm Comm) []byte { return p.p.Scan(data, comm) }
+func (p *Proc) Scan(data []byte, comm Comm) []byte { return p.b.Scan(data, comm) }
 
 // CommDup is MPI_Comm_dup.
-func (p *Proc) CommDup(comm Comm) Comm { return p.p.CommDup(comm) }
+func (p *Proc) CommDup(comm Comm) Comm { return p.b.CommDup(comm) }
 
 // CommSplit is MPI_Comm_split.
-func (p *Proc) CommSplit(comm Comm, color, key int) Comm { return p.p.CommSplit(comm, color, key) }
+func (p *Proc) CommSplit(comm Comm, color, key int) Comm { return p.b.CommSplit(comm, color, key) }
 
 // CommGroup returns the world ranks of a communicator.
-func (p *Proc) CommGroup(comm Comm) []int { return p.p.World().CommGroup(comm) }
+func (p *Proc) CommGroup(comm Comm) []int { return p.b.CommGroup(comm) }
 
 // CommRank returns this process's rank within the communicator.
 func (p *Proc) CommRank(comm Comm) int {

@@ -45,9 +45,9 @@ func (p *Proc) Start(pr *PersistentRequest) {
 		panic("mpi: MPI_Start on an active persistent request")
 	}
 	if pr.send {
-		pr.active = p.p.Isend(pr.data, pr.peer, pr.tag, pr.comm)
+		pr.active = p.b.Isend(pr.data, pr.peer, pr.tag, pr.comm)
 	} else {
-		pr.active = p.p.Irecv(pr.peer, pr.tag, pr.comm)
+		pr.active = p.b.Irecv(pr.peer, pr.tag, pr.comm)
 	}
 }
 

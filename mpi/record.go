@@ -1,0 +1,372 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"dwst/internal/mpisim"
+	"dwst/internal/trace"
+)
+
+// backend is the per-rank implementation behind Proc. The simulator
+// backend executes real MPI semantics; the recording backend executes
+// nothing and only logs the call sequence for the static pre-run engine.
+type backend interface {
+	Rank() int
+	Size() int
+	Finalize()
+	Compute(d time.Duration)
+
+	Send(data []byte, dest, tag int, comm Comm)
+	Ssend(data []byte, dest, tag int, comm Comm)
+	Bsend(data []byte, dest, tag int, comm Comm)
+	Rsend(data []byte, dest, tag int, comm Comm)
+	Recv(src, tag int, comm Comm) Status
+	Probe(src, tag int, comm Comm) Status
+	Iprobe(src, tag int, comm Comm) (Status, bool)
+
+	Isend(data []byte, dest, tag int, comm Comm) *Request
+	Issend(data []byte, dest, tag int, comm Comm) *Request
+	Irecv(src, tag int, comm Comm) *Request
+
+	Wait(req *Request) Status
+	Waitall(reqs ...*Request) []Status
+	Waitany(reqs ...*Request) (int, Status)
+	Waitsome(reqs ...*Request) ([]int, []Status)
+	Test(req *Request) (Status, bool)
+	Testall(reqs ...*Request) ([]Status, bool)
+	Testany(reqs ...*Request) (int, Status, bool)
+	Testsome(reqs ...*Request) ([]int, []Status)
+
+	Sendrecv(sdata []byte, dest, stag, src, rtag int, comm Comm) Status
+
+	Barrier(comm Comm)
+	Bcast(data []byte, root int, comm Comm) []byte
+	Reduce(data []byte, root int, comm Comm) []byte
+	ReduceWith(data []byte, op Op, root int, comm Comm) []byte
+	Allreduce(data []byte, comm Comm) []byte
+	AllreduceWith(data []byte, op Op, comm Comm) []byte
+	Gather(data []byte, root int, comm Comm) [][]byte
+	Allgather(data []byte, comm Comm) [][]byte
+	Scatter(data []byte, root int, comm Comm) []byte
+	Alltoall(data []byte, comm Comm) []byte
+	Scan(data []byte, comm Comm) []byte
+
+	CommDup(comm Comm) Comm
+	CommSplit(comm Comm, color, key int) Comm
+	CommGroup(comm Comm) []int
+}
+
+// simBackend adapts a simulator rank handle to the backend interface. The
+// method set of *mpisim.Proc already matches except CommGroup, which lives
+// on the world.
+type simBackend struct{ *mpisim.Proc }
+
+func (s simBackend) CommGroup(comm Comm) []int { return s.World().CommGroup(comm) }
+
+// CallTrace is the result of a recording pass: the per-rank call
+// sequences, plus any recording limitations that make the trace unsound
+// for static analysis (data-dependent control flow the recorder had to
+// guess, unsupported features, truncation).
+type CallTrace struct {
+	// Procs is the number of ranks.
+	Procs int
+	// Ops holds each rank's recorded operation sequence in program order.
+	Ops [][]trace.Op
+	// Limits lists reasons the trace may not faithfully represent a real
+	// execution. A non-empty list makes the trace inapplicable for the
+	// static engine.
+	Limits []string
+}
+
+// recordMaxOps bounds the per-rank recording so a long-iterating program
+// cannot blow up memory; exceeding it truncates the rank's trace and
+// records a limit.
+const recordMaxOps = 100000
+
+// recStop aborts one rank's recording via panic/recover (truncation,
+// unsupported feature). The reason lands in CallTrace.Limits.
+type recStop struct{ reason string }
+
+// Record executes prog on n ranks against a pure recording backend — no
+// communication happens, no call blocks — and returns the per-rank call
+// sequences. It is the input producer for the static (Liao-style
+// queue-matching) detection engine: the deterministic pre-run pass over a
+// workload's communication structure.
+//
+// Because nothing blocks, ranks run sequentially and the recording is
+// deterministic. Calls whose results are data-dependent in a real run
+// (receives, probes, the Test family, reductions) return zero values or
+// optimistic completion; programs whose control flow depends on such
+// results may record a sequence a real run would not take — the Test and
+// Waitany/Waitsome families therefore mark the trace as limited, and the
+// static engine refuses limited traces.
+func Record(n int, prog Program) *CallTrace {
+	ct := &CallTrace{Procs: n, Ops: make([][]trace.Op, n)}
+	limitSeen := map[string]bool{}
+	limit := func(reason string) {
+		if !limitSeen[reason] {
+			limitSeen[reason] = true
+			ct.Limits = append(ct.Limits, reason)
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		rb := &recBackend{rank: rank, size: n, limit: limit, reqIDs: map[*Request]trace.ReqID{}}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					stop, ok := r.(recStop)
+					if !ok {
+						panic(r)
+					}
+					limit(fmt.Sprintf("rank %d: %s", rank, stop.reason))
+				}
+			}()
+			prog(&Proc{b: rb})
+		}()
+		ct.Ops[rank] = rb.ops
+	}
+	return ct
+}
+
+// recBackend records one rank's call sequence. Only world-communicator
+// operations are supported; derived communicators abort the recording.
+type recBackend struct {
+	rank   int
+	size   int
+	ops    []trace.Op
+	ts     int
+	nextID trace.ReqID
+	reqIDs map[*Request]trace.ReqID
+	limit  func(reason string)
+}
+
+// rec appends one operation, filling the identification fields the
+// runtime would. Peer coordinates equal world ranks because only
+// CommWorld is supported.
+func (b *recBackend) rec(op trace.Op) {
+	if len(b.ops) >= recordMaxOps {
+		panic(recStop{fmt.Sprintf("trace truncated at %d operations", recordMaxOps)})
+	}
+	b.ts++
+	op.Proc = b.rank
+	op.TS = b.ts
+	op.SelfGroup = b.rank
+	b.ops = append(b.ops, op)
+}
+
+func (b *recBackend) world(comm Comm) {
+	if comm != CommWorld {
+		panic(recStop{"operation on a derived communicator (recording backend supports MPI_COMM_WORLD only)"})
+	}
+}
+
+func (b *recBackend) newReq(kind trace.Kind, peer, tag int, comm Comm) *Request {
+	b.world(comm)
+	b.nextID++
+	req := new(Request)
+	b.reqIDs[req] = b.nextID
+	b.rec(trace.Op{Kind: kind, Peer: peer, PeerWorld: peer, Tag: tag, Comm: comm, Req: b.nextID, ActualSrc: trace.AnySource})
+	return req
+}
+
+func (b *recBackend) reqs(kind trace.Kind, reqs []*Request) {
+	ids := make([]trace.ReqID, len(reqs))
+	for i, r := range reqs {
+		ids[i] = b.reqIDs[r]
+	}
+	b.rec(trace.Op{Kind: kind, Comm: CommWorld, Reqs: ids, ActualSrc: trace.AnySource})
+}
+
+func (b *recBackend) coll(kind trace.Kind, comm Comm) {
+	b.world(comm)
+	b.rec(trace.Op{Kind: kind, Comm: comm, ActualSrc: trace.AnySource})
+}
+
+func (b *recBackend) Rank() int             { return b.rank }
+func (b *recBackend) Size() int             { return b.size }
+func (b *recBackend) Compute(time.Duration) {}
+
+func (b *recBackend) Finalize() {
+	b.rec(trace.Op{Kind: trace.Finalize, Comm: CommWorld, ActualSrc: trace.AnySource})
+}
+
+func (b *recBackend) send(kind trace.Kind, dest, tag int, comm Comm) {
+	b.world(comm)
+	b.rec(trace.Op{Kind: kind, Peer: dest, PeerWorld: dest, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+}
+
+func (b *recBackend) Send(_ []byte, dest, tag int, comm Comm)  { b.send(trace.Send, dest, tag, comm) }
+func (b *recBackend) Ssend(_ []byte, dest, tag int, comm Comm) { b.send(trace.Ssend, dest, tag, comm) }
+func (b *recBackend) Bsend(_ []byte, dest, tag int, comm Comm) { b.send(trace.Bsend, dest, tag, comm) }
+func (b *recBackend) Rsend(_ []byte, dest, tag int, comm Comm) { b.send(trace.Rsend, dest, tag, comm) }
+
+func (b *recBackend) Recv(src, tag int, comm Comm) Status {
+	b.world(comm)
+	b.rec(trace.Op{Kind: trace.Recv, Peer: src, PeerWorld: src, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+	return Status{Source: src, Tag: tag}
+}
+
+func (b *recBackend) Probe(src, tag int, comm Comm) Status {
+	b.world(comm)
+	b.limit("Probe result is data-dependent; recorded status is synthetic")
+	b.rec(trace.Op{Kind: trace.Probe, Peer: src, PeerWorld: src, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+	return Status{Source: src, Tag: tag}
+}
+
+func (b *recBackend) Iprobe(src, tag int, comm Comm) (Status, bool) {
+	b.world(comm)
+	b.limit("Iprobe result is data-dependent; recorded as always-true")
+	b.rec(trace.Op{Kind: trace.Iprobe, Peer: src, PeerWorld: src, Tag: tag, Comm: comm, ActualSrc: trace.AnySource})
+	return Status{Source: src, Tag: tag}, true
+}
+
+func (b *recBackend) Isend(_ []byte, dest, tag int, comm Comm) *Request {
+	return b.newReq(trace.Isend, dest, tag, comm)
+}
+func (b *recBackend) Issend(_ []byte, dest, tag int, comm Comm) *Request {
+	return b.newReq(trace.Issend, dest, tag, comm)
+}
+func (b *recBackend) Irecv(src, tag int, comm Comm) *Request {
+	return b.newReq(trace.Irecv, src, tag, comm)
+}
+
+func (b *recBackend) Wait(req *Request) Status {
+	b.reqs(trace.Wait, []*Request{req})
+	return Status{}
+}
+
+func (b *recBackend) Waitall(reqs ...*Request) []Status {
+	b.reqs(trace.Waitall, reqs)
+	return make([]Status, len(reqs))
+}
+
+func (b *recBackend) Waitany(reqs ...*Request) (int, Status) {
+	b.limit("Waitany completion choice is schedule-dependent; recorded as index 0")
+	b.reqs(trace.Waitany, reqs)
+	return 0, Status{}
+}
+
+func (b *recBackend) Waitsome(reqs ...*Request) ([]int, []Status) {
+	b.limit("Waitsome completion choice is schedule-dependent; recorded as all")
+	b.reqs(trace.Waitsome, reqs)
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx, make([]Status, len(reqs))
+}
+
+func (b *recBackend) Test(req *Request) (Status, bool) {
+	b.limit("Test result is schedule-dependent; recorded as complete")
+	b.reqs(trace.Test, []*Request{req})
+	return Status{}, true
+}
+
+func (b *recBackend) Testall(reqs ...*Request) ([]Status, bool) {
+	b.limit("Testall result is schedule-dependent; recorded as complete")
+	b.reqs(trace.Testall, reqs)
+	return make([]Status, len(reqs)), true
+}
+
+func (b *recBackend) Testany(reqs ...*Request) (int, Status, bool) {
+	b.limit("Testany result is schedule-dependent; recorded as index 0 complete")
+	b.reqs(trace.Testany, reqs)
+	return 0, Status{}, true
+}
+
+func (b *recBackend) Testsome(reqs ...*Request) ([]int, []Status) {
+	b.limit("Testsome result is schedule-dependent; recorded as all complete")
+	b.reqs(trace.Testsome, reqs)
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx, make([]Status, len(reqs))
+}
+
+func (b *recBackend) Sendrecv(_ []byte, dest, stag, src, rtag int, comm Comm) Status {
+	b.world(comm)
+	b.rec(trace.Op{
+		Kind: trace.Sendrecv, Peer: dest, PeerWorld: dest, Tag: stag, Comm: comm,
+		SendrecvPeer: src, SendrecvTag: rtag, ActualSrc: trace.AnySource,
+	})
+	return Status{Source: src, Tag: rtag}
+}
+
+func (b *recBackend) Barrier(comm Comm) { b.coll(trace.Barrier, comm) }
+
+func (b *recBackend) Bcast(data []byte, root int, comm Comm) []byte {
+	b.coll(trace.Bcast, comm)
+	return data
+}
+
+func (b *recBackend) Reduce(data []byte, root int, comm Comm) []byte {
+	b.coll(trace.Reduce, comm)
+	return data
+}
+
+func (b *recBackend) ReduceWith(data []byte, op Op, root int, comm Comm) []byte {
+	b.coll(trace.Reduce, comm)
+	return data
+}
+
+func (b *recBackend) Allreduce(data []byte, comm Comm) []byte {
+	b.coll(trace.Allreduce, comm)
+	return data
+}
+
+func (b *recBackend) AllreduceWith(data []byte, op Op, comm Comm) []byte {
+	b.coll(trace.Allreduce, comm)
+	return data
+}
+
+func (b *recBackend) Gather(data []byte, root int, comm Comm) [][]byte {
+	b.coll(trace.Gather, comm)
+	out := make([][]byte, b.size)
+	for i := range out {
+		out[i] = data
+	}
+	return out
+}
+
+func (b *recBackend) Allgather(data []byte, comm Comm) [][]byte {
+	b.coll(trace.Allgather, comm)
+	out := make([][]byte, b.size)
+	for i := range out {
+		out[i] = data
+	}
+	return out
+}
+
+func (b *recBackend) Scatter(data []byte, root int, comm Comm) []byte {
+	b.coll(trace.Scatter, comm)
+	return data
+}
+
+func (b *recBackend) Alltoall(data []byte, comm Comm) []byte {
+	b.coll(trace.Alltoall, comm)
+	return data
+}
+
+func (b *recBackend) Scan(data []byte, comm Comm) []byte {
+	b.coll(trace.Scan, comm)
+	return data
+}
+
+func (b *recBackend) CommDup(comm Comm) Comm {
+	panic(recStop{"MPI_Comm_dup is not supported by the recording backend"})
+}
+
+func (b *recBackend) CommSplit(comm Comm, color, key int) Comm {
+	panic(recStop{"MPI_Comm_split is not supported by the recording backend"})
+}
+
+func (b *recBackend) CommGroup(comm Comm) []int {
+	b.world(comm)
+	out := make([]int, b.size)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

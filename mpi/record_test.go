@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"dwst/internal/trace"
+)
+
+func TestRecordBasicSequence(t *testing.T) {
+	ct := Record(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(Int64(1), 1, 5, CommWorld)
+			p.Barrier(CommWorld)
+		} else {
+			p.Recv(0, 5, CommWorld)
+			p.Barrier(CommWorld)
+		}
+		p.Finalize()
+	})
+	if ct.Procs != 2 || len(ct.Ops) != 2 {
+		t.Fatalf("procs=%d ops=%d", ct.Procs, len(ct.Ops))
+	}
+	if len(ct.Limits) != 0 {
+		t.Fatalf("unexpected limits: %v", ct.Limits)
+	}
+	kinds := func(rank int) []trace.Kind {
+		var ks []trace.Kind
+		for _, op := range ct.Ops[rank] {
+			ks = append(ks, op.Kind)
+		}
+		return ks
+	}
+	want0 := []trace.Kind{trace.Send, trace.Barrier, trace.Finalize}
+	want1 := []trace.Kind{trace.Recv, trace.Barrier, trace.Finalize}
+	for i, w := range want0 {
+		if kinds(0)[i] != w {
+			t.Fatalf("rank 0 kinds = %v", kinds(0))
+		}
+	}
+	for i, w := range want1 {
+		if kinds(1)[i] != w {
+			t.Fatalf("rank 1 kinds = %v", kinds(1))
+		}
+	}
+	s := ct.Ops[0][0]
+	if s.PeerWorld != 1 || s.Tag != 5 || s.Comm != trace.CommWorld {
+		t.Fatalf("send op = %+v", s)
+	}
+	// Timestamps are 1-based program order, as in the live event stream.
+	for rank := range ct.Ops {
+		for i, op := range ct.Ops[rank] {
+			if op.TS != i+1 {
+				t.Fatalf("rank %d op %d has TS %d", rank, i, op.TS)
+			}
+			if op.Proc != rank {
+				t.Fatalf("rank %d op %d has Proc %d", rank, i, op.Proc)
+			}
+		}
+	}
+}
+
+func TestRecordRequestsAreLinked(t *testing.T) {
+	ct := Record(2, func(p *Proc) {
+		peer := p.Rank() ^ 1
+		r1 := p.Isend(Int64(1), peer, 0, CommWorld)
+		r2 := p.Irecv(peer, 0, CommWorld)
+		p.Waitall(r1, r2)
+		p.Finalize()
+	})
+	if len(ct.Limits) != 0 {
+		t.Fatalf("unexpected limits: %v", ct.Limits)
+	}
+	ops := ct.Ops[0]
+	if ops[0].Kind != trace.Isend || ops[0].Req == 0 {
+		t.Fatalf("isend op = %+v", ops[0])
+	}
+	if ops[1].Kind != trace.Irecv || ops[1].Req == 0 || ops[1].Req == ops[0].Req {
+		t.Fatalf("irecv op = %+v", ops[1])
+	}
+	wa := ops[2]
+	if wa.Kind != trace.Waitall || len(wa.Reqs) != 2 ||
+		wa.Reqs[0] != ops[0].Req || wa.Reqs[1] != ops[1].Req {
+		t.Fatalf("waitall op = %+v", wa)
+	}
+}
+
+func TestRecordDoesNotBlock(t *testing.T) {
+	// A program that deadlocks under real semantics records fine: the
+	// recorder never blocks, so both ranks log their full sequence.
+	ct := Record(2, func(p *Proc) {
+		peer := p.Rank() ^ 1
+		p.Recv(peer, 0, CommWorld)
+		p.Send(Int64(1), peer, 0, CommWorld)
+		p.Finalize()
+	})
+	for rank := range ct.Ops {
+		if len(ct.Ops[rank]) != 3 {
+			t.Fatalf("rank %d recorded %d ops, want 3", rank, len(ct.Ops[rank]))
+		}
+	}
+}
+
+func TestRecordScheduleDependentLimits(t *testing.T) {
+	ct := Record(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			r := p.Irecv(1, 0, CommWorld)
+			p.Test(r)
+			p.Wait(r)
+		} else {
+			p.Send(Int64(1), 0, 0, CommWorld)
+		}
+		p.Finalize()
+	})
+	if len(ct.Limits) == 0 {
+		t.Fatal("Test use must record a limit")
+	}
+	found := false
+	for _, l := range ct.Limits {
+		if strings.Contains(l, "Test") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("limits %v do not name the Test family", ct.Limits)
+	}
+}
+
+func TestRecordDerivedCommsAbortRank(t *testing.T) {
+	ct := Record(2, func(p *Proc) {
+		c := p.CommSplit(CommWorld, p.Rank()%2, p.Rank())
+		p.Barrier(c)
+		p.Finalize()
+	})
+	if len(ct.Limits) == 0 {
+		t.Fatal("CommSplit must record a limit")
+	}
+	// The rank's recording stops at the unsupported call; earlier ops stay.
+	for rank := range ct.Ops {
+		for _, op := range ct.Ops[rank] {
+			if op.Kind == trace.Barrier {
+				t.Fatalf("rank %d recorded ops past the unsupported CommSplit", rank)
+			}
+		}
+	}
+}
+
+func TestRecordTruncatesRunawayPrograms(t *testing.T) {
+	ct := Record(1, func(p *Proc) {
+		for {
+			p.Bsend(nil, 0, 0, CommWorld)
+		}
+	})
+	if len(ct.Ops[0]) > recordMaxOps {
+		t.Fatalf("recorded %d ops, cap is %d", len(ct.Ops[0]), recordMaxOps)
+	}
+	if len(ct.Limits) == 0 {
+		t.Fatal("truncation must record a limit")
+	}
+}
+
+func TestRecordedProgramStillRunsLive(t *testing.T) {
+	// The backend refactor must leave live execution intact: the same
+	// program value works against both backends.
+	prog := func(p *Proc) {
+		peer := p.Rank() ^ 1
+		if p.Rank()%2 == 0 {
+			p.Send(Int64(7), peer, 0, CommWorld)
+		} else {
+			st := p.Recv(peer, 0, CommWorld)
+			if st.Source != peer {
+				panic("bad source")
+			}
+		}
+		p.Barrier(CommWorld)
+		p.Finalize()
+	}
+	if ct := Record(4, prog); len(ct.Limits) != 0 {
+		t.Fatalf("record limits: %v", ct.Limits)
+	}
+	if err := Run(4, prog, Options{}); err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+}

@@ -23,11 +23,14 @@ package must
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"dwst/internal/centralized"
 	"dwst/internal/core"
 	"dwst/internal/detect"
+	"dwst/internal/engine"
 	"dwst/internal/fault"
 	"dwst/internal/mpisim"
 	"dwst/mpi"
@@ -152,6 +155,17 @@ type Options struct {
 	WatchdogQuiet time.Duration
 	// Batch selects hot-path batching (default BatchOn; see Batching).
 	Batch Batching
+	// Engine selects the verdict engine at the detection root: "" or "wfg"
+	// (the reference WFG release fixpoint), "cmh" (Chandy–Misra–Haas
+	// probes), or "all" (run every applicable engine; the reference verdict
+	// wins). Distributed mode only.
+	Engine string
+	// Differential runs every applicable detection engine on each snapshot
+	// plus the static pre-run queue-matching pass, records their verdicts
+	// in Report.EngineVerdicts, and reports disagreements with the WFG
+	// reference in Report.EngineDeviations — the standing differential
+	// oracle. Distributed mode only.
+	Differential bool
 	// Net, when non-nil, runs the distributed tool over real TCP sockets:
 	// this process is the coordinator and Net.Workers separate worker
 	// processes (started via RunWorker, typically the mustnode binary) own
@@ -241,6 +255,19 @@ type Report struct {
 	StalledRanks  []int
 	WatchdogFires int
 
+	// EngineVerdicts maps each detection engine that ran to its verdict
+	// string ("none", "deadlock", …, or "inapplicable"/"inconclusive"/
+	// "error: …"), merged over all detection rounds plus the static
+	// pre-run pass. Nil unless Options.Engine or Options.Differential
+	// asked for extra engines.
+	EngineVerdicts map[string]string
+	// EngineDeviations lists engine disagreements with the WFG reference
+	// (differential mode; empty means every applicable engine agreed).
+	EngineDeviations []string
+	// DroppedResults counts completed detections the root could not
+	// deliver to the driver within the delivery timeout (should be zero).
+	DroppedResults int
+
 	// Partial marks a degraded report: tool nodes hosting UnknownRanks
 	// crashed, so those ranks' wait states are unknown (conservatively
 	// modeled as permanently blocked).
@@ -326,6 +353,9 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 	}
 
 	if opts.Mode == Centralized {
+		if opts.Engine != "" || opts.Differential {
+			return &Report{Err: errors.New("must: engine selection and differential mode require the distributed architecture")}
+		}
 		res := centralized.Run(centralized.Config{
 			Ctx:                      opts.Context,
 			Procs:                    procs,
@@ -360,6 +390,18 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		return rep
 	}
 
+	// Static pre-run pass (differential oracle leg): record the program's
+	// call traces by sequential per-rank execution (nothing blocks in the
+	// recorder) and run the Liao-style queue-matching simulation on the
+	// deterministic subset. The finding is compared with the runtime
+	// verdict after the run.
+	var static *engine.Finding
+	if opts.Differential || opts.Engine == "all" {
+		ct := mpi.Record(procs, prog)
+		v, dl, err := (engine.Static{}).Analyze(engine.Input{Trace: ct.Ops, TraceLimits: ct.Limits})
+		static = &engine.Finding{Engine: "static", Verdict: v, Deadlocked: dl, Err: err}
+	}
+
 	res := core.Run(core.Config{
 		Ctx:                      opts.Context,
 		Procs:                    procs,
@@ -372,6 +414,8 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		SnapshotDeadline:         opts.SnapshotDeadline,
 		WatchdogQuiet:            opts.WatchdogQuiet,
 		NoBatch:                  opts.Batch == BatchOff,
+		Engine:                   opts.Engine,
+		Differential:             opts.Differential,
 		Net:                      opts.Net,
 		SendMode:                 mode,
 		BufferSlots:              opts.BufferSlots,
@@ -396,6 +440,9 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		WatchdogFires:         res.WatchdogFires,
 		CallMismatches:        res.CallMismatches,
 		LostMessages:          res.LostMessages,
+		EngineVerdicts:        res.EngineVerdicts,
+		EngineDeviations:      res.EngineDeviations,
+		DroppedResults:        res.DroppedResults,
 		Partial:               res.Partial,
 		UnknownRanks:          res.UnknownRanks,
 		DroppedEvents:         res.DroppedEvents,
@@ -429,7 +476,56 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		fillFromDetect(rep, d)
 		rep.PotentialOnly = res.AppErr == nil
 	}
+	if static != nil {
+		if rep.EngineVerdicts == nil {
+			rep.EngineVerdicts = make(map[string]string, 1)
+		}
+		rep.EngineVerdicts["static"] = static.VerdictString()
+		if opts.Differential {
+			if dev := staticDeviation(rep, static, opts); dev != "" {
+				rep.EngineDeviations = append(rep.EngineDeviations, dev)
+			}
+		}
+	}
 	return rep
+}
+
+// staticDeviation compares the static pre-run finding with the runtime
+// verdict. The static pass simulates the strict synchronous model on the
+// recorded call sequences, so the contract is asymmetric:
+//
+//   - Static "none" with a runtime deadlock is always a deviation: the
+//     strict model is the most blocking interpretation, so a program that
+//     completes under it cannot deadlock at runtime.
+//   - Static "deadlock" with runtime "none" is a deviation only under
+//     Rendezvous semantics (then both sides evaluate the same model); with
+//     eager sends it is the tool's documented potential-deadlock
+//     prediction, not a disagreement.
+//
+// Runs that were interrupted, degraded, or perturbed at the application
+// level (rank crashes, stalls, partial reports, config errors, external
+// cancellation) are not compared — the runtime observed a different
+// program than the recorder did.
+func staticDeviation(rep *Report, static *engine.Finding, opts Options) string {
+	if static.Err != nil {
+		if errors.Is(static.Err, engine.ErrInapplicable) || errors.Is(static.Err, engine.ErrInconclusive) {
+			return ""
+		}
+		return fmt.Sprintf("static: error: %v", static.Err)
+	}
+	interrupted := rep.AppAborted && !rep.Deadlock && rep.Verdict == VerdictNone
+	if rep.Err != nil || rep.Partial || interrupted ||
+		len(rep.DeadRanks) > 0 || len(rep.StalledRanks) > 0 ||
+		(opts.Context != nil && opts.Context.Err() != nil) {
+		return ""
+	}
+	switch {
+	case static.Verdict == engine.VerdictNone && rep.Verdict == VerdictDeadlock:
+		return fmt.Sprintf("static: verdict none, runtime found a deadlock %v", rep.Deadlocked)
+	case opts.Rendezvous && static.Verdict == engine.VerdictDeadlock && rep.Verdict == VerdictNone:
+		return fmt.Sprintf("static: predicted a deadlock %v under rendezvous semantics, runtime found none", static.Deadlocked)
+	}
+	return ""
 }
 
 // RunWorker runs one worker process of a TCP-fabric tool run: it dials the
