@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos short fuzz ci bench-json bench-check service-soak
+.PHONY: all build vet test race chaos short fuzz ci bench-json bench-check service-soak overload
 
 all: build vet test
 
@@ -38,8 +38,14 @@ service-soak:
 	$(GO) test -race -count=1 ./internal/session/ ./cmd/mustserve/
 	$(GO) test -race -count=5 -run 'TestConcurrentAppendAndCheckpoint|TestFenceCutsOffConcurrentStaleWriter' ./internal/journal/
 
-# Regenerate the committed benchmark baseline (BENCH_pr4.json).
-BENCH_BASELINE ?= BENCH_pr4.json
+# Resource-governance shard: governor unit tests, the budget-equivalence
+# chaos sweep, tiny-budget degradation drills, the stalled-consumer memory
+# bound, and the overload-abort leak churn.
+overload:
+	$(GO) test -race -count=1 -run 'TestOverload|TestWireTCPBackpressure|TestMsgCost|TestGovernor|TestAdmitIntake|TestSendqByteCap' ./internal/fault/ ./internal/tbon/
+
+# Regenerate the committed benchmark baseline (BENCH_pr10.json).
+BENCH_BASELINE ?= BENCH_pr10.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_BASELINE)
 

@@ -77,6 +77,11 @@ func BenchmarkFig9StressDistributed(b *testing.B) {
 					for i := 0; i < b.N; i++ {
 						rep := must.Run(procs, prog, must.Options{
 							FanIn: fanIn, Timeout: benchTimeout, Batch: batch,
+							// Governance on at the default budget: the
+							// Fig. 9 series carries the accounting
+							// overhead, so the bench gate catches any
+							// hot-path regression in the governor.
+							MemBudget: must.DefaultMemBudget,
 						})
 						if rep.Deadlock {
 							b.Fatal("stress must not deadlock")

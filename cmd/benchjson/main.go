@@ -141,8 +141,14 @@ func stressReference() time.Duration {
 func runStress(batch must.Batching, ref time.Duration) benchCase {
 	const procs = stressProcs
 	prog := workload.Stress(stressIters)
+	// Governance on at the default budget: the committed baseline prices
+	// the accounting overhead, so the nightly gate catches a regression in
+	// the governor's hot path.
 	return bench("fig9_stress", batch, ref, func() {
-		rep := must.Run(procs, prog, must.Options{FanIn: 4, Timeout: benchTimeout, Batch: batch})
+		rep := must.Run(procs, prog, must.Options{
+			FanIn: 4, Timeout: benchTimeout, Batch: batch,
+			MemBudget: must.DefaultMemBudget,
+		})
 		if rep.Deadlock {
 			panic("benchjson: stress must not deadlock")
 		}
@@ -153,7 +159,10 @@ func runWildcard(batch must.Batching) benchCase {
 	const procs = 16
 	prog := workload.WildcardDeadlock()
 	return bench("fig10_wildcard", batch, 0, func() {
-		rep := must.Run(procs, prog, must.Options{FanIn: 4, Timeout: 50 * time.Millisecond, Batch: batch})
+		rep := must.Run(procs, prog, must.Options{
+			FanIn: 4, Timeout: 50 * time.Millisecond, Batch: batch,
+			MemBudget: must.DefaultMemBudget,
+		})
 		if !rep.Deadlock {
 			panic("benchjson: wildcard deadlock not detected")
 		}
@@ -166,6 +175,7 @@ func runLammps(batch must.Batching) benchCase {
 	return bench("fig11_lammps", batch, 0, func() {
 		rep := must.Run(procs, prog, must.Options{
 			FanIn: 4, Timeout: 50 * time.Millisecond, Rendezvous: true, Batch: batch,
+			MemBudget: must.DefaultMemBudget,
 		})
 		if !rep.Deadlock {
 			panic("benchjson: lammps deadlock not detected")

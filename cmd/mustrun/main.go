@@ -66,6 +66,8 @@ func main() {
 		wdQuiet   = flag.Duration("watchdog-quiet", 0, "progress watchdog quiet period (0 = disabled)")
 		statsJSON = flag.String("stats-json", "", "write run statistics as JSON to this file (- for stdout)")
 
+		memBudget = flag.Int64("mem-budget", must.DefaultMemBudget, "tool-plane memory budget in bytes per process (distributed mode; 0 = unbounded legacy behavior)")
+
 		engineSel    = flag.String("engine", "", "detection engine: wfg (reference, default) | cmh (Chandy–Misra–Haas probes) | all (every applicable engine)")
 		differential = flag.Bool("differential", false, "run every applicable engine on each snapshot plus the static pre-run pass; report verdict deviations")
 
@@ -120,6 +122,14 @@ func main() {
 		WatchdogQuiet:    session.Duration(*wdQuiet),
 		Engine:           *engineSel,
 		Differential:     *differential,
+	}
+	// Spec encoding: 0 means "service default" there, so the unbounded
+	// request (flag 0) maps to the explicit -1 sentinel.
+	switch {
+	case *memBudget == 0:
+		spec.MemBudget = -1
+	case *memBudget != must.DefaultMemBudget:
+		spec.MemBudget = *memBudget
 	}
 	if faultActive {
 		spec.Fault = &session.FaultSpec{
@@ -250,7 +260,7 @@ func main() {
 	if interrupted {
 		fmt.Printf("PARTIAL REPORT: the run was canceled before analysis completed\n")
 	}
-	if rep.Partial {
+	if rep.Partial && len(rep.UnknownRanks) > 0 {
 		fmt.Printf("PARTIAL REPORT: tool nodes hosting ranks %v crashed; their wait state is unknown\n",
 			summarizeRanks(rep.UnknownRanks))
 	}
@@ -273,6 +283,14 @@ func main() {
 		if rep.Recoveries > 0 {
 			fmt.Printf("recovery: %d first-layer node(s) rebuilt exactly — %d journal entries replayed in %v (journal high water %d)\n",
 				rep.Recoveries, rep.ReplayedMsgs, rep.ReplayTime.Round(time.Microsecond), rep.JournalHighWater)
+		}
+	}
+	if rep.MemBudget > 0 {
+		fmt.Printf("governance: budget=%d high-water=%d overflow=%d gated-waits=%d\n",
+			rep.MemBudget, rep.MemHighWater, rep.OverflowEvents, rep.GatedWaits)
+		if rep.Overloaded {
+			fmt.Printf("OVERLOADED: the tool plane exhausted its memory budget; %d event(s) were counted as overflow and the report is PARTIAL\n",
+				rep.OverflowEvents)
 		}
 	}
 	if len(rep.EngineVerdicts) > 0 {

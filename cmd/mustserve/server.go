@@ -190,4 +190,6 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mustserve_sessions_canceled_total counter\nmustserve_sessions_canceled_total %d\n", m.Canceled)
 	fmt.Fprintf(w, "# TYPE mustserve_sessions_failed_total counter\nmustserve_sessions_failed_total %d\n", m.Failed)
 	fmt.Fprintf(w, "# TYPE mustserve_sessions_internal_error_total counter\nmustserve_sessions_internal_error_total %d\n", m.Internal)
+	fmt.Fprintf(w, "# TYPE mustserve_sessions_overloaded_total counter\nmustserve_sessions_overloaded_total %d\n", m.Overloaded)
+	fmt.Fprintf(w, "# TYPE mustserve_mem_high_water_bytes gauge\nmustserve_mem_high_water_bytes %d\n", m.MemHighWater)
 }

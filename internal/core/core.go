@@ -65,6 +65,13 @@ type Config struct {
 	// acknowledgements. Batching is on by default; the off switch exists for
 	// equivalence testing and bisection (see must.Options.Batch).
 	NoBatch bool
+	// MemBudget, when positive, bounds resident tool-plane buffer bytes per
+	// process (queue pumps, TCP send queues): data-lane traffic is
+	// byte-accounted, backpressure reaches the rank → leaf intake, and
+	// exhaustion despite backpressure degrades the run honestly (overflow
+	// counters, Overloaded + Partial) instead of growing without limit.
+	// 0 keeps the historical unbounded behavior (see tbon.Config.MemBudget).
+	MemBudget int64
 
 	// Fault optionally injects link faults and tool-node crashes (see
 	// fault.Plan). The reliable transport (sequence numbers, acks,
@@ -208,6 +215,23 @@ type Result struct {
 	// those fresh incarnations for replay.
 	WorkerRespawns        uint64
 	ShippedJournalEntries uint64
+
+	// Resource-governance accounting (zero with MemBudget == 0; see
+	// tbon.GovernorStats). MemBudget echoes the configured budget.
+	// MemHighWater is the peak resident tool-plane bytes of any single
+	// process (max over coordinator and workers); OverflowEvents and
+	// GatedWaits sum over processes. QueueDepthHW/QueueBytesHW are
+	// per-link-class high-water marks (keys up/down/peer/wire), folded by
+	// max. Overloaded marks a run whose budget was exhausted despite
+	// backpressure — the report is then Partial, honestly, rather than the
+	// tool having grown without bound.
+	MemBudget      int64
+	MemHighWater   int64
+	OverflowEvents uint64
+	GatedWaits     uint64
+	QueueDepthHW   map[string]int64
+	QueueBytesHW   map[string]int64
+	Overloaded     bool
 }
 
 // handler adapts one tbon node to its tool roles: first-layer wait-state
@@ -616,6 +640,7 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 		PreferWaitState: cfg.PreferWaitState,
 		LinkDelay:       cfg.LinkDelay,
 		Batch:           !cfg.NoBatch,
+		MemBudget:       cfg.MemBudget,
 		Fault:           cfg.Fault,
 		OnNodeDown: func(n *tbon.Node) {
 			// Runs on the supervisor goroutine; Control is safe from any
@@ -897,6 +922,13 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 					res.AbandonedFrames += wf.Abandoned
 					res.BytesOnWire += wf.BytesOnWire
 					res.CodecErrors += wf.CodecErrors
+					if wf.MemHighWater > res.MemHighWater {
+						res.MemHighWater = wf.MemHighWater
+					}
+					res.OverflowEvents += wf.OverflowEvents
+					res.GatedWaits += wf.GatedWaits
+					res.QueueDepthHW = foldClassHW(res.QueueDepthHW, wf.QueueDepthHW)
+					res.QueueBytesHW = foldClassHW(res.QueueBytesHW, wf.QueueBytesHW)
 				}
 				res.Reconnects = tree.Reconnects()
 				res.BytesOnWire += tree.BytesOnWire()
@@ -905,6 +937,25 @@ func Run(cfg Config, prog mpisim.Program) *Result {
 				res.ShippedJournalEntries = tree.ShippedJournalEntries()
 				res.ReplayedMsgs += int(res.ShippedJournalEntries)
 				res.ReplayTime += tree.WireReplayTime()
+			}
+			// Resource-governance rollup: coordinator-local accounting plus
+			// whatever the worker finals folded in above. Budget exhaustion
+			// despite backpressure is honest degradation: the run is marked
+			// Overloaded, and the report Partial — results may be incomplete
+			// because the tool shed load rather than grow without bound.
+			res.MemBudget = cfg.MemBudget
+			if gs := tree.GovStats(); gs.Budget > 0 {
+				if gs.HighWater > res.MemHighWater {
+					res.MemHighWater = gs.HighWater
+				}
+				res.OverflowEvents += gs.Overflow
+				res.GatedWaits += gs.Gated
+				res.QueueDepthHW = foldClassHW(res.QueueDepthHW, gs.QueueDepthHW)
+				res.QueueBytesHW = foldClassHW(res.QueueBytesHW, gs.QueueBytesHW)
+			}
+			if res.OverflowEvents > 0 {
+				res.Overloaded = true
+				res.Partial = true
 			}
 			for _, m := range root.Mismatches() {
 				res.CallMismatches = append(res.CallMismatches, m.String())
@@ -1024,6 +1075,24 @@ func finalDetect(root *detect.Root, tree *tbon.Tree, rootNode *tbon.Node, deadli
 		}
 	}
 	return nil
+}
+
+// foldClassHW merges per-link-class high-water maps by max (nil-safe):
+// each process reports its own peaks, and the run-level figure for a class
+// is the worst single process.
+func foldClassHW(dst, src map[string]int64) map[string]int64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+	return dst
 }
 
 // windowHighWater reads the per-node window statistics after the tree

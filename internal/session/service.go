@@ -114,6 +114,12 @@ type Metrics struct {
 	Canceled   int64 `json:"canceled_total"`
 	Failed     int64 `json:"failed_total"`
 	Internal   int64 `json:"internal_error_total"`
+	// Overloaded counts finished sessions whose run exhausted its
+	// tool-plane memory budget despite backpressure (honest PARTIAL);
+	// MemHighWater is the largest peak resident tool-plane byte count any
+	// finished session reported.
+	Overloaded   int64 `json:"overloaded_total"`
+	MemHighWater int64 `json:"mem_high_water_bytes"`
 }
 
 // Service multiplexes detection sessions over a bounded worker pool with
@@ -475,6 +481,14 @@ func (s *Service) finishLocked(h *Session, out *Outcome) {
 		s.metrics.Failed++
 	case StateInternalError:
 		s.metrics.Internal++
+	}
+	if st := out.Stats; st != nil {
+		if st.Overloaded {
+			s.metrics.Overloaded++
+		}
+		if st.MemHighWater > s.metrics.MemHighWater {
+			s.metrics.MemHighWater = st.MemHighWater
+		}
 	}
 	close(h.done)
 	// Persist off the lock, but tracked: Close waits for these so a

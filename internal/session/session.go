@@ -157,6 +157,18 @@ type RunStats struct {
 	EngineVerdicts   map[string]string `json:"engine_verdicts,omitempty"`
 	EngineDeviations []string          `json:"engine_deviations,omitempty"`
 	DroppedResults   int               `json:"dropped_results,omitempty"`
+	// Resource-governance accounting (zero with governance off):
+	// configured budget, peak resident tool-plane bytes of any process,
+	// budget-exhausted admissions, gated intake waits, per-link-class
+	// (up/down/peer/wire) depth and byte high-water marks, and the honest
+	// overload flag (overflow despite backpressure; implies partial).
+	MemBudget      int64            `json:"mem_budget,omitempty"`
+	MemHighWater   int64            `json:"mem_high_water,omitempty"`
+	OverflowEvents uint64           `json:"overflow_events,omitempty"`
+	GatedWaits     uint64           `json:"gated_waits,omitempty"`
+	QueueDepthHW   map[string]int64 `json:"queue_depth_hw,omitempty"`
+	QueueBytesHW   map[string]int64 `json:"queue_bytes_hw,omitempty"`
+	Overloaded     bool             `json:"overloaded,omitempty"`
 	// Interrupted marks a run torn down before its natural end (signal,
 	// cancel, deadline): the verdict reflects what was known at teardown,
 	// not a completed analysis.
@@ -203,6 +215,13 @@ func StatsFor(wl string, procs int, mode, transport string, batch bool, rep *mus
 		EngineVerdicts:   rep.EngineVerdicts,
 		EngineDeviations: rep.EngineDeviations,
 		DroppedResults:   rep.DroppedResults,
+		MemBudget:        rep.MemBudget,
+		MemHighWater:     rep.MemHighWater,
+		OverflowEvents:   rep.OverflowEvents,
+		GatedWaits:       rep.GatedWaits,
+		QueueDepthHW:     rep.QueueDepthHW,
+		QueueBytesHW:     rep.QueueBytesHW,
+		Overloaded:       rep.Overloaded,
 	}
 }
 

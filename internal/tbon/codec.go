@@ -60,6 +60,10 @@ type wireWelcome struct {
 	KeepAlive time.Duration
 	Budget    time.Duration
 
+	// MemBudget is the tool-plane byte budget each worker process applies
+	// to its own buffers (see Config.MemBudget); 0 = governance off.
+	MemBudget int64
+
 	// LeafGids maps first-layer index to current global id. The two drift
 	// apart once a supervised respawn re-admits a worker's leaves under
 	// fresh gids; a (re)joining worker must build its topology against the
@@ -156,6 +160,15 @@ type WorkerFinal struct {
 	Abandoned       uint64
 	BytesOnWire     uint64
 	CodecErrors     uint64
+
+	// Resource-governor accounting of the worker process (zero value with
+	// governance off): the coordinator folds these into the run totals —
+	// high-water marks by max, counters by sum.
+	MemHighWater   int64
+	OverflowEvents uint64
+	GatedWaits     uint64
+	QueueDepthHW   map[string]int64
+	QueueBytesHW   map[string]int64
 }
 
 func init() {

@@ -102,6 +102,13 @@ type Config struct {
 	// journal replay (fault plan with Recover). The argument is the
 	// replacement node; OnNodeDown is NOT called for recovered nodes.
 	OnNodeRecovered func(n *Node)
+	// MemBudget, when positive, bounds the resident bytes of the tool-plane
+	// buffers (queue pumps and TCP send buffers) in this process: data-lane
+	// traffic is byte-accounted against the budget and backpressure is
+	// applied at the rank → leaf intake, while control-lane traffic
+	// (heartbeats, snapshot/epoch control, supervision) is always admitted
+	// free — see govern.go. 0 keeps the historical unbounded behavior.
+	MemBudget int64
 }
 
 // Handler is the per-node tool logic. All methods run on the node's
@@ -207,7 +214,7 @@ type queue struct {
 	out chan *slab
 }
 
-func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl *fault.Link, maxBatch int) *queue {
+func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl *fault.Link, maxBatch int, gov *governor, class int) *queue {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -223,7 +230,30 @@ func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl 
 			<-timer.C
 		}
 		timerArmed := false
+		// charge accounts an admitted envelope against the governor's
+		// budget; the matching release happens in dispatchSlab once the
+		// consumer has processed it, so the charge covers the whole
+		// residence (buf, ready slab, out channel).
+		charge := func(e envelope, copies int) {
+			if gov == nil {
+				return
+			}
+			if c := envCost(e.msg); c > 0 {
+				for i := 0; i < copies; i++ {
+					gov.charge(class, c)
+				}
+			}
+		}
 		admit := func(e envelope) {
+			if fl == nil && delay == 0 {
+				// Fast path: no fault plan, no simulated link delay — the
+				// envelope is due immediately (a zero due time is never
+				// after now), so skip the clock read and the whole
+				// decision/serialization bookkeeping.
+				charge(e, 1)
+				buf = append(buf, timed{env: e})
+				return
+			}
 			now := time.Now()
 			var d fault.Decision
 			if fl != nil {
@@ -257,6 +287,7 @@ func newQueue(quit <-chan struct{}, wg *sync.WaitGroup, delay time.Duration, fl 
 			if d.Dup {
 				copies = 2
 			}
+			charge(e, copies)
 			first := len(buf)
 			for i := 0; i < copies; i++ {
 				buf = append(buf, timed{env: e, due: due})
@@ -423,6 +454,7 @@ type Tree struct {
 	injector  *fault.Injector
 	transport *transport // nil unless the reliable link layer is active
 	net       *netFabric // nil unless the TCP fabric is active
+	gov       *governor  // nil unless Config.MemBudget > 0
 	gidIndex  map[int]*Node
 
 	// nextGid hands out fresh global ids to respawned replacement nodes
@@ -493,6 +525,7 @@ func NewNet(cfg Config) (*Tree, error) {
 		return layer == 0 && ownerOfLeaf(idx, width0, nc.Workers) == nc.Worker
 	}
 	t := &Tree{cfg: cfg, quit: make(chan struct{})}
+	t.gov = newGovernor(cfg.MemBudget)
 	if cfg.Fault != nil {
 		t.injector = fault.NewInjector(cfg.Fault)
 	}
@@ -519,14 +552,14 @@ func NewNet(cfg Config) (*Tree, error) {
 				respawned: make(chan struct{}),
 			}
 			if n.local {
-				n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink), t.slabCap())
-				n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink), t.slabCap())
+				n.fromBelow = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.UpLink), t.slabCap(), t.gov, govUp)
+				n.fromAbove = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(gid, fault.DownLink), t.slabCap(), t.gov, govDown)
 			}
 			gid++
 			if layer == 0 {
 				if n.local {
 					n.events = make(chan rankEnvelope, cfg.EventBuf)
-					n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink), t.slabCap())
+					n.fromPeer = newQueue(t.quit, &t.wg, cfg.LinkDelay, t.faultLink(n.gid, fault.PeerLink), t.slabCap(), t.gov, govPeer)
 				}
 			} else {
 				lo := i * cfg.FanIn
@@ -713,6 +746,16 @@ func (t *Tree) inject(rank int, env rankEnvelope) error {
 			// per-leaf window so backpressure still reaches the rank.
 			return t.injectRemote(n, env)
 		}
+		// Resource-governor backpressure: when tool-plane buffers approach
+		// the budget, the data-lane intake gate closes and ranks wait here —
+		// the global, byte-denominated analogue of the bounded events
+		// channel below. Quiet (watchdog) injections bypass the gate so
+		// liveness probes keep flowing through an overloaded tree.
+		if g := t.gov; g != nil && !env.quiet {
+			if !g.admitIntake(n.dead, t.quit) {
+				return ErrStopped
+			}
+		}
 		select {
 		case n.events <- env:
 			if !env.quiet {
@@ -793,6 +836,25 @@ func (t *Tree) Abandoned() uint64 {
 // Recoveries returns the number of first-layer nodes successfully
 // respawned after a crash.
 func (t *Tree) Recoveries() uint64 { return t.recoveries.Load() }
+
+// GovStats returns a snapshot of this process's tool-plane resource
+// accounting (zero value when governance is off, Config.MemBudget == 0).
+// On a TCP-fabric coordinator it covers only coordinator-local buffers;
+// the workers' accounting arrives in their WorkerFinal reports.
+func (t *Tree) GovStats() GovernorStats {
+	if t.gov == nil {
+		return GovernorStats{}
+	}
+	return t.gov.stats()
+}
+
+// Overloaded reports whether the resource governor observed budget
+// overflow: backpressure alone could not keep resident tool-plane bytes
+// under Config.MemBudget (typically a fault-stalled or dead link pinning
+// buffered frames). Always false with governance off.
+func (t *Tree) Overloaded() bool {
+	return t.gov != nil && t.gov.overflow.Load() > 0
+}
 
 // FirstLayer returns the first tool layer.
 func (t *Tree) FirstLayer() []*Node { return t.layers[0] }
@@ -974,11 +1036,11 @@ func (n *Node) loop() {
 			if n.tree.cfg.PreferWaitState {
 				select {
 				case s := <-n.fromPeer.out:
-					n.dispatchSlab(s, n.dispatchPeer)
+					n.dispatchSlab(s, govPeer, n.dispatchPeer)
 					n.endCycle()
 					continue
 				case s := <-n.fromAbove.out:
-					n.dispatchSlab(s, n.dispatchParent)
+					n.dispatchSlab(s, govDown, n.dispatchParent)
 					n.endCycle()
 					continue
 				default:
@@ -989,11 +1051,11 @@ func (n *Node) loop() {
 				n.tree.handled.Add(1)
 				n.handler.Control(env.msg)
 			case s := <-n.fromPeer.out:
-				n.dispatchSlab(s, n.dispatchPeer)
+				n.dispatchSlab(s, govPeer, n.dispatchPeer)
 			case s := <-n.fromAbove.out:
-				n.dispatchSlab(s, n.dispatchParent)
+				n.dispatchSlab(s, govDown, n.dispatchParent)
 			case s := <-n.fromBelow.out:
-				n.dispatchSlab(s, n.dispatchChild)
+				n.dispatchSlab(s, govUp, n.dispatchChild)
 			case env := <-n.events:
 				n.dispatchRank(env)
 				n.drainEvents()
@@ -1011,9 +1073,9 @@ func (n *Node) loop() {
 			n.tree.handled.Add(1)
 			n.handler.Control(env.msg)
 		case s := <-n.fromAbove.out:
-			n.dispatchSlab(s, n.dispatchParent)
+			n.dispatchSlab(s, govDown, n.dispatchParent)
 		case s := <-n.fromBelow.out:
-			n.dispatchSlab(s, n.dispatchChild)
+			n.dispatchSlab(s, govUp, n.dispatchChild)
 		case <-hbC:
 		case <-n.dead:
 			return
@@ -1035,11 +1097,19 @@ func (n *Node) endCycle() {
 	}
 }
 
-// dispatchSlab dispatches every envelope of one slab and returns it to the
-// pool.
-func (n *Node) dispatchSlab(s *slab, fn func(envelope)) {
+// dispatchSlab dispatches every envelope of one slab, releases the slab's
+// governor charges (the envelopes are no longer tool-plane residents once
+// the handler consumed them), and returns it to the pool.
+func (n *Node) dispatchSlab(s *slab, class int, fn func(envelope)) {
 	for _, env := range s.envs {
 		fn(env)
+	}
+	if g := n.tree.gov; g != nil {
+		for _, env := range s.envs {
+			if c := envCost(env.msg); c > 0 {
+				g.release(class, c)
+			}
+		}
 	}
 	putSlab(s)
 }

@@ -159,28 +159,74 @@ func ownerOfLeaf(idx, width0, workers int) int {
 // sendq is a per-connection outbound frame queue: pushes while the
 // connection is down are dropped (the reliable layer re-sends anything that
 // matters), and the attached writer goroutine drains it in order.
+//
+// The queue is bounded in bytes when the tree has a resource governor: a
+// live-but-not-draining connection (a flapping peer, a stalled wire-proxy
+// link) used to grow q without limit. Crossing maxBytes now cuts the
+// connection through onFull — the same path a failed write takes — dropping
+// the queued frames (released from the budget; the reliable layer re-sends
+// what matters) and letting the existing degradation-budget/respawn
+// machinery decide the slot's fate.
 type sendq struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	conn   net.Conn
 	q      [][]byte
+	bytes  int64
 	up     bool
 	closed bool
+
+	gov      *governor
+	maxBytes int64          // 0 = unbounded (governance off)
+	onFull   func(net.Conn) // overflow cut; set once before any push
 }
 
-func newSendq() *sendq {
-	s := &sendq{}
+func newSendq(gov *governor, maxBytes int64) *sendq {
+	s := &sendq{gov: gov, maxBytes: maxBytes}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
+// dropLocked discards the queued frames, returning their bytes to the
+// budget. Callers hold s.mu.
+func (s *sendq) dropLocked() {
+	if s.gov != nil {
+		for _, b := range s.q {
+			s.gov.release(govWire, int64(len(b)))
+		}
+	}
+	s.q = nil
+	s.bytes = 0
+}
+
 func (s *sendq) push(b []byte) {
+	var overflowConn net.Conn
 	s.mu.Lock()
 	if s.up && !s.closed {
-		s.q = append(s.q, b)
-		s.cond.Signal()
+		// Overflow cut only with frames already queued: a single frame
+		// larger than the cap must still be acceptable on an empty queue,
+		// or the retransmitter would cut the fresh connection forever.
+		if s.maxBytes > 0 && len(s.q) > 0 && s.bytes+int64(len(b)) > s.maxBytes {
+			overflowConn = s.conn
+			s.dropLocked()
+		} else {
+			s.q = append(s.q, b)
+			s.bytes += int64(len(b))
+			if s.gov != nil {
+				s.gov.charge(govWire, int64(len(b)))
+			}
+			s.cond.Signal()
+		}
 	}
 	s.mu.Unlock()
+	if overflowConn != nil {
+		if s.gov != nil {
+			s.gov.overflow.Add(1)
+		}
+		if s.onFull != nil {
+			s.onFull(overflowConn)
+		}
+	}
 }
 
 // attach installs a new connection, returning the previous one (the caller
@@ -190,7 +236,7 @@ func (s *sendq) attach(c net.Conn) net.Conn {
 	old := s.conn
 	s.conn = c
 	s.up = !s.closed
-	s.q = nil
+	s.dropLocked()
 	s.mu.Unlock()
 	return old
 }
@@ -203,7 +249,7 @@ func (s *sendq) detach(c net.Conn) bool {
 	if was {
 		s.conn = nil
 		s.up = false
-		s.q = nil
+		s.dropLocked()
 	}
 	s.mu.Unlock()
 	return was
@@ -229,7 +275,7 @@ func (s *sendq) close() net.Conn {
 	old := s.conn
 	s.conn = nil
 	s.up = false
-	s.q = nil
+	s.dropLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	return old
@@ -246,7 +292,13 @@ func (s *sendq) pop() (net.Conn, [][]byte) {
 		}
 		if s.up && len(s.q) > 0 {
 			batch := s.q
+			if s.gov != nil {
+				for _, b := range batch {
+					s.gov.release(govWire, int64(len(b)))
+				}
+			}
 			s.q = nil
+			s.bytes = 0
 			return s.conn, batch
 		}
 		s.cond.Wait()
@@ -349,6 +401,15 @@ func (t *Tree) startNet() error {
 		fab.leafGids[i] = n.gid
 		fab.gidLeaf[n.gid] = i
 	}
+	// With governance on, each connection's outbound queue gets a slice of
+	// the global budget; without, the historical unbounded sendq.
+	var wireCap int64
+	if t.gov != nil {
+		wireCap = t.gov.budget / 4
+		if wireCap < 1<<20 {
+			wireCap = 1 << 20
+		}
+	}
 	switch nc.Role {
 	case NetCoordinator:
 		addr := nc.Listen
@@ -363,7 +424,10 @@ func (t *Tree) startNet() error {
 		fab.ready = make(chan struct{})
 		fab.slots = make([]*workerSlot, nc.Workers)
 		for w := range fab.slots {
-			sl := &workerSlot{w: w, sq: newSendq(), fence: journal.New(), finalCh: make(chan struct{})}
+			sl := &workerSlot{w: w, sq: newSendq(t.gov, wireCap), fence: journal.New(), finalCh: make(chan struct{})}
+			// An overflowing queue cuts its connection exactly like a failed
+			// write: through the slot's degradation/respawn machinery.
+			sl.sq.onFull = func(c net.Conn) { fab.slotConnFailed(sl, c) }
 			fab.slots[w] = sl
 			fab.wg.Add(1)
 			go fab.writer(sl.sq, func(c net.Conn) { fab.slotConnFailed(sl, c) })
@@ -386,7 +450,11 @@ func (t *Tree) startNet() error {
 			return errors.New("tbon: worker NetConfig requires a DialWorker session")
 		}
 		fab.sess = nc.session
-		fab.wsq = newSendq()
+		fab.wsq = newSendq(t.gov, wireCap)
+		fab.wsq.onFull = func(c net.Conn) {
+			fab.wsq.detach(c)
+			c.Close()
+		}
 		fab.done = make(chan error, 1)
 		fab.rankRsq = make(map[linkKey]*reseq)
 		if nc.session.resumed {

@@ -134,6 +134,7 @@ func (fab *netFabric) welcome(inc uint64) wireWelcome {
 		LinkDelay:   cfg.LinkDelay,
 		KeepAlive:   fab.nc.keepAlive(),
 		Budget:      fab.nc.budget(),
+		MemBudget:   cfg.MemBudget,
 		LeafGids:    fab.leafGidsSnapshot(),
 		Extra:       fab.nc.Extra,
 	}

@@ -115,6 +115,15 @@ func (b Batching) String() string {
 // Report.AbortCause.
 type PanicError = mpisim.PanicError
 
+// DefaultMemBudget is the tool-plane byte budget the command-line tools
+// apply per process when governance is not explicitly configured: generous
+// enough that healthy runs never approach it (the high-water of the paper's
+// workloads is orders of magnitude below), small enough that a pinned link
+// under an event storm degrades the run long before the OS would kill the
+// process. Library embedders opt in by setting Options.MemBudget — the
+// zero-value Options stays byte-identical to the ungoverned tool.
+const DefaultMemBudget int64 = 256 << 20
+
 // Options configures a tool run.
 type Options struct {
 	// Context, when non-nil, cancels the run from outside: on Done the
@@ -172,6 +181,18 @@ type Options struct {
 	// the first tool layer. Distributed mode only; mutually exclusive with
 	// Fault — over real sockets the adversary is the wire.
 	Net *NetOptions
+	// MemBudget, when positive, bounds resident tool-plane buffer bytes per
+	// process: dws data traffic is byte-accounted across the tool's
+	// internal queues (and TCP send buffers), backpressure propagates to
+	// the rank → tool intake when buffers approach the budget, and genuine
+	// exhaustion (a stalled link pinning frames) degrades the run honestly
+	// — Report.Overloaded + Partial — instead of growing without limit.
+	// Control traffic (heartbeats, snapshot/epoch control, supervision) is
+	// never charged or gated, so supervision cannot be starved. 0 (the
+	// default here) keeps the historical unbounded behavior; embedders that
+	// want governance without tuning use DefaultMemBudget. Distributed
+	// mode only.
+	MemBudget int64
 
 	// TrackCallSites records the application source line of every MPI call
 	// so wait-for conditions and reports point at code (one runtime.Caller
@@ -320,6 +341,24 @@ type Report struct {
 	ShippedJournalEntries uint64
 	RespawnBackoff        time.Duration
 
+	// Resource-governance accounting (zero unless Options.MemBudget > 0).
+	// MemBudget echoes the configured budget; MemHighWater is the peak
+	// resident tool-plane buffer bytes of any single process.
+	// OverflowEvents counts budget-exhausted admissions and GatedWaits the
+	// intake admissions that had to wait for backpressure. QueueDepthHW /
+	// QueueBytesHW are per-link-class (up/down/peer/wire) high-water marks.
+	// Overloaded marks a run whose budget was genuinely exhausted despite
+	// backpressure (a stalled or dead link pinning buffered frames): the
+	// report is then also Partial — honest degradation instead of
+	// unbounded growth.
+	MemBudget      int64
+	MemHighWater   int64
+	OverflowEvents uint64
+	GatedWaits     uint64
+	QueueDepthHW   map[string]int64
+	QueueBytesHW   map[string]int64
+	Overloaded     bool
+
 	// Run statistics.
 	Elapsed         time.Duration
 	Detections      int
@@ -414,6 +453,7 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		SnapshotDeadline:         opts.SnapshotDeadline,
 		WatchdogQuiet:            opts.WatchdogQuiet,
 		NoBatch:                  opts.Batch == BatchOff,
+		MemBudget:                opts.MemBudget,
 		Engine:                   opts.Engine,
 		Differential:             opts.Differential,
 		Net:                      opts.Net,
@@ -458,6 +498,13 @@ func Run(procs int, prog mpi.Program, opts Options) *Report {
 		ReplayTime:            res.ReplayTime,
 		WorkerRespawns:        res.WorkerRespawns,
 		ShippedJournalEntries: res.ShippedJournalEntries,
+		MemBudget:             res.MemBudget,
+		MemHighWater:          res.MemHighWater,
+		OverflowEvents:        res.OverflowEvents,
+		GatedWaits:            res.GatedWaits,
+		QueueDepthHW:          res.QueueDepthHW,
+		QueueBytesHW:          res.QueueBytesHW,
+		Overloaded:            res.Overloaded,
 		ToolMessages: ToolMessages{
 			PassSends:      res.MsgStats.PassSends,
 			RecvActives:    res.MsgStats.RecvActives,
